@@ -1,0 +1,35 @@
+// accuracy is a focused pitchfork profiler (paper Figure 5): it sweeps
+// stream sizes, runs many single-writer trials per size, and prints the
+// distribution of the live-query relative error as TSV. It is the
+// counterpart of the artifact's ConcurrentThetaAccuracyProfile job.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fastsketches/internal/harness"
+)
+
+func main() {
+	lgMin := flag.Int("lgmin", 0, "log2 of smallest stream size")
+	lgMax := flag.Int("lgmax", 18, "log2 of largest stream size")
+	ppo := flag.Int("ppo", 2, "points per octave")
+	trials := flag.Int("trials", 256, "trials per point")
+	lgK := flag.Int("lgk", 12, "log2 of nominal sample count")
+	e := flag.Float64("e", 0.04, "max concurrency error (1.0 disables eager propagation)")
+	buf := flag.Int("b", 0, "local buffer size (0 = derive)")
+	cap := flag.Float64("cap", 0.1, "clip |RE| at this value for presentation (0 = off)")
+	flag.Parse()
+
+	pts := harness.AccuracyProfile(harness.AccuracyConfig{
+		LgMinU: *lgMin, LgMaxU: *lgMax, PPO: *ppo, Trials: *trials,
+		LgK: *lgK, MaxError: *e, BufferSize: *buf, CapRE: *cap,
+	})
+	fmt.Printf("# accuracy pitchfork: k=%d e=%v trials=%d\n", 1<<*lgK, *e, *trials)
+	fmt.Println("uniques\ttrials\tmeanRE\tQ01\tQ25\tQ50\tQ75\tQ99")
+	for _, p := range pts {
+		fmt.Printf("%d\t%d\t%.5f\t%.5f\t%.5f\t%.5f\t%.5f\t%.5f\n",
+			p.Uniques, p.Trials, p.MeanRE, p.Q01, p.Q25, p.Q50, p.Q75, p.Q99)
+	}
+}

@@ -1,0 +1,121 @@
+package fastsketches
+
+import (
+	"fmt"
+
+	"fastsketches/internal/core"
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/murmur"
+)
+
+// CountMinConfig configures a ConcurrentCountMin.
+type CountMinConfig struct {
+	// Epsilon is the additive-error fraction: estimates exceed true counts
+	// by at most Epsilon·N with probability 1−Delta. Default 0.001.
+	Epsilon float64
+	// Delta is the per-query failure probability. Default 0.01.
+	Delta float64
+	// Writers is the number of ingestion lanes. Default 1.
+	Writers int
+	// MaxError is the eager-phase error budget, as in ThetaConfig.
+	// Default 0.04.
+	MaxError float64
+	// BufferSize overrides the per-writer buffer. Default 32.
+	BufferSize int
+	// Seed is the hash seed; 0 means DefaultSeed.
+	Seed uint64
+}
+
+func (c *CountMinConfig) normalise() error {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.001
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("%w: Epsilon must be in (0,1)", ErrConfig)
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		return fmt.Errorf("%w: Delta must be in (0,1)", ErrConfig)
+	}
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.Writers < 0 {
+		return fmt.Errorf("%w: negative Writers", ErrConfig)
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 0.04
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 32
+	}
+	if c.BufferSize < 0 {
+		return fmt.Errorf("%w: negative BufferSize", ErrConfig)
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return nil
+}
+
+// ConcurrentCountMin is a Count-Min frequency sketch with concurrent
+// ingestion and wait-free per-key frequency queries — a "future work"
+// instantiation of the paper's framework for the heavy-hitter workloads its
+// introduction cites.
+type ConcurrentCountMin struct {
+	comp *countmin.Composable
+	fw   *core.Framework[uint64]
+	seed uint64
+}
+
+// NewConcurrentCountMin builds and starts a concurrent Count-Min sketch.
+func NewConcurrentCountMin(cfg CountMinConfig) (*ConcurrentCountMin, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	// Dimension like the sequential NewWithError.
+	proto := countmin.NewWithError(cfg.Epsilon, cfg.Delta, cfg.Seed)
+	comp := countmin.NewComposable(proto.Width(), proto.Depth(), cfg.Seed)
+	fw := core.New[uint64](comp, core.Config{
+		Workers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   cfg.MaxError,
+		K:          proto.Width(),
+	})
+	fw.Start()
+	return &ConcurrentCountMin{comp: comp, fw: fw, seed: cfg.Seed}, nil
+}
+
+// Update adds one occurrence of key on writer lane w.
+func (c *ConcurrentCountMin) Update(w int, key uint64) { c.fw.Update(w, key) }
+
+// UpdateString adds one occurrence of a string key on writer lane w.
+func (c *ConcurrentCountMin) UpdateString(w int, key string) {
+	// Count-Min re-hashes internally per row, so the element travels as the
+	// raw 64-bit digest of the string.
+	c.fw.Update(w, murmur.HashString(key, c.seed))
+}
+
+// Estimate returns the frequency estimate of key (wait-free). Relative to
+// the propagated prefix it never underestimates; up to Relaxation()
+// just-completed updates may not be reflected yet.
+func (c *ConcurrentCountMin) Estimate(key uint64) uint64 { return c.comp.Estimate(key) }
+
+// EstimateString is Estimate for string keys.
+func (c *ConcurrentCountMin) EstimateString(key string) uint64 {
+	return c.comp.Estimate(murmur.HashString(key, c.seed))
+}
+
+// N returns the total merged weight (wait-free).
+func (c *ConcurrentCountMin) N() uint64 { return c.comp.N() }
+
+// Relaxation returns the query staleness bound.
+func (c *ConcurrentCountMin) Relaxation() int { return c.fw.Relaxation() }
+
+// Close stops the propagator and drains all buffers.
+func (c *ConcurrentCountMin) Close() { c.fw.Close() }
+
+// Result copies the counters into a sequential sketch after Close.
+func (c *ConcurrentCountMin) Result() *countmin.Sketch { return c.comp.Snapshot() }

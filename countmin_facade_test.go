@@ -1,0 +1,83 @@
+package fastsketches
+
+import (
+	"sync"
+	"testing"
+
+	"fastsketches/internal/stream"
+)
+
+func TestConcurrentCountMinEndToEnd(t *testing.T) {
+	cm, err := NewConcurrentCountMin(CountMinConfig{Epsilon: 0.001, Delta: 0.01, Writers: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 16
+	keys := stream.Zipf(n, 500, 1.5, 11)
+	truth := map[uint64]uint64{}
+	for _, k := range keys {
+		truth[k]++
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 2 {
+				cm.Update(w, keys[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	cm.Close()
+	if cm.N() != n {
+		t.Fatalf("N = %d, want %d", cm.N(), n)
+	}
+	nf := float64(n)
+	bound := uint64(nf*0.001*3) + 1
+	for k, want := range truth {
+		got := cm.Estimate(k)
+		if got < want {
+			t.Fatalf("key %d underestimated: %d < %d", k, got, want)
+		}
+		if got > want+bound {
+			t.Fatalf("key %d overestimate beyond 3ε·N: %d > %d+%d", k, got, want, bound)
+		}
+	}
+}
+
+func TestConcurrentCountMinStrings(t *testing.T) {
+	cm, err := NewConcurrentCountMin(CountMinConfig{Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		cm.UpdateString(0, "alpha")
+		if i%2 == 0 {
+			cm.UpdateString(0, "beta")
+		}
+	}
+	cm.Close()
+	if got := cm.EstimateString("alpha"); got != 100 {
+		t.Errorf("alpha = %d, want 100", got)
+	}
+	if got := cm.EstimateString("beta"); got != 50 {
+		t.Errorf("beta = %d, want 50", got)
+	}
+	if got := cm.EstimateString("never-seen"); got > 2 {
+		t.Errorf("unseen key = %d, want ≈0", got)
+	}
+}
+
+func TestConcurrentCountMinConfigErrors(t *testing.T) {
+	for name, cfg := range map[string]CountMinConfig{
+		"eps too big":   {Epsilon: 1.5},
+		"delta too big": {Delta: 2},
+		"neg writers":   {Writers: -1},
+		"neg buffer":    {BufferSize: -1},
+	} {
+		if _, err := NewConcurrentCountMin(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Latency-percentile dashboard — the Quantiles-sketch use case.
+//
+// Simulated request handlers on several goroutines record response
+// latencies into a concurrent Quantiles sketch; a dashboard goroutine polls
+// p50/p95/p99 live, exactly the "query while building" capability the paper
+// adds to sketches. Midway through, the simulated backend degrades and the
+// dashboard watches the tail move — with no pause in ingestion.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastsketches"
+)
+
+func main() {
+	const handlers = 4
+	const requestsPerHandler = 300_000
+
+	q, err := fastsketches.NewConcurrentQuantiles(fastsketches.QuantilesConfig{
+		K:       256, // rank error well under 1%
+		Writers: handlers,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	var degraded atomic.Bool
+
+	// latency draws a log-normal-ish latency in milliseconds; the degraded
+	// regime doubles the median and fattens the tail.
+	latency := func(rng *rand.Rand) float64 {
+		base := 8.0 * (0.5 + rng.Float64()) // 4–12 ms body
+		if rng.Float64() < 0.02 {
+			base *= 10 // occasional slow path
+		}
+		if degraded.Load() {
+			base *= 2
+			if rng.Float64() < 0.05 {
+				base *= 8 // retries pile up
+			}
+		}
+		return base
+	}
+
+	stop := make(chan struct{})
+	var dash sync.WaitGroup
+	dash.Add(1)
+	go func() {
+		defer dash.Done()
+		tick := time.NewTicker(40 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s := q.Snapshot() // one consistent view for all three reads
+				if s.N() == 0 {
+					continue
+				}
+				fmt.Printf("n=%8d  p50=%6.1fms  p95=%6.1fms  p99=%6.1fms\n",
+					s.N(), s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for h := 0; h < handlers; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(h) + 1))
+			for i := 0; i < requestsPerHandler; i++ {
+				if h == 0 && i == requestsPerHandler/2 {
+					degraded.Store(true) // backend starts struggling
+				}
+				q.Update(h, latency(rng))
+			}
+		}(h)
+	}
+	wg.Wait()
+	close(stop)
+	dash.Wait()
+	q.Close()
+
+	final := q.Snapshot()
+	fmt.Printf("\nfinal: n=%d  min=%.1fms  p50=%.1fms  p90=%.1fms  p99=%.1fms  max=%.1fms\n",
+		final.N(), final.Min(), final.Quantile(0.5), final.Quantile(0.9),
+		final.Quantile(0.99), final.Max())
+	fmt.Printf("rank of 100ms SLA: %.2f%% of requests were faster\n", final.Rank(100)*100)
+	fmt.Printf("a live query may have trailed ingestion by ≤ %d requests (relaxation)\n", q.Relaxation())
+}

@@ -1,0 +1,273 @@
+// Package adversary implements the error-analysis model of Section 6.1 of
+// "Fast Concurrent Data Sketches": an r-relaxed Θ sketch attacked by an
+// adversary that hides up to r updates from every query.
+//
+// The stream of hashed unique elements is modelled as n iid uniform [0,1)
+// variables. M(i) denotes the i-th minimum. The sequential sketch returns
+// est = (k−1)/M(k); an adversary hiding j ≤ r elements below Θ makes the
+// sketch return (k−1)/M(k+j). The paper shows the worst case is always at
+// j = 0 or j = r, so:
+//
+//   - the strong adversary (sees the coin flips) picks per run
+//     g(0,r) = argmax_{j∈{0,r}} |(k−1)/M(k+j) − n|;
+//   - the weak adversary (cannot see the coin flips) maximises the expected
+//     error, which is monotone in j, so it always picks j = r.
+//
+// Monte-Carlo simulation over these estimators regenerates Table 1 and the
+// data behind Figures 3 and 4.
+package adversary
+
+import (
+	"math"
+	"math/rand"
+
+	"fastsketches/internal/stats"
+)
+
+// Estimates holds the three estimators evaluated on one simulated stream.
+type Estimates struct {
+	Sequential float64 // (k−1)/M(k)
+	Strong     float64 // (k−1)/M(k+g(0,r))
+	Weak       float64 // (k−1)/M(k+r)
+}
+
+// Simulator draws streams of n uniform hashes and evaluates the estimators
+// for parameters k and r.
+type Simulator struct {
+	N   int
+	K   int
+	R   int
+	rng *rand.Rand
+	buf []float64
+}
+
+// NewSimulator returns a simulator for n uniform samples with sketch
+// parameter k and relaxation r. n must exceed k+r (the paper's analysis
+// assumes long streams, n > k + r).
+func NewSimulator(n, k, r int, seed int64) *Simulator {
+	if n <= k+r {
+		panic("adversary: analysis requires n > k + r")
+	}
+	return &Simulator{
+		N:   n,
+		K:   k,
+		R:   r,
+		rng: rand.New(rand.NewSource(seed)),
+		buf: make([]float64, n),
+	}
+}
+
+// orderStats fills s.buf with n uniforms and returns (M(k), M(k+r)).
+func (s *Simulator) orderStats() (mk, mkr float64) {
+	for i := range s.buf {
+		s.buf[i] = s.rng.Float64()
+	}
+	// Select the (k+r)-th smallest; the prefix then contains the k+r
+	// smallest values, from which M(k) is another selection.
+	mkr = selectFloat(s.buf, s.K+s.R-1)
+	prefix := s.buf[:s.K+s.R]
+	mk = selectFloat(prefix, s.K-1)
+	return mk, mkr
+}
+
+// Trial simulates one stream and returns the three estimators.
+func (s *Simulator) Trial() Estimates {
+	mk, mkr := s.orderStats()
+	n := float64(s.N)
+	km1 := float64(s.K - 1)
+	seq := km1 / mk
+	weak := km1 / mkr
+	// Strong adversary: g(0,r) maximises |est − n|.
+	strong := seq
+	if math.Abs(weak-n) > math.Abs(seq-n) {
+		strong = weak
+	}
+	return Estimates{Sequential: seq, Strong: strong, Weak: weak}
+}
+
+// Run executes the given number of trials and collects per-estimator
+// samples.
+func (s *Simulator) Run(trials int) (seq, strong, weak []float64) {
+	seq = make([]float64, trials)
+	strong = make([]float64, trials)
+	weak = make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		e := s.Trial()
+		seq[t] = e.Sequential
+		strong[t] = e.Strong
+		weak[t] = e.Weak
+	}
+	return seq, strong, weak
+}
+
+// Table1Row is one column block of the paper's Table 1: expectation and RSE
+// for an estimator, numerically simulated, plus closed forms where known.
+type Table1Row struct {
+	Name            string
+	MeanEstimate    float64 // Monte-Carlo E[est]
+	RSE             float64 // Monte-Carlo RSE w.r.t. n
+	ClosedFormMean  float64 // NaN when the paper gives no closed form
+	ClosedFormRSEUB float64 // upper bound; NaN when none
+}
+
+// Table1 regenerates the paper's Table 1 for the given parameters
+// (paper values: r=8, k=2^10, n=2^15).
+func Table1(n, k, r, trials int, seed int64) []Table1Row {
+	sim := NewSimulator(n, k, r, seed)
+	seq, strong, weak := sim.Run(trials)
+	fn := float64(n)
+	return []Table1Row{
+		{
+			Name:            "sequential",
+			MeanEstimate:    stats.Summarize(seq).Mean,
+			RSE:             stats.RSE(seq, fn),
+			ClosedFormMean:  stats.SeqExpectation(fn),
+			ClosedFormRSEUB: stats.SeqRSEBound(k),
+		},
+		{
+			Name:            "strong adversary",
+			MeanEstimate:    stats.Summarize(strong).Mean,
+			RSE:             stats.RSE(strong, fn),
+			ClosedFormMean:  math.NaN(), // paper: numerical only
+			ClosedFormRSEUB: math.NaN(),
+		},
+		{
+			Name:            "weak adversary",
+			MeanEstimate:    stats.Summarize(weak).Mean,
+			RSE:             stats.RSE(weak, fn),
+			ClosedFormMean:  stats.WeakAdversaryExpectation(fn, k, r),
+			ClosedFormRSEUB: stats.WeakAdversaryRSEBound(k, r),
+		},
+	}
+}
+
+// RegionPoint is one cell of the Figure 3 plot: for a feasible pair
+// (M(k)=x, M(k+r)=y) with y ≥ x, which j the strong adversary picks.
+type RegionPoint struct {
+	X, Y     float64
+	Feasible bool
+	PicksR   bool // true → g = r (dark gray region); false → g = 0
+}
+
+// Figure3Grid evaluates the strong adversary's choice over a grid of
+// (M(k), M(k+r)) pairs, reproducing the regions of Figure 3. The grid spans
+// [lo, hi]² with `steps` cells per axis; the paper centres the plot around
+// k/n where the mass of the order statistics lies.
+func Figure3Grid(n, k int, lo, hi float64, steps int) []RegionPoint {
+	out := make([]RegionPoint, 0, steps*steps)
+	fn := float64(n)
+	km1 := float64(k - 1)
+	for iy := 0; iy < steps; iy++ {
+		y := lo + (hi-lo)*float64(iy)/float64(steps-1)
+		for ix := 0; ix < steps; ix++ {
+			x := lo + (hi-lo)*float64(ix)/float64(steps-1)
+			p := RegionPoint{X: x, Y: y}
+			if y >= x && x > 0 {
+				p.Feasible = true
+				p.PicksR = math.Abs(km1/y-fn) > math.Abs(km1/x-fn)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Histogram bins samples into `bins` equal-width buckets over [lo, hi],
+// returning bucket centres and normalised densities — the data behind
+// Figure 4 (distribution of e and e_Aw).
+func Histogram(samples []float64, lo, hi float64, bins int) (centres, density []float64) {
+	centres = make([]float64, bins)
+	density = make([]float64, bins)
+	w := (hi - lo) / float64(bins)
+	for i := range centres {
+		centres[i] = lo + w*(float64(i)+0.5)
+	}
+	if len(samples) == 0 || w <= 0 {
+		return centres, density
+	}
+	for _, s := range samples {
+		b := int((s - lo) / w)
+		if b >= 0 && b < bins {
+			density[b]++
+		}
+	}
+	norm := 1 / (float64(len(samples)) * w)
+	for i := range density {
+		density[i] *= norm
+	}
+	return centres, density
+}
+
+// selectFloat returns the element of 0-based rank `rank` in ascending order,
+// partially reordering a in place (Lomuto quickselect, median-of-3 pivot).
+func selectFloat(a []float64, rank int) float64 {
+	lo, hi := 0, len(a)-1
+	for {
+		if lo == hi {
+			return a[lo]
+		}
+		p := partitionFloat(a, lo, hi)
+		switch {
+		case rank == p:
+			return a[p]
+		case rank < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+func partitionFloat(a []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi] = a[hi], a[mid]
+	pivot := a[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi] = a[hi], a[i]
+	return i
+}
+
+// QuantileAdversary models the Section 6.2 weak adversary against a PAC
+// quantiles sketch: hiding i elements below the φ-quantile and j above
+// (i+j ≤ r) shifts the returned element's true rank. HiddenRankRange
+// returns the worst-case normalized rank interval of the returned element
+// per Equation (1) of the paper.
+func QuantileAdversary(phi, eps float64, n, r int) (loRank, hiRank float64) {
+	fn := float64(n)
+	worstLo, worstHi := phi, phi
+	// The adversary splits r hidden elements as i below + j above.
+	for i := 0; i <= r; i++ {
+		j := r - i
+		m := fn - float64(i+j)
+		lo := ((phi-eps)*m + float64(i)) / fn
+		hi := ((phi+eps)*m + float64(i)) / fn
+		if lo < worstLo {
+			worstLo = lo
+		}
+		if hi > worstHi {
+			worstHi = hi
+		}
+	}
+	if worstLo < 0 {
+		worstLo = 0
+	}
+	if worstHi > 1 {
+		worstHi = 1
+	}
+	return worstLo, worstHi
+}

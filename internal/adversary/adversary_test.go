@@ -1,0 +1,188 @@
+package adversary
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fastsketches/internal/stats"
+)
+
+// Paper parameters for Table 1.
+const (
+	paperN = 1 << 15
+	paperK = 1 << 10
+	paperR = 8
+)
+
+func TestOrderStatsCorrect(t *testing.T) {
+	sim := NewSimulator(2000, 100, 10, 1)
+	mk, mkr := sim.orderStats()
+	// Verify against a full sort of the same buffer.
+	cp := append([]float64(nil), sim.buf...)
+	sort.Float64s(cp)
+	if mk != cp[99] || mkr != cp[109] {
+		t.Fatalf("order stats (%v,%v) != sorted (%v,%v)", mk, mkr, cp[99], cp[109])
+	}
+	if mk > mkr {
+		t.Fatal("M(k) must not exceed M(k+r)")
+	}
+}
+
+func TestSequentialEstimatorUnbiased(t *testing.T) {
+	sim := NewSimulator(paperN, paperK, paperR, 2)
+	seq, _, _ := sim.Run(3000)
+	mean := stats.Summarize(seq).Mean
+	// SE of the mean ≈ n·RSE/√trials ≈ 32768·0.031/√3000 ≈ 18.5.
+	if math.Abs(mean-paperN) > 5*18.5 {
+		t.Errorf("sequential mean %v, want ≈%d", mean, paperN)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Reproduce the paper's numerical column: with r=8, k=2^10, n=2^15 the
+	// strong adversary keeps E ≈ n·0.995 (weak has the same closed form),
+	// sequential RSE ≤ 3.1%, strong RSE ≤ 3.8%, weak RSE ≤ 2·3.1%.
+	rows := Table1(paperN, paperK, paperR, 4000, 3)
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	seq := byName["sequential"]
+	if seq.RSE > 0.031+0.004 {
+		t.Errorf("sequential RSE %v exceeds paper bound ≈3.1%%", seq.RSE)
+	}
+	if math.Abs(seq.MeanEstimate/paperN-1) > 0.01 {
+		t.Errorf("sequential mean %v not ≈ n", seq.MeanEstimate)
+	}
+
+	strong := byName["strong adversary"]
+	if strong.RSE > 0.038+0.004 {
+		t.Errorf("strong-adversary RSE %v exceeds paper's numerical 3.8%%", strong.RSE)
+	}
+	// Paper: strong adversary expectation ≈ 2^15·0.995.
+	if math.Abs(strong.MeanEstimate/(float64(paperN)*0.995)-1) > 0.01 {
+		t.Errorf("strong-adversary mean %v, paper reports ≈ %v", strong.MeanEstimate, float64(paperN)*0.995)
+	}
+
+	weak := byName["weak adversary"]
+	cf := stats.WeakAdversaryExpectation(paperN, paperK, paperR)
+	if math.Abs(weak.MeanEstimate/cf-1) > 0.01 {
+		t.Errorf("weak-adversary mean %v, closed form %v", weak.MeanEstimate, cf)
+	}
+	if weak.RSE > stats.WeakAdversaryRSEBound(paperK, paperR)+0.004 {
+		t.Errorf("weak-adversary RSE %v exceeds closed-form bound %v", weak.RSE, stats.WeakAdversaryRSEBound(paperK, paperR))
+	}
+}
+
+func TestStrongAtLeastAsBadAsBoth(t *testing.T) {
+	// Per construction the strong adversary's error dominates both the
+	// sequential and weak errors on every single run.
+	sim := NewSimulator(paperN, paperK, paperR, 4)
+	for i := 0; i < 500; i++ {
+		e := sim.Trial()
+		ds := math.Abs(e.Strong - paperN)
+		if ds < math.Abs(e.Sequential-float64(paperN)) || ds < math.Abs(e.Weak-float64(paperN))-1e-9 {
+			// strong = argmax over {seq, weak}, so it can never be smaller.
+			t.Fatalf("strong error %v smaller than a dominated estimator", ds)
+		}
+	}
+}
+
+func TestWeakUnderestimates(t *testing.T) {
+	// Hiding r small elements inflates M(k+r) relative to M(k)… i.e. the
+	// relaxed estimate (k−1)/M(k+r) is biased LOW: E = n(k−1)/(k+r−1) < n.
+	sim := NewSimulator(paperN, paperK, paperR, 5)
+	_, _, weak := sim.Run(3000)
+	mean := stats.Summarize(weak).Mean
+	if mean >= paperN {
+		t.Errorf("weak adversary mean %v should be below n=%d", mean, paperN)
+	}
+}
+
+func TestSimulatorPanicsOnShortStream(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n ≤ k+r")
+		}
+	}()
+	NewSimulator(100, 90, 10, 1)
+}
+
+func TestFigure3Regions(t *testing.T) {
+	grid := Figure3Grid(paperN, paperK, 0.02, 0.05, 41)
+	var feasible, picksR, picks0 int
+	for _, p := range grid {
+		if !p.Feasible {
+			if p.Y >= p.X && p.X > 0 {
+				t.Fatal("feasibility misclassified")
+			}
+			continue
+		}
+		feasible++
+		if p.PicksR {
+			picksR++
+		} else {
+			picks0++
+		}
+	}
+	if feasible == 0 || picksR == 0 || picks0 == 0 {
+		t.Fatalf("expected both regions non-empty: feasible=%d picksR=%d picks0=%d", feasible, picksR, picks0)
+	}
+	// Structure: k/n = 2^10/2^15 = 1/32 = 0.03125. When both M(k) and
+	// M(k+r) are above k−1/n the estimates both undershoot and the larger
+	// M(k+r) hurts more → g=r. Spot-check a cell deep in that region.
+	km1 := float64(paperK - 1)
+	n := float64(paperN)
+	x, y := 0.034, 0.04
+	wantR := math.Abs(km1/y-n) > math.Abs(km1/x-n)
+	if !wantR {
+		t.Fatal("test premise wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	samples := []float64{0.5, 1.5, 1.6, 2.5}
+	centres, density := Histogram(samples, 0, 3, 3)
+	if len(centres) != 3 {
+		t.Fatal("wrong bin count")
+	}
+	// Bins: [0,1)→1, [1,2)→2, [2,3)→1; total mass should integrate to 1.
+	var mass float64
+	for _, d := range density {
+		mass += d * 1.0 // bin width 1
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("histogram mass %v, want 1", mass)
+	}
+	if density[1] != 2*density[0] {
+		t.Fatalf("bin densities wrong: %v", density)
+	}
+}
+
+func TestQuantileAdversaryRange(t *testing.T) {
+	// With ε=0 and the adversary hiding all r below the quantile, the
+	// returned element's rank shifts by r(1−φ)/n upward, and hiding all r
+	// above shifts it φ·r/n downward.
+	phi, n, r := 0.5, 1000, 100
+	lo, hi := QuantileAdversary(phi, 0, n, r)
+	wantLo := (phi*(float64(n)-float64(r)) + 0) / float64(n)          // i=0: rank shrinks
+	wantHi := (phi*(float64(n)-float64(r)) + float64(r)) / float64(n) // i=r
+	if math.Abs(lo-wantLo) > 1e-12 || math.Abs(hi-wantHi) > 1e-12 {
+		t.Fatalf("range [%v,%v], want [%v,%v]", lo, hi, wantLo, wantHi)
+	}
+	// The ε_r formula of Section 6.2 bounds the deviation: ε_r = ε − rε/n + r/n.
+	epsR := 0.0 - float64(r)*0/float64(n) + float64(r)/float64(n)
+	if hi-phi > epsR+1e-12 || phi-lo > epsR+1e-12 {
+		t.Fatalf("adversary range exceeds ε_r=%v", epsR)
+	}
+}
+
+func BenchmarkTrial(b *testing.B) {
+	sim := NewSimulator(paperN, paperK, paperR, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Trial()
+	}
+}

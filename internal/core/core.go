@@ -1,0 +1,500 @@
+// Package core implements the generic concurrent sketch framework of
+// "Fast Concurrent Data Sketches" (Rinberg et al., PPoPP 2020), Section 5.
+//
+// The framework turns any composable sequential sketch into a concurrent one:
+// N writer goroutines ingest stream elements into thread-local buffers, and a
+// single background propagator goroutine merges filled buffers into a shared
+// composable ("global") sketch that query threads read wait-free. Writers and
+// the propagator synchronise exclusively through one atomic word per writer
+// (prop_i), so the steady-state ingestion path is fence-free except for one
+// atomic store per b retained items.
+//
+// Two variants are provided, exactly as in the paper's Algorithm 2:
+//
+//   - ParSketch (ModeUnoptimised): one local buffer per writer; the writer
+//     publishes prop_i = 0 and blocks until the propagator merges the buffer
+//     and returns a fresh hint. Relaxation: r = N·b.
+//   - OptParSketch (ModeOptimised): two local buffers per writer (double
+//     buffering); the writer flips to the fresh buffer, publishes the filled
+//     one, and keeps ingesting without waiting. Relaxation: r = 2·N·b.
+//
+// The framework is strongly linearisable with respect to the r-relaxed
+// sequential specification of the underlying sketch (Theorem 1 of the paper):
+// a query may miss at most r of the updates that precede it.
+//
+// For small streams the additive error r can dominate, so the framework
+// adapts (Section 5.3): until the stream exceeds a configurable limit
+// (2/e² by default), writers update the global sketch directly under a lock
+// — sequential semantics, zero relaxation error — and then switch to the
+// buffered lazy path for the remainder of the stream.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Global is the composable-sketch interface the framework is instantiated
+// with (Section 5.1 of the paper). The type parameter T is the element type
+// after any caller-side preprocessing — raw 64-bit hashes for Θ sketches,
+// float64 values for Quantiles.
+//
+// MergeBuffer and DirectUpdate mutate the sketch and are serialised by the
+// framework (MergeBuffer is called only by the propagator goroutine;
+// DirectUpdate only under the eager-phase lock, which is released before the
+// first MergeBuffer can happen). Snapshot-style queries are provided by the
+// concrete composable type and must be safe to run concurrently with
+// MergeBuffer — that is the composability contract.
+type Global[T any] interface {
+	// MergeBuffer folds a batch of pre-filtered elements into the sketch
+	// and refreshes the published snapshot. Propagator goroutine only.
+	MergeBuffer(items []T)
+	// DirectUpdate applies a single element during the eager phase. Called
+	// only while the framework's eager lock is held.
+	DirectUpdate(item T)
+	// CalcHint returns the current pre-filtering hint. It must never return
+	// zero — zero is reserved to mean "propagation pending" on the prop_i
+	// channel between writer and propagator.
+	CalcHint() uint64
+	// ShouldAdd reports whether an element can still affect the sketch
+	// given a (possibly stale) hint. It must be conservative: if it returns
+	// false, the element must be provably irrelevant to every future state
+	// (the paper's summary-preservation condition). A trivial
+	// implementation returns true always.
+	ShouldAdd(hint uint64, item T) bool
+}
+
+// BufferAdvisor is an optional extension of Global implementing the
+// adaptation the paper's conclusion proposes as future work: "investigate
+// additional uses of the hint, for example, in order to dynamically adapt
+// the size of the local buffers and respective relaxation error."
+//
+// When the framework is configured with AdaptiveBuffers and the global
+// sketch implements this interface, each writer re-derives its local buffer
+// size from every fresh hint. The Θ composable, for instance, grows buffers
+// as Θ shrinks: with pre-filtering only a θ fraction of the raw stream is
+// retained, so a b-slot buffer represents ≈ b/θ raw updates — growing b as
+// 1/θ keeps the propagation frequency (and its fences) roughly constant per
+// raw update while the *relative* staleness r/n keeps falling.
+type BufferAdvisor interface {
+	// AdviseBuffer returns the recommended buffer size for the given hint
+	// and configured base size. Implementations must return a value ≥ 1;
+	// the framework additionally clamps to [base, base*MaxBufferGrowth].
+	AdviseBuffer(hint uint64, base int) int
+}
+
+// MaxBufferGrowth caps adaptive buffers at this multiple of the base size,
+// bounding the worst-case relaxation at Relaxation() = 2·N·b·MaxBufferGrowth.
+const MaxBufferGrowth = 16
+
+// Mode selects between the paper's two algorithm variants.
+type Mode int
+
+const (
+	// ModeOptimised is OptParSketch: double-buffered writers that do not
+	// block while their filled buffer is being propagated. r = 2·N·b.
+	ModeOptimised Mode = iota
+	// ModeUnoptimised is ParSketch: single-buffered writers that block
+	// during propagation. r = N·b.
+	ModeUnoptimised
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOptimised:
+		return "OptParSketch"
+	case ModeUnoptimised:
+		return "ParSketch"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterises a Framework.
+type Config struct {
+	// Workers is N, the number of writer lanes. Each lane must be used by
+	// at most one goroutine at a time.
+	Workers int
+	// BufferSize is b, the number of retained items a writer buffers
+	// between propagations. If 0 it is derived via DeriveBufferSize from
+	// MaxError, K and Workers.
+	BufferSize int
+	// Mode selects OptParSketch (default) or ParSketch.
+	Mode Mode
+	// MaxError is e, the maximum additional relative error the user will
+	// tolerate from concurrency on small streams (Section 5.3). Values ≥ 1
+	// disable the eager phase entirely (the paper's e = 1.0 configuration).
+	MaxError float64
+	// K is the accuracy parameter of the underlying sketch (sample count),
+	// used only to derive BufferSize when it is 0.
+	K int
+	// EagerLimit overrides the stream length at which the framework stops
+	// eager propagation. 0 derives the paper's 2/e².
+	EagerLimit int
+	// AdaptiveBuffers enables hint-driven buffer resizing when the global
+	// sketch implements BufferAdvisor (the paper's future-work extension).
+	AdaptiveBuffers bool
+}
+
+// DeriveBufferSize computes the local buffer size b from the sketch accuracy
+// parameter k, the concurrency error budget e, and the writer count n, such
+// that the weak-adversary relative bias r/(k+r−1) with r = 2·n·b stays below
+// e (Section 6.1), clamped to [1, 16]. For e ≥ 1 (eager disabled) it returns
+// the default 16.
+func DeriveBufferSize(k int, e float64, n int) int {
+	const bMax = 16
+	if e >= 1 || k <= 2 || n < 1 {
+		return bMax
+	}
+	b := int(e * float64(k-2) / ((1 - e) * 2 * float64(n)))
+	if b < 1 {
+		return 1
+	}
+	if b > bMax {
+		return bMax
+	}
+	return b
+}
+
+// DeriveEagerLimit returns the paper's eager-phase length 2/e² for error
+// budget e (0 when the eager phase is disabled).
+func DeriveEagerLimit(e float64) int {
+	if e >= 1 || e <= 0 {
+		return 0
+	}
+	return int(2 / (e * e))
+}
+
+// cacheLinePad separates hot per-writer state from its neighbours so writer
+// lanes do not false-share.
+type cacheLinePad [8]uint64
+
+// writer is one ingestion lane (the paper's thread t_i state, lines 104-109).
+type writer[T any] struct {
+	_ cacheLinePad
+	// prop is the single synchronisation word between this writer and the
+	// propagator: 0 means "filled buffer awaiting propagation"; any other
+	// value is the freshest hint, stored by the propagator when the merge
+	// completed. All other fields are plain because every cross-goroutine
+	// hand-off is ordered by a store/load of prop.
+	prop atomic.Uint64
+	// buf[cur] is the buffer being filled; in OptParSketch buf[1-cur] is
+	// the one being propagated. ParSketch uses only buf[0].
+	buf  [2][]T
+	cur  int
+	hint uint64
+	// bEff is the effective buffer size; equals the configured b unless
+	// adaptive buffering grows it in response to hints.
+	bEff int
+	// seenLazy caches "the framework has left the eager phase" so the hot
+	// path re-checks the shared mode flag only while it still matters.
+	seenLazy bool
+	// updates counts items accepted into buffers or eagerly applied (after
+	// pre-filtering); read only after quiescence.
+	updates int64
+	// filtered counts items discarded by ShouldAdd; read after quiescence.
+	filtered int64
+	_        cacheLinePad
+}
+
+// Framework is the generic concurrent sketch: the paper's OptParSketch /
+// ParSketch object. Create with New, then Start the propagator, have each
+// writer goroutine call Update on its own lane, and Close when ingestion is
+// done. Queries go through the composable global sketch and may run at any
+// time, including concurrently with updates.
+type Framework[T any] struct {
+	global  Global[T]
+	cfg     Config
+	b       int
+	writers []*writer[T]
+
+	// Eager phase (Section 5.3): guarded by a spin-free mutex-like CAS on
+	// eagerState. lazy flips exactly once, eager→lazy.
+	lazy       atomic.Bool
+	eagerLock  atomic.Bool // spinlock protecting eagerCount + DirectUpdate
+	eagerCount int
+	eagerLimit int
+
+	advisor BufferAdvisor // non-nil when adaptive buffering is active
+
+	stopped atomic.Bool
+	started atomic.Bool
+	done    chan struct{}
+}
+
+// New builds a Framework over the given composable global sketch.
+func New[T any](global Global[T], cfg Config) *Framework[T] {
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("core: Workers must be ≥ 1, got %d", cfg.Workers))
+	}
+	b := cfg.BufferSize
+	if b == 0 {
+		b = DeriveBufferSize(cfg.K, cfg.MaxError, cfg.Workers)
+	}
+	if b < 1 {
+		panic(fmt.Sprintf("core: BufferSize must be ≥ 1, got %d", b))
+	}
+	limit := cfg.EagerLimit
+	if limit == 0 {
+		limit = DeriveEagerLimit(cfg.MaxError)
+	}
+	f := &Framework[T]{
+		global:     global,
+		cfg:        cfg,
+		b:          b,
+		eagerLimit: limit,
+		done:       make(chan struct{}),
+	}
+	hint := global.CalcHint()
+	if hint == 0 {
+		panic("core: CalcHint returned the reserved value 0")
+	}
+	eager := limit > 0
+	if !eager {
+		f.lazy.Store(true)
+	}
+	if cfg.AdaptiveBuffers {
+		if adv, ok := global.(BufferAdvisor); ok {
+			f.advisor = adv
+		}
+	}
+	f.writers = make([]*writer[T], cfg.Workers)
+	for i := range f.writers {
+		w := &writer[T]{hint: hint, bEff: b, seenLazy: !eager}
+		w.buf[0] = make([]T, 0, b)
+		if cfg.Mode == ModeOptimised {
+			w.buf[1] = make([]T, 0, b)
+		}
+		// prop starts at the initial hint: "no propagation pending".
+		w.prop.Store(hint)
+		f.writers[i] = w
+	}
+	return f
+}
+
+// BufferSize returns the effective local buffer size b.
+func (f *Framework[T]) BufferSize() int { return f.b }
+
+// Relaxation returns r, the maximum number of preceding updates a query may
+// miss: 2·N·b for OptParSketch, N·b for ParSketch (Theorem 1 / Lemma 1).
+// With adaptive buffering the worst-case buffer is b·MaxBufferGrowth.
+func (f *Framework[T]) Relaxation() int {
+	b := f.b
+	if f.advisor != nil {
+		b *= MaxBufferGrowth
+	}
+	if f.cfg.Mode == ModeOptimised {
+		return 2 * f.cfg.Workers * b
+	}
+	return f.cfg.Workers * b
+}
+
+// Workers returns N.
+func (f *Framework[T]) Workers() int { return f.cfg.Workers }
+
+// EffectiveBuffers returns each writer's current buffer size (equal to
+// BufferSize unless adaptive buffering grew them). Call only while writers
+// are quiescent.
+func (f *Framework[T]) EffectiveBuffers() []int {
+	out := make([]int, len(f.writers))
+	for i, w := range f.writers {
+		out[i] = w.bEff
+	}
+	return out
+}
+
+// Start launches the background propagator goroutine.
+func (f *Framework[T]) Start() {
+	if f.started.Swap(true) {
+		panic("core: Framework started twice")
+	}
+	go f.propagate()
+}
+
+// Update ingests one element on writer lane wid. Each lane must be driven by
+// a single goroutine at a time (lanes are the paper's update threads t_i).
+func (f *Framework[T]) Update(wid int, item T) {
+	w := f.writers[wid]
+	if !w.seenLazy {
+		if f.eagerUpdate(w, item) {
+			return
+		}
+		// The framework has switched to the lazy phase; from now on take
+		// the buffered path directly and pick up a fresh hint.
+		w.seenLazy = true
+		w.hint = f.global.CalcHint()
+	}
+	if !f.global.ShouldAdd(w.hint, item) {
+		w.filtered++
+		return
+	}
+	w.updates++
+	w.buf[w.cur] = append(w.buf[w.cur], item)
+	if len(w.buf[w.cur]) < w.bEff {
+		return
+	}
+	if f.cfg.Mode == ModeUnoptimised {
+		// ParSketch, lines 124-125: publish, then block until the
+		// propagator has merged the (single) buffer and returned a hint.
+		w.prop.Store(0)
+		w.hint = f.awaitHint(w)
+		f.adapt(w)
+		return
+	}
+	// OptParSketch, lines 125-129: wait for the previous propagation (if
+	// still in flight), adopt its hint, flip to the fresh buffer, and
+	// publish the filled one.
+	w.hint = f.awaitHint(w)
+	w.cur = 1 - w.cur
+	w.prop.Store(0)
+	f.adapt(w)
+}
+
+// adapt re-derives the writer's effective buffer size from its fresh hint
+// (the future-work extension; no-op unless configured).
+func (f *Framework[T]) adapt(w *writer[T]) {
+	if f.advisor == nil {
+		return
+	}
+	b := f.advisor.AdviseBuffer(w.hint, f.b)
+	if b < f.b {
+		b = f.b
+	}
+	if max := f.b * MaxBufferGrowth; b > max {
+		b = max
+	}
+	w.bEff = b
+}
+
+// awaitHint spins until the propagator posts a non-zero hint on w.prop.
+func (f *Framework[T]) awaitHint(w *writer[T]) uint64 {
+	for {
+		if h := w.prop.Load(); h != 0 {
+			return h
+		}
+		runtime.Gosched()
+	}
+}
+
+// eagerUpdate applies item directly to the global sketch if the framework is
+// still in the eager phase, returning false once it has switched to lazy.
+func (f *Framework[T]) eagerUpdate(w *writer[T], item T) bool {
+	if f.lazy.Load() {
+		return false
+	}
+	// Spinlock: the eager phase is short (≤ 2/e² updates) and contention is
+	// the sequential bottleneck the paper accepts for small streams.
+	for !f.eagerLock.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	if f.lazy.Load() {
+		f.eagerLock.Store(false)
+		return false
+	}
+	f.global.DirectUpdate(item)
+	w.updates++
+	f.eagerCount++
+	if f.eagerCount >= f.eagerLimit {
+		f.lazy.Store(true)
+	}
+	f.eagerLock.Store(false)
+	return true
+}
+
+// propagate is the background propagator thread t_0 (lines 110-115): scan
+// writer lanes, merge any filled buffer into the global sketch, reset it,
+// and post the fresh hint.
+//
+// The paper's propagator busy-spins on a dedicated core. To behave well on
+// machines with fewer cores than goroutines, ours backs off adaptively: it
+// yields for the first idle scans and then naps briefly, waking as soon as a
+// scan finds work again. The nap only delays propagation (staleness remains
+// bounded by the r-relaxation); it never loses updates.
+func (f *Framework[T]) propagate() {
+	defer close(f.done)
+	idle := 0
+	for !f.stopped.Load() {
+		work := false
+		for _, w := range f.writers {
+			if w.prop.Load() != 0 {
+				continue
+			}
+			idx := w.cur // ParSketch: the only buffer
+			if f.cfg.Mode == ModeOptimised {
+				idx = 1 - w.cur // OptParSketch: the one the writer flipped away from
+			}
+			if buf := w.buf[idx]; len(buf) > 0 {
+				f.global.MergeBuffer(buf)
+				w.buf[idx] = buf[:0]
+			}
+			w.prop.Store(f.global.CalcHint())
+			work = true
+		}
+		if work {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Close stops the propagator and drains every remaining buffered item into
+// the global sketch. It must be called after all writer goroutines have
+// quiesced; afterwards the global sketch summarises the entire ingested
+// stream exactly (no relaxation residue). Close is not idempotent.
+func (f *Framework[T]) Close() {
+	f.stopped.Store(true)
+	if f.started.Load() {
+		<-f.done
+	}
+	for _, w := range f.writers {
+		// If a publication was in flight, merge the published buffer first.
+		if w.prop.Load() == 0 {
+			idx := w.cur
+			if f.cfg.Mode == ModeOptimised {
+				idx = 1 - w.cur
+			}
+			if buf := w.buf[idx]; len(buf) > 0 {
+				f.global.MergeBuffer(buf)
+				w.buf[idx] = buf[:0]
+			}
+			w.prop.Store(f.global.CalcHint())
+		}
+		// Then the partially-filled current buffer.
+		if buf := w.buf[w.cur]; len(buf) > 0 {
+			f.global.MergeBuffer(buf)
+			w.buf[w.cur] = buf[:0]
+		}
+	}
+}
+
+// Lazy reports whether the framework has left the eager phase.
+func (f *Framework[T]) Lazy() bool { return f.lazy.Load() }
+
+// Stats aggregates per-writer counters. Call only while writers are
+// quiescent (e.g. after Close).
+type Stats struct {
+	// Accepted is the number of items that passed pre-filtering and were
+	// buffered or eagerly applied.
+	Accepted int64
+	// Filtered is the number of items discarded by ShouldAdd before
+	// reaching any buffer — the paper's key throughput lever.
+	Filtered int64
+}
+
+// Stats returns aggregated writer counters.
+func (f *Framework[T]) Stats() Stats {
+	var s Stats
+	for _, w := range f.writers {
+		s.Accepted += w.updates
+		s.Filtered += w.filtered
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+// Package countmin implements a Count-Min frequency sketch and its
+// concurrent instantiation under the generic framework.
+//
+// The paper's conclusion invites applying the framework to further sketches
+// ("future work may leverage our framework for other sketches"); Count-Min
+// is the natural next candidate: its per-item counters serve the
+// heavy-hitter / anomaly-detection workloads the paper's introduction cites
+// (e.g. Elastic Sketch, SIGCOMM'18), it is order-agnostic and mergeable
+// (element-wise addition), and its queries are one-sided (overestimates
+// only), so the r-relaxation has a clean effect: a concurrent query may
+// undercount by at most the r in-flight updates while keeping the classic
+// ε·N overestimation guarantee relative to the propagated prefix.
+//
+// Parameters follow Cormode–Muthukrishnan: width w = ⌈e/ε⌉ columns gives
+// additive error ≤ ε·N with probability ≥ 1 − e^(−d) over the d rows.
+package countmin
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"fastsketches/internal/murmur"
+)
+
+// Sketch is a sequential Count-Min sketch over uint64 keys.
+// It is not safe for concurrent use; Composable provides that.
+type Sketch struct {
+	width int
+	depth int
+	seed  uint64
+	rows  [][]uint64
+	n     uint64 // total weight processed
+}
+
+// New returns an empty Count-Min sketch with the given width (columns per
+// row) and depth (independent rows).
+func New(width, depth int, seed uint64) *Sketch {
+	if width < 1 || depth < 1 {
+		panic(fmt.Sprintf("countmin: width and depth must be ≥ 1, got %d×%d", width, depth))
+	}
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &Sketch{width: width, depth: depth, seed: seed, rows: rows}
+}
+
+// NewWithError returns a sketch dimensioned for additive error ≤ eps·N with
+// failure probability ≤ delta: w = ⌈e/eps⌉, d = ⌈ln(1/delta)⌉.
+func NewWithError(eps, delta float64, seed uint64) *Sketch {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("countmin: eps and delta must be in (0,1)")
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	return New(w, d, seed)
+}
+
+// Width returns the number of counters per row.
+func (s *Sketch) Width() int { return s.width }
+
+// Depth returns the number of rows.
+func (s *Sketch) Depth() int { return s.depth }
+
+// Seed returns the hash seed.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+// N returns the total weight processed.
+func (s *Sketch) N() uint64 { return s.n }
+
+// index returns the column of key in row r. Row seeds are derived from the
+// base seed so the d hash functions are independent.
+func (s *Sketch) index(key uint64, r int) int {
+	h := murmur.HashUint64(key, s.seed+uint64(r)*0x9e3779b97f4a7c15+1)
+	return int(h % uint64(s.width))
+}
+
+// Update adds weight 1 to key.
+func (s *Sketch) Update(key uint64) { s.Add(key, 1) }
+
+// Add adds the given weight to key.
+func (s *Sketch) Add(key uint64, weight uint64) {
+	s.n += weight
+	for r := 0; r < s.depth; r++ {
+		s.rows[r][s.index(key, r)] += weight
+	}
+}
+
+// Estimate returns the estimated weight of key: the minimum counter over
+// the rows. It never underestimates the true weight.
+func (s *Sketch) Estimate(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for r := 0; r < s.depth; r++ {
+		if c := s.rows[r][s.index(key, r)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// ErrorBound returns the additive error guarantee ε·N = (e/width)·N that
+// holds with probability ≥ 1 − e^(−depth).
+func (s *Sketch) ErrorBound() float64 {
+	return math.E / float64(s.width) * float64(s.n)
+}
+
+// Merge adds another sketch of identical dimensions and seed element-wise;
+// the result summarises the concatenated streams.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.width != s.width || other.depth != s.depth {
+		panic(fmt.Sprintf("countmin: dimension mismatch %dx%d vs %dx%d",
+			other.width, other.depth, s.width, s.depth))
+	}
+	if other.seed != s.seed {
+		panic("countmin: cannot merge sketches with different seeds")
+	}
+	s.n += other.n
+	for r := range s.rows {
+		for c := range s.rows[r] {
+			s.rows[r][c] += other.rows[r][c]
+		}
+	}
+}
+
+// Reset restores the empty state.
+func (s *Sketch) Reset() {
+	s.n = 0
+	for r := range s.rows {
+		for c := range s.rows[r] {
+			s.rows[r][c] = 0
+		}
+	}
+}
+
+// Composable wraps Count-Min as the shared global sketch of the concurrent
+// framework. The propagator is the only writer; queries read the counters
+// with atomic loads, so a concurrent Estimate sees some prefix of the
+// merged updates (all but ≤ r of the completed ones, per Theorem 1) and
+// keeps the one-sided overestimation property relative to that prefix.
+//
+// There is no useful pre-filter for frequency counting — every update
+// changes counters — so the hint is the trivial constant, exactly the
+// degenerate case the paper's interface permits.
+type Composable struct {
+	width int
+	depth int
+	seed  uint64
+	rows  [][]uint64 // accessed with atomic ops
+	n     atomic.Uint64
+}
+
+// NewComposable returns a composable Count-Min sketch.
+func NewComposable(width, depth int, seed uint64) *Composable {
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &Composable{width: width, depth: depth, seed: seed, rows: rows}
+}
+
+func (c *Composable) index(key uint64, r int) int {
+	h := murmur.HashUint64(key, c.seed+uint64(r)*0x9e3779b97f4a7c15+1)
+	return int(h % uint64(c.width))
+}
+
+// MergeBuffer folds a batch of keys (weight 1 each) into the counters.
+// Propagator goroutine only.
+func (c *Composable) MergeBuffer(keys []uint64) {
+	for _, key := range keys {
+		for r := 0; r < c.depth; r++ {
+			atomic.AddUint64(&c.rows[r][c.index(key, r)], 1)
+		}
+	}
+	c.n.Add(uint64(len(keys)))
+}
+
+// DirectUpdate applies one key during the eager phase.
+func (c *Composable) DirectUpdate(key uint64) {
+	for r := 0; r < c.depth; r++ {
+		atomic.AddUint64(&c.rows[r][c.index(key, r)], 1)
+	}
+	c.n.Add(1)
+}
+
+// CalcHint returns the trivial hint.
+func (c *Composable) CalcHint() uint64 { return 1 }
+
+// ShouldAdd always accepts (frequency counting cannot pre-filter).
+func (c *Composable) ShouldAdd(hint uint64, key uint64) bool { return true }
+
+// Estimate returns the current frequency estimate of key (wait-free).
+func (c *Composable) Estimate(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for r := 0; r < c.depth; r++ {
+		if v := atomic.LoadUint64(&c.rows[r][c.index(key, r)]); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// N returns the total merged weight (wait-free).
+func (c *Composable) N() uint64 { return c.n.Load() }
+
+// Snapshot copies the counters into a sequential Sketch for offline
+// analysis. Only consistent after the framework is closed.
+func (c *Composable) Snapshot() *Sketch {
+	s := New(c.width, c.depth, c.seed)
+	s.n = c.n.Load()
+	for r := range c.rows {
+		for col := range c.rows[r] {
+			s.rows[r][col] = atomic.LoadUint64(&c.rows[r][col])
+		}
+	}
+	return s
+}

@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fastsketches/internal/core"
+)
+
+func TestSweepMonotoneAndBounds(t *testing.T) {
+	xs := Sweep(0, 10, 4)
+	if xs[0] != 1 || xs[len(xs)-1] != 1024 {
+		t.Fatalf("sweep endpoints wrong: %v … %v", xs[0], xs[len(xs)-1])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("sweep not strictly increasing at %d: %v", i, xs[i-1:i+1])
+		}
+	}
+}
+
+func TestSweepNoDuplicatesAtLowEnd(t *testing.T) {
+	// With high PPO, 2^0·2^(i/ppo) rounds to 1 repeatedly; duplicates must
+	// be suppressed.
+	xs := Sweep(0, 3, 8)
+	seen := map[int]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate sweep point %d", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestTrialsForSize(t *testing.T) {
+	if got := TrialsForSize(1, 0, 20, 1024, 4); got != 1024 {
+		t.Errorf("low end trials = %d, want 1024", got)
+	}
+	if got := TrialsForSize(1<<20, 0, 20, 1024, 4); got != 4 {
+		t.Errorf("high end trials = %d, want 4", got)
+	}
+	mid := TrialsForSize(1<<10, 0, 20, 1024, 4)
+	if mid <= 4 || mid >= 1024 {
+		t.Errorf("mid trials = %d, want strictly between", mid)
+	}
+	if got := TrialsForSize(100, 0, 20, 4, 4); got != 4 {
+		t.Errorf("degenerate trials = %d, want 4", got)
+	}
+}
+
+func TestSpeedProfileRuns(t *testing.T) {
+	pts := SpeedProfile(SpeedConfig{
+		LgMinU: 4, LgMaxU: 12, PPO: 1, MaxTrials: 4, MinTrials: 2,
+		Writers: 1, LgK: 10, MaxError: 1.0,
+	})
+	if len(pts) != 9 {
+		t.Fatalf("expected 9 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.NsPerUpdate <= 0 || math.IsInf(p.MopsPerSec, 0) {
+			t.Fatalf("nonsensical point %+v", p)
+		}
+	}
+}
+
+func TestSpeedProfileLockBased(t *testing.T) {
+	pts := SpeedProfile(SpeedConfig{
+		LgMinU: 8, LgMaxU: 12, PPO: 1, MaxTrials: 3, MinTrials: 2,
+		Writers: 2, LgK: 10, MaxError: 1.0, LockBased: true,
+	})
+	if len(pts) != 5 {
+		t.Fatalf("expected 5 points, got %d", len(pts))
+	}
+}
+
+func TestSpeedProfileMultiWriterConcurrent(t *testing.T) {
+	pts := SpeedProfile(SpeedConfig{
+		LgMinU: 14, LgMaxU: 16, PPO: 1, MaxTrials: 2, MinTrials: 2,
+		Writers: 4, LgK: 10, MaxError: 1.0,
+	})
+	for _, p := range pts {
+		if p.NsPerUpdate <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestAccuracyProfileShape(t *testing.T) {
+	pts := AccuracyProfile(AccuracyConfig{
+		LgMinU: 4, LgMaxU: 14, PPO: 1, Trials: 48, LgK: 10, MaxError: 1.0,
+		BufferSize: 16,
+	})
+	// Invariants of the pitchfork: quantile lines ordered.
+	for _, p := range pts {
+		if !(p.Q01 <= p.Q25 && p.Q25 <= p.Q50 && p.Q50 <= p.Q75 && p.Q75 <= p.Q99) {
+			t.Fatalf("quantile lines out of order at x=%d: %+v", p.Uniques, p)
+		}
+	}
+	// Without eager propagation, small streams underestimate (Figure 5a's
+	// distortion): the mean RE at the smallest sizes must be negative.
+	if pts[0].MeanRE >= 0 {
+		t.Errorf("no-eager small-stream mean RE = %v, expected negative (propagation lag)", pts[0].MeanRE)
+	}
+	// Large streams: mean error within a few RSE of zero.
+	last := pts[len(pts)-1]
+	if math.Abs(last.MeanRE) > 0.1 {
+		t.Errorf("large-stream mean RE = %v, expected near zero", last.MeanRE)
+	}
+}
+
+func TestAccuracyProfileEagerIsExactSmall(t *testing.T) {
+	// With eager propagation, streams below the eager limit are processed
+	// sequentially → zero error (Figure 5b flat at small x).
+	pts := AccuracyProfile(AccuracyConfig{
+		LgMinU: 4, LgMaxU: 9, PPO: 1, Trials: 24, LgK: 12, MaxError: 0.04,
+	})
+	for _, p := range pts {
+		if p.Uniques <= 1250 && (p.MeanRE != 0 || p.Q99 != 0) {
+			t.Fatalf("eager phase not exact at x=%d: %+v", p.Uniques, p)
+		}
+	}
+}
+
+func TestAccuracyCapApplied(t *testing.T) {
+	pts := AccuracyProfile(AccuracyConfig{
+		LgMinU: 3, LgMaxU: 6, PPO: 1, Trials: 16, LgK: 12, MaxError: 1.0,
+		BufferSize: 16, CapRE: 0.1,
+	})
+	for _, p := range pts {
+		if p.Q01 < -0.1-1e-12 || p.Q99 > 0.1+1e-12 {
+			t.Fatalf("cap not applied: %+v", p)
+		}
+	}
+}
+
+func TestMixedProfileRuns(t *testing.T) {
+	res := MixedProfile(MixedConfig{
+		Writers: 2, Readers: 3, ReaderPause: 200 * time.Microsecond,
+		Uniques: 1 << 16, Trials: 2, LgK: 10, MaxError: 0.04,
+	})
+	if res.NsPerUpdate <= 0 {
+		t.Fatalf("bad mixed result %+v", res)
+	}
+	if res.QueriesRun == 0 {
+		t.Error("background readers never ran")
+	}
+	lock := MixedProfile(MixedConfig{
+		Writers: 2, Readers: 3, ReaderPause: 200 * time.Microsecond,
+		Uniques: 1 << 16, Trials: 2, LgK: 10, LockBased: true, MaxError: 0.04,
+	})
+	if lock.NsPerUpdate <= 0 {
+		t.Fatalf("bad lock-based mixed result %+v", lock)
+	}
+}
+
+func TestScalabilityProfileRuns(t *testing.T) {
+	pts := ScalabilityProfile(ScalabilityConfig{
+		MaxThreads: 2, Uniques: 1 << 17, Trials: 2, LgK: 12, BufferSize: 1,
+	})
+	if len(pts) != 2 || pts[0].Threads != 1 || pts[1].Threads != 2 {
+		t.Fatalf("unexpected thread sweep %+v", pts)
+	}
+}
+
+func TestEagerSpeedupProfileRuns(t *testing.T) {
+	pts := EagerSpeedupProfile(6, 12, 1, 4, 2)
+	if len(pts) != 7 {
+		t.Fatalf("expected 7 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Speedup <= 0 || math.IsNaN(p.Speedup) {
+			t.Fatalf("bad speedup point %+v", p)
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	rows := Table2(Table2Config{
+		LgKs:   []int{6, 8},
+		LgMinU: 4, LgMaxU: 14, PPO: 1,
+		SpeedTrials: 4, AccTrials: 32,
+	})
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxQ99RE < r.MaxMedianRE {
+			t.Errorf("k=%d: q99 error %v below median error %v", r.K, r.MaxQ99RE, r.MaxMedianRE)
+		}
+	}
+	// Larger k buys accuracy: the k=256 row must have at least the error of
+	// the k=64 row reversed — i.e. error decreases with k.
+	if rows[1].MaxQ99RE > rows[0].MaxQ99RE {
+		t.Errorf("error did not shrink with k: k=%d→%v, k=%d→%v",
+			rows[0].K, rows[0].MaxQ99RE, rows[1].K, rows[1].MaxQ99RE)
+	}
+}
+
+func TestQuantilesErrorProfile(t *testing.T) {
+	pts := QuantilesErrorProfile(128, 8, []int{1 << 13, 1 << 15}, 2)
+	if len(pts) != 2 {
+		t.Fatalf("expected 2 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		// The Section 6.2 bound must hold for every observed query.
+		if p.MaxDevOverBound > 1.0 {
+			t.Errorf("n=%d: observed deviation exceeded ε_r bound by ×%.3f", p.N, p.MaxDevOverBound)
+		}
+		// ε_r ≥ ε always, and the gap shrinks with n.
+		if p.RelaxedBound < p.SeqEps {
+			t.Errorf("n=%d: ε_r %v below ε %v", p.N, p.RelaxedBound, p.SeqEps)
+		}
+	}
+	if pts[1].RelaxedBound-pts[1].SeqEps > pts[0].RelaxedBound-pts[0].SeqEps {
+		t.Error("relaxation penalty did not shrink as n grew")
+	}
+}
+
+func TestConcurrentBeatsLockUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison")
+	}
+	// The paper's headline (Figure 1): with multiple threads on a large
+	// stream, the concurrent sketch outperforms the lock-based one. Even on
+	// a single hardware core the lock-based version pays lock-acquisition
+	// on every update while the concurrent one amortises synchronisation
+	// over b updates and pre-filters most of them, so the direction of the
+	// comparison is preserved.
+	const x = 1 << 20
+	cc := SpeedConfig{Writers: 4, LgK: 12, MaxError: 1.0, BufferSize: 16}
+	cc.defaults()
+	lc := cc
+	lc.LockBased = true
+	conc := concurrentTrial(&cc, x, 0)
+	lock := lockedTrial(&lc, x, 0)
+	t.Logf("concurrent: %v, lock-based: %v (x=%d, 4 writers)", conc, lock, x)
+	if conc > lock {
+		t.Errorf("concurrent (%v) slower than lock-based (%v) under contention", conc, lock)
+	}
+}
+
+func TestModePassedThrough(t *testing.T) {
+	// ParSketch mode must also work end to end through the harness.
+	pts := SpeedProfile(SpeedConfig{
+		LgMinU: 10, LgMaxU: 12, PPO: 1, MaxTrials: 2, MinTrials: 2,
+		Writers: 2, LgK: 10, MaxError: 1.0, Mode: core.ModeUnoptimised,
+	})
+	if len(pts) != 3 {
+		t.Fatalf("expected 3 points, got %d", len(pts))
+	}
+}

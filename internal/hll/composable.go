@@ -1,0 +1,89 @@
+package hll
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Composable wraps an HLL sketch as the shared global sketch of the
+// concurrent framework. Like the Θ composable, the query result is a single
+// number, so it is published in one atomic word and queries are wait-free.
+//
+// To keep publication O(1) instead of O(m) per merge, the composable tracks
+// the harmonic sum and zero-register count incrementally as registers grow.
+type Composable struct {
+	gadget  *Sketch
+	sumInv  float64 // Σ 2^-reg[i]
+	zeros   int
+	estBits atomic.Uint64
+}
+
+// NewComposable returns a composable HLL with 2^p registers.
+func NewComposable(p int, seed uint64) *Composable {
+	g := New(p, seed)
+	return &Composable{
+		gadget: g,
+		sumInv: float64(g.m), // all registers 0 → each contributes 2^0 = 1
+		zeros:  g.m,
+	}
+}
+
+// applyHash updates one register, maintaining the incremental sums.
+func (c *Composable) applyHash(h uint64) {
+	g := c.gadget
+	idx := h >> (64 - g.p)
+	rest := h<<g.p | 1<<(g.p-1)
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	old := g.regs[idx]
+	if rank <= old {
+		return
+	}
+	g.regs[idx] = rank
+	c.sumInv += math.Ldexp(1, -int(rank)) - math.Ldexp(1, -int(old))
+	if old == 0 {
+		c.zeros--
+	}
+}
+
+// MergeBuffer folds a batch of raw hashes and publishes the new estimate.
+// Propagator goroutine only.
+func (c *Composable) MergeBuffer(hashes []uint64) {
+	for _, h := range hashes {
+		c.applyHash(h)
+	}
+	c.publish()
+}
+
+// DirectUpdate applies one raw hash during the eager phase.
+func (c *Composable) DirectUpdate(h uint64) {
+	c.applyHash(h)
+	c.publish()
+}
+
+// publish computes the estimate from the incremental sums in O(1) and
+// stores it atomically.
+func (c *Composable) publish() {
+	m := float64(c.gadget.m)
+	raw := alpha(c.gadget.m) * m * m / c.sumInv
+	est := raw
+	if raw <= 2.5*m && c.zeros > 0 {
+		est = m * math.Log(m/float64(c.zeros))
+	}
+	c.estBits.Store(math.Float64bits(est))
+}
+
+// CalcHint returns 1 (no pre-filtering: a register max check would need
+// synchronised access to the register array, defeating the purpose).
+func (c *Composable) CalcHint() uint64 { return 1 }
+
+// ShouldAdd always accepts.
+func (c *Composable) ShouldAdd(hint uint64, h uint64) bool { return true }
+
+// Estimate returns the latest published estimate (wait-free).
+func (c *Composable) Estimate() float64 {
+	return math.Float64frombits(c.estBits.Load())
+}
+
+// Gadget exposes the underlying sketch; safe only after framework close.
+func (c *Composable) Gadget() *Sketch { return c.gadget }

@@ -1,0 +1,34 @@
+package hll
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	good := New(6, 9001)
+	for i := 0; i < 1000; i++ {
+		good.Update(uint64(i))
+	}
+	data, _ := good.MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if est := s.Estimate(); est < 0 {
+			t.Fatal("negative estimate from decoded sketch")
+		}
+		s.Update(42)
+		d2, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Unmarshal(d2)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if s2.Estimate() != s.Estimate() {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

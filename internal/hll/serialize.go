@@ -1,0 +1,70 @@
+package hll
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary serialization for HLL sketches. The register array is stored
+// densely (one byte per register), the format used for interchange when the
+// sketch is saturated; a sparse encoding is unnecessary at the sizes this
+// library targets.
+//
+// Layout (little-endian):
+//
+//	magic   uint32
+//	version uint8
+//	p       uint8
+//	_       uint16 (reserved)
+//	seed    uint64
+//	regs    2^p bytes
+const (
+	hMagic   uint32 = 0x484c4c53 // "HLLS"
+	hVersion byte   = 1
+)
+
+// ErrCorrupt is returned when deserialisation fails validation.
+var ErrCorrupt = errors.New("hll: corrupt serialized sketch")
+
+// MarshalBinary serialises the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 16+s.m)
+	binary.LittleEndian.PutUint32(buf[0:], hMagic)
+	buf[4] = hVersion
+	buf[5] = byte(s.p)
+	binary.LittleEndian.PutUint64(buf[8:], s.seed)
+	copy(buf[16:], s.regs)
+	return buf, nil
+}
+
+// Unmarshal reconstructs a sketch from its serialised form.
+func Unmarshal(data []byte) (*Sketch, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != hMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != hVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
+	}
+	p := int(data[5])
+	if p < 4 || p > 21 {
+		return nil, fmt.Errorf("%w: precision %d outside [4,21]", ErrCorrupt, p)
+	}
+	m := 1 << p
+	if len(data) != 16+m {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), 16+m)
+	}
+	s := New(p, binary.LittleEndian.Uint64(data[8:]))
+	maxRank := uint8(65 - p)
+	for i := 0; i < m; i++ {
+		r := data[16+i]
+		if r > maxRank {
+			return nil, fmt.Errorf("%w: register %d value %d exceeds max rank %d", ErrCorrupt, i, r, maxRank)
+		}
+		s.regs[i] = r
+	}
+	return s, nil
+}

@@ -1,0 +1,69 @@
+package hll
+
+import "testing"
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 100000} {
+		s := New(10, 9001)
+		for i := 0; i < n; i++ {
+			s.Update(uint64(i))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Estimate() != s.Estimate() {
+			t.Fatalf("n=%d: estimate %v != %v", n, got.Estimate(), s.Estimate())
+		}
+		if got.P() != s.P() || got.Seed() != s.Seed() {
+			t.Fatalf("n=%d: metadata mismatch", n)
+		}
+	}
+}
+
+func TestSerializedMergeable(t *testing.T) {
+	a := New(10, 9001)
+	b := New(10, 9001)
+	for i := 0; i < 30000; i++ {
+		a.Update(uint64(i))
+		b.Update(uint64(i + 15000))
+	}
+	data, _ := a.MarshalBinary()
+	ra, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Merge(b)
+	want := New(10, 9001)
+	for i := 0; i < 45000; i++ {
+		want.Update(uint64(i))
+	}
+	if ra.Estimate() != want.Estimate() {
+		t.Fatalf("merge after round trip: %v != %v", ra.Estimate(), want.Estimate())
+	}
+}
+
+func TestSerializeCorruption(t *testing.T) {
+	s := New(8, 9001)
+	for i := 0; i < 10000; i++ {
+		s.Update(uint64(i))
+	}
+	data, _ := s.MarshalBinary()
+	cases := map[string]func([]byte) []byte{
+		"truncated": func(d []byte) []byte { return d[:20] },
+		"magic":     func(d []byte) []byte { d[0] ^= 1; return d },
+		"version":   func(d []byte) []byte { d[4] = 9; return d },
+		"precision": func(d []byte) []byte { d[5] = 30; return d },
+		"register":  func(d []byte) []byte { d[16] = 255; return d },
+	}
+	for name, corrupt := range cases {
+		c := corrupt(append([]byte(nil), data...))
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}

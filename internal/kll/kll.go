@@ -1,0 +1,293 @@
+// Package kll implements the KLL streaming quantiles sketch (Karnin, Lang,
+// Liberty, FOCS 2016) — the modern successor of the classic mergeable
+// quantiles summary, and the second PAC quantiles substrate of this
+// repository.
+//
+// Section 6.2 of "Fast Concurrent Data Sketches" proves its relaxation
+// bound "for any implementation of the sequential Quantiles sketch,
+// provided that the sketch is PAC". Having two independent PAC
+// implementations (the classic summary in internal/quantiles and KLL here)
+// lets the test suite demonstrate exactly that algorithm-independence: the
+// same concurrent framework and the same ε_r arithmetic apply to both.
+//
+// The implementation uses the standard single-array-of-levels design:
+// level h holds items of weight 2^h; level capacities decay geometrically
+// (cap(h) = ⌈k·c^(depth−1−h)⌉ with c = 2/3, floored at 8); when the sketch
+// is over capacity the lowest full level is compacted — sorted, then every
+// other item (random offset) promoted to the level above.
+package kll
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+const (
+	capacityDecay = 2.0 / 3.0
+	minLevelCap   = 8
+)
+
+// Sketch is a sequential KLL quantiles sketch over float64 values.
+// It is not safe for concurrent use.
+type Sketch struct {
+	k    int
+	n    uint64
+	min  float64
+	max  float64
+	lvls [][]float64 // lvls[h]: weight 2^h; level 0 unsorted, others sorted
+	rng  *rand.Rand
+}
+
+// New returns an empty KLL sketch with accuracy parameter k (≥ 8). The
+// normalized rank error is ≈ 1.7/k at one standard deviation. rngSeed
+// seeds the compaction coin flips (the de-randomisation oracle).
+func New(k int, rngSeed int64) *Sketch {
+	if k < minLevelCap {
+		panic(fmt.Sprintf("kll: k must be ≥ %d, got %d", minLevelCap, k))
+	}
+	return &Sketch{
+		k:    k,
+		min:  math.Inf(1),
+		max:  math.Inf(-1),
+		lvls: [][]float64{make([]float64, 0, k)},
+		rng:  rand.New(rand.NewSource(rngSeed)),
+	}
+}
+
+// K returns the accuracy parameter.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of items summarised.
+func (s *Sketch) N() uint64 { return s.n }
+
+// IsEmpty reports whether no items have been processed.
+func (s *Sketch) IsEmpty() bool { return s.n == 0 }
+
+// Min returns the exact minimum (+Inf when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the exact maximum (−Inf when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// levelCap returns the capacity of level h given the current depth.
+func (s *Sketch) levelCap(h int) int {
+	depth := len(s.lvls)
+	c := float64(s.k) * math.Pow(capacityDecay, float64(depth-1-h))
+	if c < minLevelCap {
+		return minLevelCap
+	}
+	return int(math.Ceil(c))
+}
+
+// totalCap returns the summed level capacities.
+func (s *Sketch) totalCap() int {
+	t := 0
+	for h := range s.lvls {
+		t += s.levelCap(h)
+	}
+	return t
+}
+
+// retained returns the number of stored items.
+func (s *Sketch) retained() int {
+	t := 0
+	for _, lv := range s.lvls {
+		t += len(lv)
+	}
+	return t
+}
+
+// Retained returns the number of stored items.
+func (s *Sketch) Retained() int { return s.retained() }
+
+// Update processes one stream value.
+func (s *Sketch) Update(v float64) {
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.lvls[0] = append(s.lvls[0], v)
+	if s.retained() > s.totalCap() {
+		s.compress()
+	}
+}
+
+// compress compacts the lowest level that is over its capacity.
+func (s *Sketch) compress() {
+	for h := 0; h < len(s.lvls); h++ {
+		if len(s.lvls[h]) <= s.levelCap(h) {
+			continue
+		}
+		s.compactLevel(h)
+		return
+	}
+	// All levels within capacity individually but total over budget:
+	// compact the lowest non-empty level.
+	for h := 0; h < len(s.lvls); h++ {
+		if len(s.lvls[h]) >= 2 {
+			s.compactLevel(h)
+			return
+		}
+	}
+}
+
+// compactLevel sorts level h and promotes a random half to level h+1.
+func (s *Sketch) compactLevel(h int) {
+	lv := s.lvls[h]
+	if len(lv) < 2 {
+		return
+	}
+	sort.Float64s(lv)
+	// Keep an odd leftover item (if any) at level h.
+	odd := len(lv) % 2
+	var leftover []float64
+	if odd == 1 {
+		leftover = []float64{lv[len(lv)-1]}
+		lv = lv[:len(lv)-1]
+	}
+	offset := 0
+	if s.rng.Int63()&1 == 1 {
+		offset = 1
+	}
+	promoted := make([]float64, 0, len(lv)/2)
+	for i := offset; i < len(lv); i += 2 {
+		promoted = append(promoted, lv[i])
+	}
+	s.lvls[h] = append(s.lvls[h][:0], leftover...)
+	if h+1 == len(s.lvls) {
+		s.lvls = append(s.lvls, nil)
+	}
+	s.lvls[h+1] = mergeSorted(s.lvls[h+1], promoted)
+}
+
+// mergeSorted merges two sorted slices (level 0 is handled by callers that
+// sort first).
+func mergeSorted(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Merge folds other into s; afterwards s summarises both streams.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.n == 0 {
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	for len(s.lvls) < len(other.lvls) {
+		s.lvls = append(s.lvls, nil)
+	}
+	for h, lv := range other.lvls {
+		if len(lv) == 0 {
+			continue
+		}
+		if h == 0 {
+			s.lvls[0] = append(s.lvls[0], lv...)
+			continue
+		}
+		cp := append([]float64(nil), lv...)
+		s.lvls[h] = mergeSorted(s.lvls[h], cp)
+	}
+	for s.retained() > s.totalCap() {
+		s.compress()
+	}
+}
+
+// Reset restores the empty state (the RNG keeps its sequence).
+func (s *Sketch) Reset() {
+	s.n = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+	s.lvls = s.lvls[:1]
+	s.lvls[0] = s.lvls[0][:0]
+}
+
+// weighted is a (value, weight) pair for query evaluation.
+type weighted struct {
+	value  float64
+	weight uint64
+}
+
+// gather returns all retained items with weights, sorted by value.
+func (s *Sketch) gather() []weighted {
+	items := make([]weighted, 0, s.retained())
+	for h, lv := range s.lvls {
+		w := uint64(1) << uint(h)
+		for _, v := range lv {
+			items = append(items, weighted{v, w})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].value < items[j].value })
+	return items
+}
+
+// Quantile returns an element whose normalized rank is approximately phi.
+func (s *Sketch) Quantile(phi float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if phi <= 0 {
+		return s.min
+	}
+	if phi >= 1 {
+		return s.max
+	}
+	target := phi * float64(s.n)
+	var cum float64
+	for _, it := range s.gather() {
+		cum += float64(it.weight)
+		if cum >= target {
+			return it.value
+		}
+	}
+	return s.max
+}
+
+// Rank returns the estimated normalized rank of v.
+func (s *Sketch) Rank(v float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	var below uint64
+	for h, lv := range s.lvls {
+		w := uint64(1) << uint(h)
+		if h == 0 {
+			for _, x := range lv {
+				if x < v {
+					below += w
+				}
+			}
+			continue
+		}
+		below += uint64(sort.SearchFloat64s(lv, v)) * w
+	}
+	return float64(below) / float64(s.n)
+}
+
+// EpsilonBound returns the (empirical-constant) normalized rank error bound
+// for parameter k at roughly two standard deviations: ≈ 2.9/k, the constant
+// quoted for KLL with the 2/3 decay schedule.
+func EpsilonBound(k int) float64 {
+	return 2.9 / float64(k)
+}

@@ -1,0 +1,266 @@
+package kll
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastsketches/internal/core"
+	"fastsketches/internal/quantiles"
+)
+
+func feedSequential(s *Sketch, n int) {
+	for i := 0; i < n; i++ {
+		s.Update(float64(i))
+	}
+}
+
+func trueRank(v float64, n int) float64 {
+	below := math.Ceil(v)
+	if below < 0 {
+		below = 0
+	}
+	if below > float64(n) {
+		below = float64(n)
+	}
+	return below / float64(n)
+}
+
+func TestEmpty(t *testing.T) {
+	s := New(128, 1)
+	if !s.IsEmpty() || !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Rank(0)) {
+		t.Fatal("empty sketch misbehaves")
+	}
+}
+
+func TestSmallExact(t *testing.T) {
+	s := New(128, 1)
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		s.Update(v)
+	}
+	if s.Min() != 1 || s.Max() != 9 || s.Quantile(0.5) != 5 {
+		t.Fatalf("small-stream queries wrong: min=%v max=%v med=%v", s.Min(), s.Max(), s.Quantile(0.5))
+	}
+}
+
+func TestRankAccuracy(t *testing.T) {
+	const k, n = 200, 1 << 17
+	s := New(k, 7)
+	feedSequential(s, n)
+	eps := EpsilonBound(k)
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := s.Quantile(phi)
+		r := trueRank(v, n)
+		if math.Abs(r-phi) > 2*eps {
+			t.Errorf("phi=%.2f: rank error %.4f > 2ε=%.4f", phi, math.Abs(r-phi), 2*eps)
+		}
+	}
+}
+
+func TestRankAccuracyRandomOrder(t *testing.T) {
+	const k, n = 200, 1 << 16
+	s := New(k, 11)
+	for _, v := range rand.New(rand.NewSource(3)).Perm(n) {
+		s.Update(float64(v))
+	}
+	eps := EpsilonBound(k)
+	for _, phi := range []float64{0.05, 0.5, 0.95} {
+		r := trueRank(s.Quantile(phi), n)
+		if math.Abs(r-phi) > 2*eps {
+			t.Errorf("phi=%.2f: rank error %.4f", phi, math.Abs(r-phi))
+		}
+	}
+}
+
+func TestWeightInvariant(t *testing.T) {
+	s := New(64, 13)
+	check := func() {
+		var w uint64
+		for h, lv := range s.lvls {
+			w += uint64(len(lv)) << uint(h)
+		}
+		if w != s.n {
+			t.Fatalf("retained weight %d != n %d", w, s.n)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		s.Update(rand.New(rand.NewSource(int64(i))).Float64())
+		if i%9973 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+func TestSublinearSpace(t *testing.T) {
+	s := New(128, 17)
+	feedSequential(s, 1<<20)
+	if r := s.Retained(); r > 4096 {
+		t.Errorf("retained %d items for 1M stream; expected sketch-sized state", r)
+	}
+}
+
+func TestUpperLevelsSorted(t *testing.T) {
+	s := New(64, 19)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50000; i++ {
+		s.Update(rng.NormFloat64())
+	}
+	for h := 1; h < len(s.lvls); h++ {
+		if !sort.Float64sAreSorted(s.lvls[h]) {
+			t.Fatalf("level %d not sorted", h)
+		}
+	}
+}
+
+func TestMergeMatchesConcatenation(t *testing.T) {
+	const k, n = 200, 1 << 16
+	a, b := New(k, 29), New(k, 31)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a.Update(float64(i))
+		} else {
+			b.Update(float64(i))
+		}
+	}
+	a.Merge(b)
+	if a.N() != n {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if a.Min() != 0 || a.Max() != float64(n-1) {
+		t.Fatalf("merged min/max %v/%v", a.Min(), a.Max())
+	}
+	eps := EpsilonBound(k)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		r := trueRank(a.Quantile(phi), n)
+		if math.Abs(r-phi) > 3*eps {
+			t.Errorf("phi=%.2f: merged rank error %.4f", phi, math.Abs(r-phi))
+		}
+	}
+}
+
+func TestMergeEmptyNoOp(t *testing.T) {
+	a := New(64, 1)
+	feedSequential(a, 1000)
+	before := a.Quantile(0.5)
+	a.Merge(New(64, 2))
+	if a.N() != 1000 || a.Quantile(0.5) != before {
+		t.Fatal("merging empty sketch changed state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(64, 1)
+	feedSequential(s, 50000)
+	s.Reset()
+	if !s.IsEmpty() || s.Retained() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	s.Update(3)
+	if s.Quantile(0.5) != 3 {
+		t.Fatal("post-reset update broken")
+	}
+}
+
+func TestPropertyQuantileWithinMinMax(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(37))}
+	f := func(seed int64, size uint16, phi float64) bool {
+		phi = math.Abs(phi)
+		phi -= math.Floor(phi)
+		n := int(size)%5000 + 1
+		s := New(32, seed)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			s.Update(rng.NormFloat64())
+		}
+		q := s.Quantile(phi)
+		return q >= s.Min() && q <= s.Max()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRankMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(41))}
+	f := func(seed int64) bool {
+		s := New(32, seed)
+		rng := rand.New(rand.NewSource(seed ^ 9))
+		for i := 0; i < 20000; i++ {
+			s.Update(rng.Float64() * 100)
+		}
+		prev := -1.0
+		for v := 0.0; v <= 100; v += 5 {
+			r := s.Rank(v)
+			if r < prev {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// composableKLL adapts KLL to the concurrent framework's Global interface,
+// proving the Section 6.2 algorithm-independence: the framework needs
+// nothing sketch-specific beyond the four methods.
+type composableKLL struct {
+	gadget *Sketch
+}
+
+func (c *composableKLL) MergeBuffer(vals []float64) {
+	for _, v := range vals {
+		c.gadget.Update(v)
+	}
+}
+func (c *composableKLL) DirectUpdate(v float64)                { c.gadget.Update(v) }
+func (c *composableKLL) CalcHint() uint64                      { return 1 }
+func (c *composableKLL) ShouldAdd(hint uint64, v float64) bool { return true }
+
+func TestConcurrentKLLUnderFramework(t *testing.T) {
+	// Single writer through the framework; queries after Close. The rank
+	// error must satisfy the same relaxed PAC arithmetic as the classic
+	// quantiles sketch — the Section 6.2 claim is sketch-agnostic.
+	const k, b, n = 200, 16, 1 << 16
+	comp := &composableKLL{gadget: New(k, 43)}
+	fw := core.New[float64](comp, core.Config{Workers: 1, BufferSize: b, MaxError: 1})
+	fw.Start()
+	for i := 0; i < n; i++ {
+		fw.Update(0, float64(i))
+	}
+	fw.Close()
+	if comp.gadget.N() != n {
+		t.Fatalf("N = %d, want %d", comp.gadget.N(), n)
+	}
+	eps := EpsilonBound(k)
+	r := fw.Relaxation()
+	epsR := quantiles.RelaxedEpsilon(eps, r, n) // same ε_r formula, any PAC sketch
+	for _, phi := range []float64{0.25, 0.5, 0.75} {
+		rank := trueRank(comp.gadget.Quantile(phi), n)
+		if math.Abs(rank-phi) > 2*epsR {
+			t.Errorf("phi=%.2f: rank error %.4f > 2ε_r=%.4f", phi, math.Abs(rank-phi), 2*epsR)
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := New(200, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i))
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	s := New(200, 1)
+	feedSequential(s, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(0.5)
+	}
+}

@@ -1,0 +1,126 @@
+// Package locked provides the paper's baseline: sequential sketches wrapped
+// with a read/write lock. This is what applications do today to use
+// non-thread-safe sketch libraries safely ("Applications using these
+// libraries are therefore required to explicitly protect all sketch API
+// calls by locks"), and it is the comparison line in Figures 1, 6 and 7 and
+// Table 2.
+package locked
+
+import (
+	"sync"
+
+	"fastsketches/internal/hll"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/theta"
+)
+
+// Theta is a Θ sketch guarded by a sync.RWMutex: updates take the write
+// lock, queries the read lock.
+type Theta struct {
+	mu     sync.RWMutex
+	gadget *theta.QuickSelect
+}
+
+// NewTheta returns a lock-protected Θ sketch with 2^lgK nominal entries.
+func NewTheta(lgK int, seed uint64) *Theta {
+	return &Theta{gadget: theta.NewQuickSelect(lgK, seed)}
+}
+
+// Update processes one element under the write lock.
+func (t *Theta) Update(key uint64) {
+	t.mu.Lock()
+	t.gadget.Update(key)
+	t.mu.Unlock()
+}
+
+// UpdateHash processes an already-hashed element under the write lock.
+func (t *Theta) UpdateHash(h uint64) {
+	t.mu.Lock()
+	t.gadget.UpdateHash(h)
+	t.mu.Unlock()
+}
+
+// Estimate returns the distinct-count estimate under the read lock.
+func (t *Theta) Estimate() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gadget.Estimate()
+}
+
+// Merge folds another sketch in under the write lock.
+func (t *Theta) Merge(other theta.Sketch) {
+	t.mu.Lock()
+	t.gadget.Merge(other)
+	t.mu.Unlock()
+}
+
+// Reset empties the sketch under the write lock.
+func (t *Theta) Reset() {
+	t.mu.Lock()
+	t.gadget.Reset()
+	t.mu.Unlock()
+}
+
+// Quantiles is a quantiles sketch guarded by a sync.RWMutex.
+type Quantiles struct {
+	mu     sync.RWMutex
+	gadget *quantiles.Sketch
+}
+
+// NewQuantiles returns a lock-protected quantiles sketch.
+func NewQuantiles(k int, bits quantiles.BitSource) *Quantiles {
+	return &Quantiles{gadget: quantiles.New(k, bits)}
+}
+
+// Update processes one value under the write lock.
+func (q *Quantiles) Update(v float64) {
+	q.mu.Lock()
+	q.gadget.Update(v)
+	q.mu.Unlock()
+}
+
+// Quantile answers a quantile query under the read lock.
+func (q *Quantiles) Quantile(phi float64) float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.gadget.Quantile(phi)
+}
+
+// Rank answers a rank query under the read lock.
+func (q *Quantiles) Rank(v float64) float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.gadget.Rank(v)
+}
+
+// N returns the summarised item count under the read lock.
+func (q *Quantiles) N() uint64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.gadget.N()
+}
+
+// HLL is an HLL sketch guarded by a sync.RWMutex.
+type HLL struct {
+	mu     sync.RWMutex
+	gadget *hll.Sketch
+}
+
+// NewHLL returns a lock-protected HLL sketch with 2^p registers.
+func NewHLL(p int, seed uint64) *HLL {
+	return &HLL{gadget: hll.New(p, seed)}
+}
+
+// Update processes one element under the write lock.
+func (h *HLL) Update(key uint64) {
+	h.mu.Lock()
+	h.gadget.Update(key)
+	h.mu.Unlock()
+}
+
+// Estimate returns the distinct-count estimate under the read lock.
+func (h *HLL) Estimate() float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.gadget.Estimate()
+}

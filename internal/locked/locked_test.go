@@ -1,0 +1,132 @@
+package locked
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/theta"
+)
+
+func TestThetaConcurrentSafety(t *testing.T) {
+	// The whole point of the baseline: correct (if slow) under concurrency.
+	sk := NewTheta(12, 9001)
+	const writers, per = 4, 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if est := sk.Estimate(); est < 0 {
+				t.Error("negative estimate")
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < per; i++ {
+				sk.Update(base + uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	est := sk.Estimate()
+	truth := float64(writers * per)
+	if math.Abs(est/truth-1) > 4*theta.RSEBound(4096) {
+		t.Errorf("estimate %v, want ≈%v", est, truth)
+	}
+}
+
+func TestThetaUpdateHashAndMerge(t *testing.T) {
+	a := NewTheta(10, 9001)
+	other := theta.NewQuickSelect(10, 9001)
+	for i := 0; i < 5000; i++ {
+		a.UpdateHash(theta.HashKey(uint64(i), 9001))
+		other.Update(uint64(i + 2500))
+	}
+	a.Merge(other)
+	if est := a.Estimate(); math.Abs(est/7500-1) > 0.15 {
+		t.Errorf("merged estimate %v, want ≈7500", est)
+	}
+	a.Reset()
+	if a.Estimate() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestQuantilesConcurrentSafety(t *testing.T) {
+	q := NewQuantiles(64, quantiles.NewRandomBits(1))
+	const writers, per = 4, 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if q.N() > 0 {
+				_ = q.Quantile(0.5)
+				_ = q.Rank(100)
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Update(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if q.N() != writers*per {
+		t.Fatalf("N = %d, want %d", q.N(), writers*per)
+	}
+	med := q.Quantile(0.5)
+	if math.Abs(med/float64(writers*per)-0.5) > 0.05 {
+		t.Errorf("median %v", med)
+	}
+}
+
+func TestHLLConcurrentSafety(t *testing.T) {
+	h := NewHLL(12, 9001)
+	const writers, per = 4, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < per; i++ {
+				h.Update(base + uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	truth := float64(writers * per)
+	if est := h.Estimate(); math.Abs(est/truth-1) > 0.1 {
+		t.Errorf("estimate %v, want ≈%v", est, truth)
+	}
+}

@@ -1,0 +1,169 @@
+package quantiles
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Summary is an immutable queryable snapshot of a quantiles sketch: the
+// retained items gathered with cumulative weights, supporting O(log n)
+// quantile and rank queries. It is what concurrent queries receive — the
+// composable-sketch snapshot of the paper's Section 5.1.
+type Summary struct {
+	values []float64 // ascending
+	cum    []float64 // cumulative weights aligned with values
+	n      uint64
+	min    float64
+	max    float64
+}
+
+// N returns the number of stream items the snapshot summarises.
+func (s *Summary) N() uint64 { return s.n }
+
+// Min returns the exact minimum (NaN when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the exact maximum (NaN when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Quantile returns an element whose normalized rank is approximately phi.
+func (s *Summary) Quantile(phi float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if phi <= 0 {
+		return s.min
+	}
+	if phi >= 1 {
+		return s.max
+	}
+	target := phi * float64(s.n)
+	// Binary search the first cumulative weight ≥ target.
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.values[lo]
+}
+
+// Rank returns the estimated normalized rank of v.
+func (s *Summary) Rank(v float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	// Find the first value ≥ v; the cumulative weight before it is the
+	// weight below v.
+	lo, hi := 0, len(s.values)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.values[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return s.cum[lo-1] / float64(s.n)
+}
+
+// emptySummary is the snapshot published before any data arrives.
+var emptySummary = &Summary{}
+
+// Composable wraps a quantiles Sketch as the shared global sketch of the
+// concurrent framework. Unlike Θ — whose query result fits in one atomic
+// word — a quantiles snapshot is a structure, so the composable publishes an
+// immutable Summary pointer after every mutation; queries are a single
+// atomic pointer load. This is the "queryable copy" semantics of the
+// paper's snapshot API: immediately after the snapshot is taken, it answers
+// exactly like the sketch it copied.
+type Composable struct {
+	gadget *Sketch
+	snap   atomic.Pointer[Summary]
+}
+
+// NewComposable returns a composable quantiles sketch with parameter k.
+func NewComposable(k int, bits BitSource) *Composable {
+	c := &Composable{gadget: New(k, bits)}
+	c.snap.Store(emptySummary)
+	return c
+}
+
+// MergeBuffer folds a batch of raw values into the global sketch and
+// publishes a fresh snapshot. Propagator goroutine only.
+func (c *Composable) MergeBuffer(values []float64) {
+	for _, v := range values {
+		c.gadget.Update(v)
+	}
+	c.publish()
+}
+
+// DirectUpdate applies one value during the eager phase and republishes.
+func (c *Composable) DirectUpdate(v float64) {
+	c.gadget.Update(v)
+	c.publish()
+}
+
+// publish rebuilds the immutable summary from the gadget. The atomic
+// pointer store is the linearisation point of the merge.
+func (c *Composable) publish() {
+	items := c.gadget.gather()
+	sum := &Summary{
+		values: make([]float64, len(items)),
+		cum:    make([]float64, len(items)),
+		n:      c.gadget.n,
+		min:    c.gadget.min,
+		max:    c.gadget.max,
+	}
+	var cum float64
+	for i, it := range items {
+		cum += float64(it.weight)
+		sum.values[i] = it.value
+		sum.cum[i] = cum
+	}
+	c.snap.Store(sum)
+}
+
+// CalcHint returns 1: the quantiles sketch has no useful pre-filter (every
+// update can affect the summary), the trivial implementation the paper
+// explicitly allows.
+func (c *Composable) CalcHint() uint64 { return 1 }
+
+// ShouldAdd always accepts.
+func (c *Composable) ShouldAdd(hint uint64, v float64) bool { return true }
+
+// Snapshot returns the latest published summary (wait-free).
+func (c *Composable) Snapshot() *Summary { return c.snap.Load() }
+
+// Quantile is a convenience for Snapshot().Quantile(phi).
+func (c *Composable) Quantile(phi float64) float64 {
+	return c.snap.Load().Quantile(phi)
+}
+
+// Rank is a convenience for Snapshot().Rank(v).
+func (c *Composable) Rank(v float64) float64 {
+	return c.snap.Load().Rank(v)
+}
+
+// N returns the item count of the latest snapshot.
+func (c *Composable) N() uint64 { return c.snap.Load().n }
+
+// Gadget exposes the underlying sequential sketch. Only safe after the
+// framework has been closed.
+func (c *Composable) Gadget() *Sketch { return c.gadget }

@@ -1,0 +1,136 @@
+package quantiles
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	c := NewComposable(64, NewRandomBits(1))
+	s := c.Snapshot()
+	if s.N() != 0 {
+		t.Error("empty snapshot N should be 0")
+	}
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Rank(1)) {
+		t.Error("empty snapshot queries should be NaN")
+	}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty snapshot min/max should be NaN")
+	}
+}
+
+func TestSummaryMatchesGadget(t *testing.T) {
+	c := NewComposable(128, NewRandomBits(2))
+	var batch []float64
+	for i := 0; i < 50000; i++ {
+		batch = append(batch, float64(i))
+		if len(batch) == 100 {
+			c.MergeBuffer(batch)
+			batch = batch[:0]
+		}
+	}
+	// The snapshot API contract: immediately after publication, snapshot
+	// queries equal gadget queries for every argument.
+	s := c.Snapshot()
+	for _, phi := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+		if got, want := s.Quantile(phi), c.Gadget().Quantile(phi); got != want {
+			t.Errorf("phi=%v: snapshot %v != gadget %v", phi, got, want)
+		}
+	}
+	for _, v := range []float64{-1, 0, 100, 25000, 49999, 60000} {
+		if got, want := s.Rank(v), c.Gadget().Rank(v); got != want {
+			t.Errorf("rank(%v): snapshot %v != gadget %v", v, got, want)
+		}
+	}
+}
+
+func TestSummaryImmutableUnderLaterMerges(t *testing.T) {
+	c := NewComposable(32, NewRandomBits(3))
+	first := make([]float64, 1000)
+	for i := range first {
+		first[i] = float64(i)
+	}
+	c.MergeBuffer(first)
+	snap := c.Snapshot()
+	medBefore := snap.Quantile(0.5)
+	nBefore := snap.N()
+
+	second := make([]float64, 1000)
+	for i := range second {
+		second[i] = float64(i + 100000)
+	}
+	c.MergeBuffer(second)
+
+	if snap.Quantile(0.5) != medBefore || snap.N() != nBefore {
+		t.Error("published snapshot mutated by a later merge")
+	}
+	if c.Snapshot().N() != 2000 {
+		t.Error("new snapshot missing second batch")
+	}
+}
+
+func TestSummaryRankQuantileInverse(t *testing.T) {
+	c := NewComposable(128, NewRandomBits(4))
+	vals := make([]float64, 1<<15)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	c.MergeBuffer(vals)
+	s := c.Snapshot()
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		v := s.Quantile(phi)
+		r := s.Rank(v)
+		if math.Abs(r-phi) > EpsilonBound(128, s.N())+1.0/float64(s.N()) {
+			t.Errorf("phi=%v: rank(quantile)=%v", phi, r)
+		}
+	}
+}
+
+func TestComposableConcurrentSnapshotStress(t *testing.T) {
+	c := NewComposable(64, NewRandomBits(5))
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := c.Snapshot()
+				if s.N() == 0 {
+					continue
+				}
+				med := s.Quantile(0.5)
+				if med < s.Min() || med > s.Max() {
+					t.Error("snapshot internally inconsistent")
+					return
+				}
+			}
+		}()
+	}
+	var batch []float64
+	for i := 0; i < 100000; i++ {
+		batch = append(batch, float64(i%1000))
+		if len(batch) == 64 {
+			c.MergeBuffer(batch)
+			batch = batch[:0]
+		}
+	}
+	close(stop)
+	readers.Wait()
+}
+
+func TestComposableTrivialHint(t *testing.T) {
+	c := NewComposable(16, nil)
+	if c.CalcHint() != 1 {
+		t.Error("quantiles hint should be the trivial constant 1")
+	}
+	if !c.ShouldAdd(1, 42.0) {
+		t.Error("quantiles shouldAdd must always accept")
+	}
+}

@@ -1,0 +1,36 @@
+package quantiles
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	good := New(16, NewRandomBits(1))
+	for i := 0; i < 3000; i++ {
+		good.Update(float64(i))
+	}
+	data, _ := good.MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add(data[:20])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Unmarshal(b, nil)
+		if err != nil {
+			return
+		}
+		// Decoded sketches must be internally consistent and usable.
+		if s.N() > 0 {
+			q := s.Quantile(0.5)
+			if q < s.Min() || q > s.Max() {
+				t.Fatal("decoded sketch returns quantile outside [min,max]")
+			}
+		}
+		s.Update(1.5)
+		_ = s.Quantile(0.9)
+		d2, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Unmarshal(d2, nil); err != nil {
+			t.Fatalf("re-encode of decoded sketch failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package quantiles
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 255, 256, 10000, 1 << 17} {
+		s := New(128, NewRandomBits(int64(n)))
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			s.Update(rng.NormFloat64() * 100)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := Unmarshal(data, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.N() != s.N() || got.Min() != s.Min() && n > 0 || got.Max() != s.Max() && n > 0 {
+			t.Fatalf("n=%d: metadata mismatch", n)
+		}
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			a, b := s.Quantile(phi), got.Quantile(phi)
+			if n > 0 && a != b {
+				t.Fatalf("n=%d phi=%v: %v != %v", n, phi, a, b)
+			}
+		}
+		if got.Retained() != s.Retained() {
+			t.Fatalf("n=%d: retained %d != %d", n, got.Retained(), s.Retained())
+		}
+	}
+}
+
+func TestSerializedSketchStillUpdatable(t *testing.T) {
+	s := New(64, NewRandomBits(1))
+	for i := 0; i < 50000; i++ {
+		s.Update(float64(i))
+	}
+	data, _ := s.MarshalBinary()
+	got, err := Unmarshal(data, NewRandomBits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 50000; i < 100000; i++ {
+		got.Update(float64(i))
+	}
+	if got.N() != 100000 {
+		t.Fatalf("N = %d", got.N())
+	}
+	med := got.Quantile(0.5)
+	eps := EpsilonBound(64, 100000)
+	if med < (0.5-eps)*100000 || med > (0.5+eps)*100000 {
+		t.Fatalf("median %v out of ε bound after resume", med)
+	}
+}
+
+func TestSerializeMergeAcrossProcesses(t *testing.T) {
+	// The distributed workflow: two "mappers" summarise halves, serialise,
+	// a "reducer" merges the deserialised summaries.
+	a := New(64, NewRandomBits(3))
+	b := New(64, NewRandomBits(4))
+	for i := 0; i < 40000; i++ {
+		if i%2 == 0 {
+			a.Update(float64(i))
+		} else {
+			b.Update(float64(i))
+		}
+	}
+	da, _ := a.MarshalBinary()
+	db, _ := b.MarshalBinary()
+	ra, err := Unmarshal(da, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Unmarshal(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Merge(rb)
+	if ra.N() != 40000 {
+		t.Fatalf("merged N = %d", ra.N())
+	}
+	med := ra.Quantile(0.5)
+	eps := 2 * EpsilonBound(64, 40000)
+	if med < (0.5-eps)*40000 || med > (0.5+eps)*40000 {
+		t.Fatalf("merged median %v out of bound", med)
+	}
+}
+
+func TestSerializeCorruption(t *testing.T) {
+	s := New(32, NewRandomBits(5))
+	for i := 0; i < 10000; i++ {
+		s.Update(float64(i))
+	}
+	data, _ := s.MarshalBinary()
+	cases := map[string]func([]byte) []byte{
+		"truncated": func(d []byte) []byte { return d[:len(d)-5] },
+		"magic":     func(d []byte) []byte { d[1] ^= 0xff; return d },
+		"version":   func(d []byte) []byte { d[4] = 99; return d },
+		"k zero":    func(d []byte) []byte { d[6], d[7] = 0, 0; return d },
+		"n mangled": func(d []byte) []byte { d[8] ^= 0x55; return d },
+		"level unsorted": func(d []byte) []byte {
+			// Swap two values inside the first level payload (after the base
+			// buffer region) to break sortedness.
+			off := len(d) - 16
+			for i := 0; i < 8; i++ {
+				d[off+i], d[off+8+i] = d[off+8+i], d[off+i]
+			}
+			return d
+		},
+	}
+	for name, corrupt := range cases {
+		c := corrupt(append([]byte(nil), data...))
+		if _, err := Unmarshal(c, nil); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package reservoir
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Snap is the immutable published view of the concurrent reservoir.
+type Snap struct {
+	// MeanValue is the sample mean (unbiased estimate of the stream mean).
+	MeanValue float64
+	// Retained is the current sample size (k once the reservoir fills).
+	Retained int
+	// Threshold is the smallest retained key (the pre-filter boundary).
+	Threshold float64
+}
+
+// Composable wraps a reservoir Sketch as the shared global sketch of the
+// concurrent framework.
+//
+// Pre-filtering (the Section 5.1 example): writers draw each item's
+// sampling key locally; the hint carries the global reservoir's current key
+// threshold, and shouldAdd drops items whose key is already below it — they
+// could never enter the sample, exactly like Θ's h(a) < Θ test. Because the
+// threshold is monotonically non-decreasing, stale hints are conservative
+// and safe.
+//
+// Note on semantics: the concurrent reservoir estimates stream *mean*
+// statistics. The total stream length n is not tracked through the
+// concurrent path (pre-filtered items never reach the global sketch), so
+// sum-style estimates that need n are a sequential-sketch feature.
+type Composable struct {
+	gadget *Sketch
+	snap   atomic.Pointer[Snap]
+	// hintBits caches Float64bits(threshold) | min 1; see CalcHint.
+	hintBits atomic.Uint64
+}
+
+// NewComposable returns a composable reservoir keeping k samples.
+func NewComposable(k int, rngSeed int64) *Composable {
+	c := &Composable{gadget: New(k, rngSeed)}
+	c.snap.Store(&Snap{MeanValue: math.NaN()})
+	c.hintBits.Store(1)
+	return c
+}
+
+// MergeBuffer folds a batch of pre-keyed items into the global reservoir.
+// Propagator goroutine only.
+func (c *Composable) MergeBuffer(items []Item) {
+	for _, it := range items {
+		c.gadget.UpdateItem(it)
+	}
+	c.publish()
+}
+
+// DirectUpdate applies one item during the eager phase.
+func (c *Composable) DirectUpdate(it Item) {
+	c.gadget.UpdateItem(it)
+	c.publish()
+}
+
+func (c *Composable) publish() {
+	th := c.gadget.Threshold()
+	c.snap.Store(&Snap{
+		MeanValue: c.gadget.Mean(),
+		Retained:  len(c.gadget.heap),
+		Threshold: th,
+	})
+	bits := math.Float64bits(th)
+	if bits == 0 {
+		bits = 1 // reserved: 0 means "propagation pending" on prop_i
+	}
+	c.hintBits.Store(bits)
+}
+
+// CalcHint returns the key threshold encoded as float64 bits (≥ 1).
+func (c *Composable) CalcHint() uint64 { return c.hintBits.Load() }
+
+// ShouldAdd keeps items whose key can still win a reservoir slot. The
+// threshold only grows, so filtering against a stale hint never drops a
+// viable item.
+func (c *Composable) ShouldAdd(hint uint64, it Item) bool {
+	return it.Key > math.Float64frombits(hint)
+}
+
+// Snapshot returns the latest published view (wait-free).
+func (c *Composable) Snapshot() *Snap { return c.snap.Load() }
+
+// Mean returns the latest published sample mean.
+func (c *Composable) Mean() float64 { return c.snap.Load().MeanValue }
+
+// Gadget exposes the underlying sketch; safe only after framework close.
+func (c *Composable) Gadget() *Sketch { return c.gadget }

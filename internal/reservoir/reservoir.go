@@ -1,0 +1,169 @@
+// Package reservoir implements a mergeable uniform reservoir sample — the
+// second pre-filtering example named in Section 5.1 of "Fast Concurrent
+// Data Sketches" ("Another example is reservoir sampling [26]").
+//
+// Instead of Vitter's classic position-based algorithm, the sketch uses the
+// Efraimidis–Spirakis formulation: every stream item draws an independent
+// uniform key u ∈ (0,1), and the sample is the k items with the LARGEST
+// keys. This is distributionally identical to a uniform k-reservoir, but it
+// is order-agnostic and mergeable (union the candidates, keep the k largest
+// keys) — and it exposes exactly the hint structure the concurrent
+// framework wants: once the reservoir is full, its smallest retained key is
+// a threshold below which no new item can ever be sampled, so
+// shouldAdd(hint, item) = item.key > threshold prunes updates before they
+// touch any shared state, mirroring the Θ sketch's h(a) < Θ filter.
+package reservoir
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Item is a stream value tagged with its sampling key.
+type Item struct {
+	Value float64
+	Key   float64 // uniform (0,1); larger keys win reservoir slots
+}
+
+// Sketch is a sequential mergeable reservoir sample of float64 values.
+// It is not safe for concurrent use.
+type Sketch struct {
+	k    int
+	n    uint64 // stream length seen (for unbiased total estimates)
+	heap []Item // min-heap on Key: heap[0] is the eviction threshold
+	sum  float64
+	rng  *rand.Rand
+}
+
+// New returns an empty reservoir keeping k samples. rngSeed seeds the key
+// generator (the de-randomisation oracle of the paper: fixing it makes the
+// sketch deterministic).
+func New(k int, rngSeed int64) *Sketch {
+	if k < 1 {
+		panic(fmt.Sprintf("reservoir: k must be ≥ 1, got %d", k))
+	}
+	return &Sketch{
+		k:    k,
+		heap: make([]Item, 0, k),
+		rng:  rand.New(rand.NewSource(rngSeed)),
+	}
+}
+
+// K returns the reservoir capacity.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of stream items observed.
+func (s *Sketch) N() uint64 { return s.n }
+
+// Update samples one stream value.
+func (s *Sketch) Update(v float64) {
+	s.UpdateItem(Item{Value: v, Key: s.rng.Float64()})
+}
+
+// UpdateItem processes a value with a pre-drawn key (the form the
+// concurrent framework uses: writers draw keys locally, so the global merge
+// consumes deterministic items).
+func (s *Sketch) UpdateItem(it Item) {
+	s.n++
+	if len(s.heap) < s.k {
+		s.sum += it.Value
+		s.push(it)
+		return
+	}
+	if it.Key <= s.heap[0].Key {
+		return // below threshold: can never displace a retained sample
+	}
+	s.sum += it.Value - s.heap[0].Value
+	s.heap[0] = it
+	s.siftDown(0)
+}
+
+// Threshold returns the smallest retained key once the reservoir is full,
+// and 0 before that (accept everything).
+func (s *Sketch) Threshold() float64 {
+	if len(s.heap) < s.k {
+		return 0
+	}
+	return s.heap[0].Key
+}
+
+// Sample returns a copy of the current sample values.
+func (s *Sketch) Sample() []float64 {
+	out := make([]float64, len(s.heap))
+	for i, it := range s.heap {
+		out[i] = it.Value
+	}
+	return out
+}
+
+// Items returns a copy of the retained items with keys (for merging).
+func (s *Sketch) Items() []Item {
+	return append([]Item(nil), s.heap...)
+}
+
+// Mean returns the sample mean — an unbiased estimate of the stream mean.
+// Maintained incrementally, so it is O(1).
+func (s *Sketch) Mean() float64 {
+	if len(s.heap) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.heap))
+}
+
+// EstimateSum estimates the sum of all stream values: n · mean(sample).
+func (s *Sketch) EstimateSum() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.n) * s.Mean()
+}
+
+// Merge folds another reservoir into this one; the result is a uniform
+// sample of the concatenated streams (union of candidates, k largest keys).
+func (s *Sketch) Merge(other *Sketch) {
+	s.n += other.n
+	for _, it := range other.heap {
+		s.n-- // UpdateItem will re-count it
+		s.UpdateItem(it)
+	}
+}
+
+// Reset restores the empty state (the RNG keeps its sequence).
+func (s *Sketch) Reset() {
+	s.n = 0
+	s.sum = 0
+	s.heap = s.heap[:0]
+}
+
+func (s *Sketch) push(it Item) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].Key <= s.heap[i].Key {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.heap[l].Key < s.heap[smallest].Key {
+			smallest = l
+		}
+		if r < n && s.heap[r].Key < s.heap[smallest].Key {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,297 @@
+package reservoir
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFillPhaseKeepsEverything(t *testing.T) {
+	s := New(10, 1)
+	for i := 0; i < 10; i++ {
+		s.Update(float64(i))
+	}
+	sample := s.Sample()
+	if len(sample) != 10 {
+		t.Fatalf("sample size %d, want 10", len(sample))
+	}
+	sort.Float64s(sample)
+	for i, v := range sample {
+		if v != float64(i) {
+			t.Fatalf("fill phase lost item: %v", sample)
+		}
+	}
+	if s.Threshold() == 0 {
+		t.Error("threshold should be positive once full")
+	}
+}
+
+func TestThresholdMonotone(t *testing.T) {
+	s := New(16, 2)
+	prev := 0.0
+	for i := 0; i < 10000; i++ {
+		s.Update(float64(i))
+		th := s.Threshold()
+		if th < prev {
+			t.Fatalf("threshold decreased: %v → %v", prev, th)
+		}
+		prev = th
+	}
+}
+
+func TestSampleSizeCapped(t *testing.T) {
+	s := New(32, 3)
+	for i := 0; i < 100000; i++ {
+		s.Update(float64(i))
+	}
+	if len(s.Sample()) != 32 {
+		t.Fatalf("sample size %d, want 32", len(s.Sample()))
+	}
+	if s.N() != 100000 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Every stream position should be sampled with probability k/n. Feed
+	// 0..999, k=100, over many independent sketches; each item's inclusion
+	// frequency should be ≈ 0.1.
+	const k, n, trials = 100, 1000, 300
+	counts := make([]int, n)
+	for tr := 0; tr < trials; tr++ {
+		s := New(k, int64(tr)+10)
+		for i := 0; i < n; i++ {
+			s.Update(float64(i))
+		}
+		for _, v := range s.Sample() {
+			counts[int(v)]++
+		}
+	}
+	// Expected inclusion count per item: trials·k/n = 30, σ ≈ √(30·0.9) ≈ 5.2.
+	for i, c := range counts {
+		if math.Abs(float64(c)-30) > 6*5.2 {
+			t.Fatalf("item %d sampled %d times, want ≈30 (non-uniform)", i, c)
+		}
+	}
+	// First and second halves of the stream should be equally represented.
+	firstHalf := 0
+	for i := 0; i < n/2; i++ {
+		firstHalf += counts[i]
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	frac := float64(firstHalf) / float64(total)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("first-half fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestMeanUnbiased(t *testing.T) {
+	// Stream mean 499.5; average of sample means over trials should match.
+	const k, n, trials = 64, 1000, 400
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		s := New(k, int64(tr)+999)
+		for i := 0; i < n; i++ {
+			s.Update(float64(i))
+		}
+		sum += s.Mean()
+	}
+	avg := sum / trials
+	// σ of one sample mean ≈ 289/√64 ≈ 36; of the average ≈ 1.8.
+	if math.Abs(avg-499.5) > 9 {
+		t.Fatalf("average sample mean %v, want ≈499.5", avg)
+	}
+}
+
+func TestEstimateSum(t *testing.T) {
+	const n = 10000
+	s := New(256, 5)
+	for i := 0; i < n; i++ {
+		s.Update(2.0)
+	}
+	if got := s.EstimateSum(); got != 2*n {
+		t.Fatalf("constant-stream sum estimate %v, want %v", got, 2*n)
+	}
+}
+
+func TestMergeIsUniformOverConcatenation(t *testing.T) {
+	// Merge two reservoirs over disjoint halves; items from both halves
+	// should appear in proportion.
+	const k, n, trials = 100, 1000, 300
+	firstHalf := 0
+	total := 0
+	for tr := 0; tr < trials; tr++ {
+		a := New(k, int64(tr)*2+1)
+		b := New(k, int64(tr)*2+2)
+		for i := 0; i < n/2; i++ {
+			a.Update(float64(i))
+			b.Update(float64(i + n/2))
+		}
+		a.Merge(b)
+		if a.N() != n {
+			t.Fatalf("merged N = %d", a.N())
+		}
+		for _, v := range a.Sample() {
+			if v < n/2 {
+				firstHalf++
+			}
+			total++
+		}
+	}
+	frac := float64(firstHalf) / float64(total)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("merged first-half fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestMergeSumConsistency(t *testing.T) {
+	a := New(32, 7)
+	b := New(32, 8)
+	for i := 0; i < 5000; i++ {
+		a.Update(1.0)
+		b.Update(3.0)
+	}
+	a.Merge(b)
+	// All sampled values are 1 or 3; the mean must lie strictly between,
+	// near 2 (both halves equally likely).
+	m := a.Mean()
+	if m < 1 || m > 3 {
+		t.Fatalf("merged mean %v outside value range", m)
+	}
+}
+
+func TestPropertyMeanWithinValueRange(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64, size uint16) bool {
+		n := int(size)%2000 + 1
+		s := New(16, seed)
+		rng := rand.New(rand.NewSource(seed ^ 77))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 50
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			s.Update(v)
+		}
+		m := s.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIncrementalSumMatchesRecompute(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(12))}
+	f := func(seed int64) bool {
+		s := New(8, seed)
+		rng := rand.New(rand.NewSource(seed ^ 123))
+		for i := 0; i < 500; i++ {
+			s.Update(rng.Float64() * 100)
+		}
+		var sum float64
+		for _, v := range s.Sample() {
+			sum += v
+		}
+		return math.Abs(sum/float64(len(s.Sample()))-s.Mean()) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(8, 13)
+	for i := 0; i < 1000; i++ {
+		s.Update(float64(i))
+	}
+	s.Reset()
+	if s.N() != 0 || len(s.Sample()) != 0 || s.Threshold() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if !math.IsNaN(s.Mean()) {
+		t.Fatal("mean of empty reservoir should be NaN")
+	}
+}
+
+func TestComposableFilteringCorrect(t *testing.T) {
+	// Items filtered against a stale threshold must never change the
+	// resulting sample: simulate the writer-side filter and compare against
+	// an unfiltered reference fed the same items.
+	ref := New(32, 0)
+	filtered := New(32, 0)
+	comp := NewComposable(32, 0)
+	rng := rand.New(rand.NewSource(99))
+	var staleHint uint64 = 1
+	var batch []Item
+	for i := 0; i < 20000; i++ {
+		it := Item{Value: float64(i), Key: rng.Float64()}
+		ref.UpdateItem(it)
+		if comp.ShouldAdd(staleHint, it) {
+			batch = append(batch, it)
+		}
+		if len(batch) == 16 {
+			comp.MergeBuffer(batch)
+			batch = batch[:0]
+			staleHint = comp.CalcHint() // refresh like the framework does
+		}
+	}
+	comp.MergeBuffer(batch)
+	for _, it := range comp.Gadget().Items() {
+		filtered.UpdateItem(it)
+	}
+	// The retained key sets must be identical: filtering only removed items
+	// that could not have been retained.
+	a := ref.Items()
+	b := comp.Gadget().Items()
+	sort.Slice(a, func(i, j int) bool { return a[i].Key < a[j].Key })
+	sort.Slice(b, func(i, j int) bool { return b[i].Key < b[j].Key })
+	if len(a) != len(b) {
+		t.Fatalf("retained sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retained item %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestComposableSnapshotConsistent(t *testing.T) {
+	comp := NewComposable(64, 1)
+	rng := rand.New(rand.NewSource(3))
+	var batch []Item
+	for i := 0; i < 10000; i++ {
+		batch = append(batch, Item{Value: rng.Float64() * 10, Key: rng.Float64()})
+		if len(batch) == 32 {
+			comp.MergeBuffer(batch)
+			batch = batch[:0]
+			s := comp.Snapshot()
+			if s.Retained > 64 {
+				t.Fatal("snapshot retained exceeds k")
+			}
+			if s.Retained > 0 && (s.MeanValue < 0 || s.MeanValue > 10) {
+				t.Fatalf("snapshot mean %v outside value range", s.MeanValue)
+			}
+		}
+	}
+	if comp.CalcHint() == 0 {
+		t.Fatal("hint must never be zero")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := New(1024, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i))
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 50 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 30 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 20 {
+		t.Errorf("q25 = %v (linear interp on ranks)", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilesMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	qs := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	batch := Quantiles(xs, qs)
+	for i, q := range qs {
+		if single := Quantile(xs, q); single != batch[i] {
+			t.Errorf("q=%v: batch %v != single %v", q, batch[i], single)
+		}
+	}
+}
+
+func TestRSEUnbiasedEstimator(t *testing.T) {
+	// Estimates scattered symmetrically around truth: RSE ≈ relative stddev.
+	rng := rand.New(rand.NewSource(2))
+	truth := 1000.0
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = truth + 30*rng.NormFloat64()
+	}
+	if got := RSE(xs, truth); math.Abs(got-0.03) > 0.002 {
+		t.Errorf("RSE = %v, want ≈0.03", got)
+	}
+}
+
+func TestRSEIncludesBias(t *testing.T) {
+	// A pure-bias estimator (no variance): RSE = |bias|/truth.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 900
+	}
+	if got := RSE(xs, 1000); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RSE = %v, want 0.1", got)
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	res := RelativeErrors([]float64{900, 1000, 1100}, 1000)
+	want := []float64{-0.1, 0, 0.1}
+	for i := range want {
+		if math.Abs(res[i]-want[i]) > 1e-12 {
+			t.Errorf("re[%d] = %v, want %v", i, res[i], want[i])
+		}
+	}
+}
+
+func TestClosedForms(t *testing.T) {
+	// Table 1 numeric sanity: k=2^10, r=8, n=2^15.
+	n, k, r := float64(1<<15), 1<<10, 8
+	if got := WeakAdversaryExpectation(n, k, r); math.Abs(got/n-0.99225) > 0.0005 {
+		t.Errorf("weak expectation/n = %v, want ≈0.995 (paper: 0.995·2^15)", got/n)
+	}
+	if got := SeqRSEBound(k); math.Abs(got-0.03128) > 0.0005 {
+		t.Errorf("sequential RSE bound = %v, want ≈3.1%%", got)
+	}
+	wb := WeakAdversaryRSEBound(k, r)
+	if wb < SeqRSEBound(k) || wb > 2*SeqRSEBound(k) {
+		t.Errorf("weak RSE bound %v should lie in [seq, 2·seq] for r ≤ √(k−2)", wb)
+	}
+}
+
+func TestMeanOfMinK(t *testing.T) {
+	// Empirical check: E[M(k)] = k/(n+1).
+	rng := rand.New(rand.NewSource(3))
+	const n, k, trials = 1000, 10, 4000
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		// k-th smallest by partial sort.
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < n; j++ {
+				if xs[j] < xs[i] {
+					xs[i], xs[j] = xs[j], xs[i]
+				}
+			}
+		}
+		sum += xs[k-1]
+	}
+	emp := sum / trials
+	want := MeanOfMinK(k, n)
+	if math.Abs(emp-want) > 0.001 {
+		t.Errorf("empirical E[M(k)] = %v, closed form %v", emp, want)
+	}
+}
+
+func TestPropertyQuantileMonotoneInQ(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(4))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package stream provides the workload generators behind the paper's
+// evaluation (Section 7.1): streams of unique values for write-only
+// throughput and accuracy profiles, shuffled and skewed variants, and a
+// mixed read-write driver with background reader threads.
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Unique yields n distinct uint64 keys starting at base. This is the
+// paper's primary workload: "updating a sketch with a stream of unique
+// values". Consecutive integers are fine because the sketches hash them.
+func Unique(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
+
+// Shuffled yields n distinct keys in random order.
+func Shuffled(base uint64, n int, seed int64) []uint64 {
+	out := Unique(base, n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Zipf yields n keys drawn from a Zipf distribution over [0, domain) with
+// exponent s > 1 — a heavy-hitter stream with many duplicates, the regime
+// where pre-filtering pays off fastest.
+func Zipf(n int, domain uint64, s float64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, domain-1)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+// Partition splits n items into `parts` nearly-equal contiguous ranges and
+// returns the per-part sizes; part i handles [offsets[i], offsets[i]+sizes[i]).
+func Partition(n, parts int) (offsets, sizes []int) {
+	offsets = make([]int, parts)
+	sizes = make([]int, parts)
+	base := n / parts
+	rem := n % parts
+	off := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		offsets[i] = off
+		sizes[i] = sz
+		off += sz
+	}
+	return offsets, sizes
+}
+
+// Gaussian yields n float64 values from N(mu, sigma²) — the value stream
+// for quantiles workloads (e.g. latencies).
+func Gaussian(n int, mu, sigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// LogNormal yields n positive float64 values with log-normal shape — a
+// realistic latency distribution (long right tail).
+func LogNormal(n int, mu, sigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnique(t *testing.T) {
+	s := Unique(100, 50)
+	if len(s) != 50 || s[0] != 100 || s[49] != 149 {
+		t.Fatalf("bad unique stream: len=%d first=%d last=%d", len(s), s[0], s[49])
+	}
+	seen := map[uint64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	s := Shuffled(0, 1000, 7)
+	seen := make([]bool, 1000)
+	for _, v := range s {
+		if v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+	// Deterministic for a fixed seed.
+	s2 := Shuffled(0, 1000, 7)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("shuffle not deterministic for fixed seed")
+		}
+	}
+	// And actually shuffled (astronomically unlikely to be identity).
+	identity := true
+	for i, v := range s {
+		if v != uint64(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("shuffle produced the identity permutation")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := Zipf(100000, 10000, 1.5, 3)
+	counts := map[uint64]int{}
+	for _, v := range s {
+		if v >= 10000 {
+			t.Fatalf("value %d outside domain", v)
+		}
+		counts[v]++
+	}
+	// Heavy-hitter property: the most frequent value dominates.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(s)/20 {
+		t.Errorf("top key has only %d of %d draws; expected heavy skew", max, len(s))
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct keys; domain should still be explored", len(counts))
+	}
+}
+
+func TestPartition(t *testing.T) {
+	offs, sizes := Partition(10, 3)
+	if len(offs) != 3 {
+		t.Fatal("wrong part count")
+	}
+	total := 0
+	for i := range sizes {
+		if i > 0 && offs[i] != offs[i-1]+sizes[i-1] {
+			t.Fatal("offsets not contiguous")
+		}
+		total += sizes[i]
+	}
+	if total != 10 {
+		t.Fatalf("sizes sum to %d, want 10", total)
+	}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("uneven split wrong: %v", sizes)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(n uint16, parts uint8) bool {
+		p := int(parts)%8 + 1
+		offs, sizes := Partition(int(n), p)
+		total := 0
+		for i := range sizes {
+			if sizes[i] < 0 {
+				return false
+			}
+			if i > 0 && offs[i] != offs[i-1]+sizes[i-1] {
+				return false
+			}
+			total += sizes[i]
+		}
+		return total == int(n) && offs[0] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := Gaussian(200000, 10, 2, 5)
+	var sum, ss float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(s)))
+	if math.Abs(mean-10) > 0.05 || math.Abs(sd-2) > 0.05 {
+		t.Errorf("moments off: mean=%v sd=%v, want 10/2", mean, sd)
+	}
+}
+
+func TestLogNormalPositiveAndSkewed(t *testing.T) {
+	s := LogNormal(100000, 0, 1, 9)
+	var sum float64
+	for _, v := range s {
+		if v <= 0 {
+			t.Fatal("log-normal value not positive")
+		}
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	// ln N(0,1) has mean e^0.5 ≈ 1.649 and median 1: mean > median → skew.
+	if math.Abs(mean-math.Exp(0.5)) > 0.1 {
+		t.Errorf("mean %v, want ≈%v", mean, math.Exp(0.5))
+	}
+}

@@ -1,0 +1,146 @@
+package theta
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestComposableEmptyState(t *testing.T) {
+	c := NewComposable(10, testSeed)
+	if c.Estimate() != 0 {
+		t.Error("empty composable estimate should be 0")
+	}
+	if c.CalcHint() != MaxTheta {
+		t.Error("initial hint should be MaxTheta (accept everything)")
+	}
+	if c.Retained() != 0 {
+		t.Error("empty composable should retain nothing")
+	}
+}
+
+func TestComposableMergePublishes(t *testing.T) {
+	c := NewComposable(10, testSeed)
+	hashes := make([]uint64, 100)
+	for i := range hashes {
+		hashes[i] = HashKey(uint64(i), testSeed)
+	}
+	c.MergeBuffer(hashes)
+	if c.Estimate() != 100 {
+		t.Errorf("estimate %v, want 100", c.Estimate())
+	}
+	if c.Retained() != 100 {
+		t.Errorf("retained %d, want 100", c.Retained())
+	}
+}
+
+func TestComposableDirectUpdatePublishes(t *testing.T) {
+	c := NewComposable(10, testSeed)
+	for i := 0; i < 50; i++ {
+		c.DirectUpdate(HashKey(uint64(i), testSeed))
+		if c.Estimate() != float64(i+1) {
+			t.Fatalf("after %d direct updates estimate %v", i+1, c.Estimate())
+		}
+	}
+}
+
+func TestComposableHintTracksTheta(t *testing.T) {
+	c := NewComposable(5, testSeed) // tiny k so Θ shrinks fast
+	var batch []uint64
+	for i := 0; i < 10000; i++ {
+		batch = append(batch, HashKey(uint64(i), testSeed))
+		if len(batch) == 256 {
+			c.MergeBuffer(batch)
+			batch = batch[:0]
+		}
+	}
+	hint := c.CalcHint()
+	if hint == MaxTheta || hint == 0 {
+		t.Fatalf("hint %d should be a real threshold after 10k uniques into k=32", hint)
+	}
+	if hint != c.Gadget().ThetaLong() {
+		t.Errorf("hint %d != gadget theta %d", hint, c.Gadget().ThetaLong())
+	}
+	// ShouldAdd must agree with the threshold semantics.
+	if c.ShouldAdd(hint, hint) {
+		t.Error("hash equal to theta must be rejected")
+	}
+	if !c.ShouldAdd(hint, hint-1) {
+		t.Error("hash below theta must be accepted")
+	}
+}
+
+func TestComposableConcurrentReadsDuringMerges(t *testing.T) {
+	// The composability contract: queries racing MergeBuffer must always
+	// see a published (non-torn, non-decreasing-information) estimate.
+	c := NewComposable(12, testSeed)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var prev float64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				est := c.Estimate()
+				if est < 0 || math.IsNaN(est) {
+					t.Error("torn/invalid estimate observed")
+					return
+				}
+				// While in exact mode the estimate is the retained count,
+				// which only grows.
+				if c.CalcHint() == MaxTheta && est < prev {
+					t.Errorf("exact-mode estimate decreased: %v → %v", prev, est)
+					return
+				}
+				prev = est
+			}
+		}()
+	}
+	var batch []uint64
+	for i := 0; i < 200000; i++ {
+		batch = append(batch, HashKey(uint64(i), testSeed))
+		if len(batch) == 64 {
+			c.MergeBuffer(batch)
+			batch = batch[:0]
+		}
+	}
+	close(stop)
+	readers.Wait()
+}
+
+func TestComposableFilteredMergeMatchesUnfiltered(t *testing.T) {
+	// Pre-filtering with any stale hint must not change the final sketch:
+	// filtered hashes were ≥ a past Θ ≥ current Θ and could never be kept.
+	ref := NewComposable(8, testSeed)
+	filt := NewComposable(8, testSeed)
+	hint := filt.CalcHint()
+	var refBatch, filtBatch []uint64
+	for i := 0; i < 100000; i++ {
+		h := HashKey(uint64(i), testSeed)
+		refBatch = append(refBatch, h)
+		if filt.ShouldAdd(hint, h) {
+			filtBatch = append(filtBatch, h)
+		}
+		if len(refBatch) == 128 {
+			ref.MergeBuffer(refBatch)
+			refBatch = refBatch[:0]
+			filt.MergeBuffer(filtBatch)
+			filtBatch = filtBatch[:0]
+			hint = filt.CalcHint() // refresh (possibly stale in real runs)
+		}
+	}
+	ref.MergeBuffer(refBatch)
+	filt.MergeBuffer(filtBatch)
+	if ref.Estimate() != filt.Estimate() {
+		t.Errorf("filtered estimate %v != unfiltered %v", filt.Estimate(), ref.Estimate())
+	}
+	if ref.Gadget().ThetaLong() != filt.Gadget().ThetaLong() {
+		t.Error("filtered theta diverged")
+	}
+}

@@ -1,0 +1,243 @@
+package theta
+
+import "fmt"
+
+// KMV is the K-Minimum-Values Θ sketch of Algorithm 1 in the paper. It
+// retains the k smallest distinct hash values seen so far in a max-heap, so
+// that the largest retained value — which is Θ once the sketch is full — can
+// be evicted in O(log k) when a smaller hash arrives. A membership table
+// provides exact duplicate elimination (the pseudo-code's sampleSet is a
+// set; re-inserting the hash of a repeated element must be a no-op).
+//
+// KMV is not safe for concurrent use; the concurrent framework in
+// internal/core provides that on top.
+type KMV struct {
+	k         int
+	seed      uint64
+	thetaLong uint64
+	heap      []uint64 // max-heap of the retained (≤ k smallest) hashes
+	members   *hashSet // exact membership for duplicate elimination
+}
+
+// NewKMV returns an empty KMV sketch retaining the k smallest hashes.
+// k must be at least 2 (the estimator divides by k−1).
+func NewKMV(k int, seed uint64) *KMV {
+	if k < 2 {
+		panic(fmt.Sprintf("theta: KMV k must be ≥ 2, got %d", k))
+	}
+	return &KMV{
+		k:         k,
+		seed:      seed,
+		thetaLong: MaxTheta,
+		heap:      make([]uint64, 0, k),
+		members:   newHashSet(k * 2),
+	}
+}
+
+// Seed returns the hash seed.
+func (s *KMV) Seed() uint64 { return s.seed }
+
+// K returns the sample-set size parameter.
+func (s *KMV) K() int { return s.k }
+
+// Update hashes key and processes it.
+func (s *KMV) Update(key uint64) { s.UpdateHash(HashKey(key, s.seed)) }
+
+// UpdateHash processes an already-hashed element, following Algorithm 1:
+// ignore hashes at or above Θ, otherwise insert into the sample set, keep
+// the k smallest, and lower Θ to the maximum retained sample.
+func (s *KMV) UpdateHash(h uint64) {
+	if h >= s.thetaLong && len(s.heap) == s.k {
+		return
+	}
+	if s.members.contains(h) {
+		return
+	}
+	if len(s.heap) < s.k {
+		s.members.add(h)
+		s.heapPush(h)
+		if len(s.heap) == s.k {
+			// Sample set just filled: Θ becomes the largest sample.
+			s.thetaLong = s.heap[0]
+		}
+		return
+	}
+	// Full: h < Θ = heap max, so h replaces the max.
+	old := s.heap[0]
+	s.members.remove(old)
+	s.members.add(h)
+	s.heap[0] = h
+	s.siftDown(0)
+	s.thetaLong = s.heap[0]
+}
+
+// Estimate returns (retained−1)/θ in estimation mode (the unbiased KMV
+// estimator, line 13 of Algorithm 1) and the exact retained count before the
+// sample set first fills.
+func (s *KMV) Estimate() float64 {
+	return estimate(len(s.heap), s.thetaLong, s.thetaLong != MaxTheta)
+}
+
+// ThetaLong returns the integer threshold (2⁶⁴−1 while in exact mode).
+func (s *KMV) ThetaLong() uint64 { return s.thetaLong }
+
+// Retained returns the number of stored samples.
+func (s *KMV) Retained() int { return len(s.heap) }
+
+// Retention appends the retained hashes (in heap order, not sorted) to dst.
+func (s *KMV) Retention(dst []uint64) []uint64 {
+	return append(dst, s.heap...)
+}
+
+// Merge folds another Θ sketch into this one (the paper's merge: add the
+// other sketch's samples and re-trim to the k smallest).
+func (s *KMV) Merge(other Sketch) {
+	if other.Seed() != s.seed {
+		panic("theta: cannot merge sketches with different seeds")
+	}
+	for _, h := range other.Retention(nil) {
+		s.UpdateHash(h)
+	}
+}
+
+// Reset restores the empty state without releasing capacity.
+func (s *KMV) Reset() {
+	s.thetaLong = MaxTheta
+	s.heap = s.heap[:0]
+	s.members.clear()
+}
+
+// heapPush inserts h into the max-heap.
+func (s *KMV) heapPush(h uint64) {
+	s.heap = append(s.heap, h)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent] >= s.heap[i] {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property from index i.
+func (s *KMV) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l] > s.heap[largest] {
+			largest = l
+		}
+		if r < n && s.heap[r] > s.heap[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+// hashSet is a minimal open-addressing set of non-zero uint64 hashes with
+// linear probing and tombstone-free deletion (backshift). Because the stored
+// values are already uniform hashes, the high bits index directly.
+type hashSet struct {
+	slots []uint64
+	mask  uint64
+	used  int
+}
+
+func newHashSet(capacity int) *hashSet {
+	size := 8
+	for size < capacity*2 {
+		size *= 2
+	}
+	return &hashSet{slots: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+func (t *hashSet) index(h uint64) uint64 {
+	// Multiply-shift scramble so that consecutive probe sequences of nearby
+	// hashes don't cluster; the values themselves are uniform already but
+	// this keeps the table robust to adversarial retention patterns.
+	return (h * 0x9e3779b97f4a7c15) >> 32 & t.mask
+}
+
+func (t *hashSet) contains(h uint64) bool {
+	i := t.index(h)
+	for {
+		v := t.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == h {
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *hashSet) add(h uint64) {
+	if t.used*2 >= len(t.slots) {
+		t.grow()
+	}
+	i := t.index(h)
+	for {
+		v := t.slots[i]
+		if v == 0 {
+			t.slots[i] = h
+			t.used++
+			return
+		}
+		if v == h {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *hashSet) remove(h uint64) {
+	i := t.index(h)
+	for {
+		v := t.slots[i]
+		if v == 0 {
+			return
+		}
+		if v == h {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	// Backshift deletion: re-place the probe chain following the hole.
+	t.slots[i] = 0
+	t.used--
+	j := (i + 1) & t.mask
+	for t.slots[j] != 0 {
+		v := t.slots[j]
+		t.slots[j] = 0
+		t.used--
+		t.add(v)
+		j = (j + 1) & t.mask
+	}
+}
+
+func (t *hashSet) grow() {
+	old := t.slots
+	t.slots = make([]uint64, len(old)*2)
+	t.mask = uint64(len(t.slots) - 1)
+	t.used = 0
+	for _, v := range old {
+		if v != 0 {
+			t.add(v)
+		}
+	}
+}
+
+func (t *hashSet) clear() {
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	t.used = 0
+}

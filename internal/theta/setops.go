@@ -1,0 +1,150 @@
+package theta
+
+import "fmt"
+
+// Set operations over Θ sketches. Like Apache DataSketches, the Θ sketch
+// family supports not just distinct counting but estimating the cardinality
+// of unions, intersections and differences of streams, because each sketch
+// is a uniform sample of hash space below its threshold.
+
+// Union accumulates the union of many Θ sketches. It is itself backed by a
+// QuickSelect sketch: union Θ is the minimum input Θ (further lowered by
+// retention pressure) and the estimate is retained/θ.
+type Union struct {
+	gadget *QuickSelect
+}
+
+// NewUnion returns an empty union accumulator with 2^lgK nominal entries.
+func NewUnion(lgK int, seed uint64) *Union {
+	return &Union{gadget: NewQuickSelect(lgK, seed)}
+}
+
+// Add folds a sketch into the union.
+func (u *Union) Add(s Sketch) { u.gadget.Merge(s) }
+
+// AddHashes folds raw retained hashes (with their source threshold) into the
+// union.
+func (u *Union) AddHashes(hashes []uint64, thetaLong uint64) {
+	u.gadget.shrinkTheta(thetaLong)
+	u.gadget.MergeHashes(hashes)
+}
+
+// Estimate returns the estimated cardinality of the union.
+func (u *Union) Estimate() float64 { return u.gadget.Estimate() }
+
+// Result returns the union as a standalone sketch (a copy).
+func (u *Union) Result() *QuickSelect {
+	out := NewQuickSelect(u.gadget.lgK, u.gadget.seed)
+	out.thetaLong = u.gadget.thetaLong
+	for _, h := range u.gadget.Retention(nil) {
+		out.insert(h)
+	}
+	return out
+}
+
+// Reset empties the union accumulator.
+func (u *Union) Reset() { u.gadget.Reset() }
+
+// CompactSketch is an immutable result of a set operation: a sorted list of
+// retained hashes below a threshold. It supports only queries.
+type CompactSketch struct {
+	thetaLong uint64
+	hashes    []uint64
+	seed      uint64
+}
+
+// Estimate returns retained/θ.
+func (c *CompactSketch) Estimate() float64 {
+	return estimate(len(c.hashes), c.thetaLong, false)
+}
+
+// Retained returns the number of retained hashes.
+func (c *CompactSketch) Retained() int { return len(c.hashes) }
+
+// ThetaLong returns the threshold.
+func (c *CompactSketch) ThetaLong() uint64 { return c.thetaLong }
+
+// Retention appends the retained hashes to dst.
+func (c *CompactSketch) Retention(dst []uint64) []uint64 {
+	return append(dst, c.hashes...)
+}
+
+// Seed returns the hash seed.
+func (c *CompactSketch) Seed() uint64 { return c.seed }
+
+// Intersect estimates the intersection of two Θ sketches: the common
+// threshold is min(Θa, Θb) and the retained set is the hash intersection
+// below it. The result is exact over the sampled region, giving the standard
+// Θ-intersection estimator.
+func Intersect(a, b Sketch) *CompactSketch {
+	if a.Seed() != b.Seed() {
+		panic("theta: cannot intersect sketches with different seeds")
+	}
+	theta := a.ThetaLong()
+	if bt := b.ThetaLong(); bt < theta {
+		theta = bt
+	}
+	aRet := a.Retention(nil)
+	inB := make(map[uint64]struct{}, b.Retained())
+	for _, h := range b.Retention(nil) {
+		if h < theta {
+			inB[h] = struct{}{}
+		}
+	}
+	var common []uint64
+	for _, h := range aRet {
+		if h >= theta {
+			continue
+		}
+		if _, ok := inB[h]; ok {
+			common = append(common, h)
+		}
+	}
+	return &CompactSketch{thetaLong: theta, hashes: common, seed: a.Seed()}
+}
+
+// AnotB estimates the difference A\B: hashes of A below the common
+// threshold that do not appear in B.
+func AnotB(a, b Sketch) *CompactSketch {
+	if a.Seed() != b.Seed() {
+		panic("theta: cannot difference sketches with different seeds")
+	}
+	theta := a.ThetaLong()
+	if bt := b.ThetaLong(); bt < theta {
+		theta = bt
+	}
+	inB := make(map[uint64]struct{}, b.Retained())
+	for _, h := range b.Retention(nil) {
+		inB[h] = struct{}{}
+	}
+	var diff []uint64
+	for _, h := range a.Retention(nil) {
+		if h >= theta {
+			continue
+		}
+		if _, ok := inB[h]; !ok {
+			diff = append(diff, h)
+		}
+	}
+	return &CompactSketch{thetaLong: theta, hashes: diff, seed: a.Seed()}
+}
+
+// JaccardEstimate estimates the Jaccard similarity |A∩B| / |A∪B| of the two
+// streams summarised by a and b.
+func JaccardEstimate(a, b Sketch, lgK int) float64 {
+	u := NewUnion(lgK, a.Seed())
+	u.Add(a)
+	u.Add(b)
+	union := u.Estimate()
+	if union == 0 {
+		return 0
+	}
+	inter := Intersect(a, b).Estimate()
+	return inter / union
+}
+
+// String renders a short diagnostic description of a sketch.
+func String(s Sketch) string {
+	return fmt.Sprintf("theta{retained=%d, theta=%.6g, est=%.1f}",
+		s.Retained(), ThetaToFraction(s.ThetaLong()), s.Estimate())
+}

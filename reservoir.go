@@ -1,0 +1,108 @@
+package fastsketches
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastsketches/internal/core"
+	"fastsketches/internal/reservoir"
+)
+
+// ReservoirConfig configures a ConcurrentReservoir.
+type ReservoirConfig struct {
+	// K is the sample size. Default 1024.
+	K int
+	// Writers is the number of ingestion lanes. Default 1.
+	Writers int
+	// MaxError is the eager-phase error budget, as in ThetaConfig.
+	// Default 0.04.
+	MaxError float64
+	// BufferSize overrides the per-writer buffer. Default 16.
+	BufferSize int
+	// RandSeed seeds the per-writer key generators. 0 = derive from K.
+	RandSeed int64
+}
+
+func (c *ReservoirConfig) normalise() error {
+	if c.K == 0 {
+		c.K = 1024
+	}
+	if c.K < 1 {
+		return fmt.Errorf("%w: K must be ≥ 1", ErrConfig)
+	}
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.Writers < 0 {
+		return fmt.Errorf("%w: negative Writers", ErrConfig)
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 0.04
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 16
+	}
+	if c.BufferSize < 0 {
+		return fmt.Errorf("%w: negative BufferSize", ErrConfig)
+	}
+	if c.RandSeed == 0 {
+		c.RandSeed = int64(c.K)
+	}
+	return nil
+}
+
+// ConcurrentReservoir is a uniform reservoir sample with concurrent
+// ingestion and wait-free mean queries — the reservoir-sampling
+// instantiation of the framework that Section 5.1 of the paper sketches.
+// Writers draw sampling keys locally and pre-filter against the global
+// reservoir's key threshold, so once the reservoir is full most updates
+// never touch shared state.
+type ConcurrentReservoir struct {
+	comp *reservoir.Composable
+	fw   *core.Framework[reservoir.Item]
+	rngs []*rand.Rand // one per writer lane; lane-local like the buffers
+}
+
+// NewConcurrentReservoir builds and starts a concurrent reservoir sample.
+func NewConcurrentReservoir(cfg ReservoirConfig) (*ConcurrentReservoir, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	comp := reservoir.NewComposable(cfg.K, cfg.RandSeed)
+	fw := core.New[reservoir.Item](comp, core.Config{
+		Workers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   cfg.MaxError,
+		K:          cfg.K,
+	})
+	rngs := make([]*rand.Rand, cfg.Writers)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(cfg.RandSeed + int64(i) + 1))
+	}
+	fw.Start()
+	return &ConcurrentReservoir{comp: comp, fw: fw, rngs: rngs}, nil
+}
+
+// Update samples one value on writer lane w.
+func (r *ConcurrentReservoir) Update(w int, v float64) {
+	r.fw.Update(w, reservoir.Item{Value: v, Key: r.rngs[w].Float64()})
+}
+
+// Mean returns the latest published sample mean (wait-free). It reflects
+// all but at most Relaxation() of the updates that completed before the
+// call.
+func (r *ConcurrentReservoir) Mean() float64 { return r.comp.Mean() }
+
+// Snapshot returns the latest published view.
+func (r *ConcurrentReservoir) Snapshot() *reservoir.Snap { return r.comp.Snapshot() }
+
+// Relaxation returns the query staleness bound.
+func (r *ConcurrentReservoir) Relaxation() int { return r.fw.Relaxation() }
+
+// Close stops the propagator and drains all buffers.
+func (r *ConcurrentReservoir) Close() { r.fw.Close() }
+
+// Result returns the underlying sequential reservoir after Close. Note that
+// its N() counts only unfiltered items; use the concurrent type for mean
+// statistics and a sequential Sketch when totals are needed.
+func (r *ConcurrentReservoir) Result() *reservoir.Sketch { return r.comp.Gadget() }

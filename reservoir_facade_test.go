@@ -1,0 +1,104 @@
+package fastsketches
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentReservoirEndToEnd(t *testing.T) {
+	r, err := NewConcurrentReservoir(ReservoirConfig{K: 512, Writers: 4, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 18
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				r.Update(w, float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Close()
+	mean := r.Mean()
+	want := float64(n-1) / 2
+	// Sample-mean σ ≈ (n/√12)/√512 ≈ 0.0128·n; allow 5σ.
+	if math.Abs(mean-want) > 5*0.0128*float64(n) {
+		t.Errorf("sample mean %v, want ≈%v", mean, want)
+	}
+	snap := r.Snapshot()
+	if snap.Retained != 512 {
+		t.Errorf("retained %d, want 512", snap.Retained)
+	}
+	if snap.Threshold <= 0 || snap.Threshold >= 1 {
+		t.Errorf("threshold %v out of (0,1)", snap.Threshold)
+	}
+}
+
+func TestConcurrentReservoirLiveQueries(t *testing.T) {
+	r, err := NewConcurrentReservoir(ReservoirConfig{K: 128, Writers: 2, MaxError: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var q sync.WaitGroup
+	q.Add(1)
+	go func() {
+		defer q.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if s.Retained > 0 && (s.MeanValue < 0 || s.MeanValue > 1000) {
+				t.Error("live mean outside value range")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100000; i++ {
+				r.Update(w, float64(i%1000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	q.Wait()
+	r.Close()
+}
+
+func TestConcurrentReservoirConfigErrors(t *testing.T) {
+	if _, err := NewConcurrentReservoir(ReservoirConfig{K: -1}); err == nil {
+		t.Error("negative K should error")
+	}
+	if _, err := NewConcurrentReservoir(ReservoirConfig{Writers: -1}); err == nil {
+		t.Error("negative writers should error")
+	}
+}
+
+func TestConcurrentReservoirPreFilters(t *testing.T) {
+	// After the reservoir fills, the threshold hint should prune most
+	// updates writer-side; verify correctness is unaffected.
+	r, err := NewConcurrentReservoir(ReservoirConfig{K: 64, Writers: 1, MaxError: 1, BufferSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		r.Update(0, 5.0) // constant stream: mean must be exactly 5
+	}
+	r.Close()
+	if m := r.Mean(); m != 5 {
+		t.Errorf("constant-stream mean %v, want 5", m)
+	}
+}

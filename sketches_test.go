@@ -1,0 +1,264 @@
+package fastsketches
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fastsketches/internal/theta"
+)
+
+func TestConcurrentThetaEndToEnd(t *testing.T) {
+	sk, err := NewConcurrentTheta(ThetaConfig{LgK: 12, Writers: 4, MaxError: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 19
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < n/4; i++ {
+				sk.Update(w, base+uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	sk.Close()
+	re := sk.Estimate()/n - 1
+	if math.Abs(re) > 4*theta.RSEBound(4096) {
+		t.Errorf("estimate error %.4f out of tolerance", re)
+	}
+	lo, hi := sk.ConfidenceBounds(2)
+	if lo > n || hi < n {
+		t.Errorf("2σ bounds [%v,%v] exclude truth %d", lo, hi, n)
+	}
+}
+
+func TestConcurrentThetaDefaults(t *testing.T) {
+	sk, err := NewConcurrentTheta(ThetaConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sk.Close()
+	if sk.Writers() != 1 {
+		t.Errorf("default writers = %d, want 1", sk.Writers())
+	}
+	if sk.Relaxation() <= 0 {
+		t.Error("relaxation should be positive")
+	}
+	sk.Update(0, 1)
+	sk.UpdateString(0, "two")
+	sk.UpdateBytes(0, []byte("three"))
+	if est := sk.Estimate(); est != 3 {
+		t.Errorf("eager-phase estimate %v, want 3", est)
+	}
+}
+
+func TestConcurrentThetaConfigErrors(t *testing.T) {
+	for name, cfg := range map[string]ThetaConfig{
+		"lgK too small":   {LgK: 1},
+		"lgK too big":     {LgK: 27},
+		"neg writers":     {Writers: -1},
+		"neg error":       {MaxError: -0.1},
+		"neg buffer size": {BufferSize: -5},
+	} {
+		if _, err := NewConcurrentTheta(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestConcurrentThetaUnoptimised(t *testing.T) {
+	sk, err := NewConcurrentTheta(ThetaConfig{LgK: 10, Writers: 2, MaxError: 1, BufferSize: 4, Unoptimised: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Relaxation(); got != 2*4 {
+		t.Errorf("ParSketch relaxation = %d, want N·b = 8", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sk.Update(w, uint64(w)<<40+uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	sk.Close()
+	if est := sk.Estimate(); est != 1000 {
+		t.Errorf("estimate %v, want exactly 1000", est)
+	}
+}
+
+func TestResultSetOperations(t *testing.T) {
+	a, _ := NewConcurrentTheta(ThetaConfig{LgK: 12, MaxError: 1})
+	b, _ := NewConcurrentTheta(ThetaConfig{LgK: 12, MaxError: 1})
+	for i := 0; i < 60000; i++ {
+		a.Update(0, uint64(i))
+		b.Update(0, uint64(i+30000))
+	}
+	a.Close()
+	b.Close()
+	inter := ThetaIntersect(a.Result(), b.Result())
+	if math.Abs(inter.Estimate()/30000-1) > 0.2 {
+		t.Errorf("intersection %v, want ≈30000", inter.Estimate())
+	}
+	diff := ThetaAnotB(a.Result(), b.Result())
+	if math.Abs(diff.Estimate()/30000-1) > 0.2 {
+		t.Errorf("difference %v, want ≈30000", diff.Estimate())
+	}
+	u := ThetaUnion(12, 0)
+	u.Add(a.Result())
+	u.Add(b.Result())
+	if math.Abs(u.Estimate()/90000-1) > 0.1 {
+		t.Errorf("union %v, want ≈90000", u.Estimate())
+	}
+}
+
+func TestConcurrentQuantilesEndToEnd(t *testing.T) {
+	q, err := NewConcurrentQuantiles(QuantilesConfig{K: 128, Writers: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 16
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 2 {
+				q.Update(w, float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	q.Close()
+	if q.N() != n {
+		t.Fatalf("N = %d, want %d", q.N(), n)
+	}
+	med := q.Quantile(0.5)
+	if math.Abs(med/float64(n)-0.5) > 0.05 {
+		t.Errorf("median %v, want ≈%v", med, n/2)
+	}
+	if r := q.Rank(float64(n) / 4); math.Abs(r-0.25) > 0.05 {
+		t.Errorf("rank %v, want ≈0.25", r)
+	}
+}
+
+func TestConcurrentQuantilesConfigErrors(t *testing.T) {
+	if _, err := NewConcurrentQuantiles(QuantilesConfig{K: 1}); err == nil {
+		t.Error("K=1 should error")
+	}
+	if _, err := NewConcurrentQuantiles(QuantilesConfig{Writers: -2}); err == nil {
+		t.Error("negative writers should error")
+	}
+}
+
+func TestConcurrentHLLEndToEnd(t *testing.T) {
+	h, err := NewConcurrentHLL(HLLConfig{P: 12, Writers: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 17
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < n/2; i++ {
+				h.Update(w, base+uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.Close()
+	re := h.Estimate()/n - 1
+	if math.Abs(re) > 0.07 {
+		t.Errorf("HLL estimate error %.4f", re)
+	}
+}
+
+func TestConcurrentHLLConfigErrors(t *testing.T) {
+	if _, err := NewConcurrentHLL(HLLConfig{P: 3}); err == nil {
+		t.Error("P=3 should error")
+	}
+	if _, err := NewConcurrentHLL(HLLConfig{P: 22}); err == nil {
+		t.Error("P=22 should error")
+	}
+}
+
+func TestSequentialReExports(t *testing.T) {
+	qs := NewThetaSketch(10, 0)
+	kmv := NewKMVSketch(1024, 0)
+	for i := 0; i < 50000; i++ {
+		qs.Update(uint64(i))
+		kmv.Update(uint64(i))
+	}
+	for name, est := range map[string]float64{"QuickSelect": qs.Estimate(), "KMV": kmv.Estimate()} {
+		if math.Abs(est/50000-1) > 0.15 {
+			t.Errorf("%s estimate %v, want ≈50000", name, est)
+		}
+	}
+	q := NewQuantilesSketch(64)
+	for i := 0; i < 10000; i++ {
+		q.Update(float64(i))
+	}
+	if med := q.Quantile(0.5); math.Abs(med/10000-0.5) > 0.1 {
+		t.Errorf("median %v", med)
+	}
+	h := NewHLLSketch(10, 0)
+	for i := 0; i < 10000; i++ {
+		h.Update(uint64(i))
+	}
+	if est := h.Estimate(); math.Abs(est/10000-1) > 0.15 {
+		t.Errorf("HLL estimate %v", est)
+	}
+}
+
+func TestLiveQueriesWhileIngesting(t *testing.T) {
+	// The headline feature: queries while building, never blocking.
+	sk, _ := NewConcurrentTheta(ThetaConfig{LgK: 12, Writers: 2, MaxError: 0.04})
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		prevFloor := -1.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			est := sk.Estimate()
+			if est < 0 {
+				t.Error("negative estimate")
+				return
+			}
+			_ = prevFloor
+			prevFloor = est
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < 200000; i++ {
+				sk.Update(w, base+uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	sk.Close()
+}
