@@ -14,6 +14,7 @@
 //	benchrunner table1          Θ error analysis under adversaries
 //	benchrunner table2          performance/accuracy tradeoff vs k
 //	benchrunner quantiles-error Section 6.2 ε_r validation
+//	benchrunner sharded         shard-count sweep: throughput vs S·r staleness
 //	benchrunner all             everything above, in order
 //
 // Use -quick for a fast smoke run (small sweeps, few trials) and -full for
@@ -26,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"fastsketches/internal/adversary"
 	"fastsketches/internal/harness"
+	"fastsketches/internal/shard"
 	"fastsketches/internal/stats"
 )
 
@@ -70,7 +73,7 @@ func main() {
 	quick := flag.Bool("quick", false, "fast smoke-run parameters")
 	full := flag.Bool("full", false, "paper-scale parameters (very slow)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,10 +113,11 @@ func main() {
 		"table1":          table1,
 		"table2":          table2,
 		"quantiles-error": quantilesError,
+		"sharded":         sharded,
 	}
 	if test == "all" {
 		order := []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
-			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error"}
+			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded"}
 		for _, name := range order {
 			run(name, tests[name])
 		}
@@ -334,6 +338,83 @@ func table2(sc scale) {
 		fmt.Printf("%d\t%d\t%.2f\t%.2f\n", r.K, r.CrossingPoint, r.MaxMedianRE, r.MaxQ99RE)
 	}
 	fmt.Println("# paper (12-core Xeon): k=256→15000/0.16/0.27, k=1024→100000/0.05/0.13, k=4096→700000/0.03/0.05")
+}
+
+// sharded: the scale-out scenario — a sharded Θ registry sketch under a
+// write-heavy workload with live merged queries, swept over shard counts.
+// Shows the throughput/staleness trade: ingest Mops should grow with S
+// (one propagator per shard) while the combined relaxation bound S·r grows
+// linearly. Also reports measured merged-query latency, which grows with S
+// (one snapshot fold per shard).
+func sharded(sc scale) {
+	writers := sc.maxThreads
+	if writers > 4 {
+		writers = 4
+	}
+	uniques := sc.mixedUniques
+	fmt.Println("shards\twriters\tingest_Mops\trelaxation_Sr\tquery_us\tfinal_RE")
+	for _, s := range []int{1, 2, 4, 8} {
+		var ingestNs, queryNs float64
+		var queries int64
+		var finalRE float64
+		relax := 0
+		for tr := 0; tr < sc.mixedTrials; tr++ {
+			sk, err := shard.NewTheta(12, shard.Config{
+				Shards: s, Writers: writers, MaxError: 0.04,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			stopQ := make(chan struct{})
+			var qwg sync.WaitGroup
+			qwg.Add(1)
+			go func() {
+				defer qwg.Done()
+				for {
+					select {
+					case <-stopQ:
+						return
+					default:
+					}
+					t0 := time.Now()
+					_ = sk.Estimate()
+					queryNs += float64(time.Since(t0).Nanoseconds())
+					queries++
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			base := uint64(tr) << 44
+			per := uniques / writers
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					lo := base + uint64(w*per)
+					for i := 0; i < per; i++ {
+						sk.Update(w, lo+uint64(i))
+					}
+				}(w)
+			}
+			wg.Wait()
+			ingestNs += float64(time.Since(start).Nanoseconds())
+			close(stopQ)
+			qwg.Wait()
+			relax = sk.Relaxation()
+			sk.Close()
+			finalRE = sk.Estimate()/float64(writers*per) - 1
+		}
+		nUpd := float64(uniques/writers*writers) * float64(sc.mixedTrials)
+		nsPer := ingestNs / nUpd
+		avgQueryUs := 0.0
+		if queries > 0 {
+			avgQueryUs = queryNs / float64(queries) / 1e3
+		}
+		fmt.Printf("%d\t%d\t%.3f\t%d\t%.2f\t%.4f\n",
+			s, writers, 1e3/nsPer, relax, avgQueryUs, finalRE)
+	}
 }
 
 // quantilesError: Section 6.2 validation — the relaxed PAC bound ε_r holds

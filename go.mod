@@ -1,0 +1,3 @@
+module fastsketches
+
+go 1.24

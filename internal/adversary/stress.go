@@ -1,0 +1,268 @@
+package adversary
+
+// Live stress-driver for the sharded registry: where the rest of this
+// package simulates the Section 6 adversaries analytically, this file plays
+// the adversary against the real implementation. Concurrent writers hammer a
+// sharded sketch while queriers race merged reads against a ground-truth
+// update counter, checking every single answer against the combined
+// relaxation bound S·r = S·2·N·b (Theorem 1 applied per shard, summed over
+// the fold) — and against exactness while every shard is still in its eager
+// phase.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastsketches/internal/core"
+	"fastsketches/internal/shard"
+)
+
+// raiseMax lifts m to at least v (CAS loop: concurrent queriers race here).
+func raiseMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// StressConfig parameterises a stress run.
+type StressConfig struct {
+	// Shards is S; Writers is N (goroutines = writer lanes); BufferSize is b.
+	Shards, Writers, BufferSize int
+	// UpdatesPerWriter is the stream length each writer ingests.
+	UpdatesPerWriter int
+	// Queriers is the number of concurrent query goroutines. Default 2.
+	Queriers int
+	// MaxError is the per-shard eager budget; 1.0 disables the eager phase
+	// so the whole run exercises the lazy path. Values < 1 additionally run
+	// a single-threaded eager prologue asserting exactness.
+	MaxError float64
+}
+
+func (c *StressConfig) normalise() {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Writers == 0 {
+		c.Writers = 4
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 4
+	}
+	if c.UpdatesPerWriter == 0 {
+		c.UpdatesPerWriter = 20000
+	}
+	if c.Queriers == 0 {
+		c.Queriers = 2
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 1.0
+	}
+}
+
+// StressReport is the outcome of a stress run. A correct implementation
+// yields zero violations of either kind; WorstDeficit records how close the
+// adversary got to the S·r wall (positive values approach it, values above
+// zero violations mean it was breached).
+type StressReport struct {
+	// Bound is the combined relaxation S·r the queries were checked against.
+	Bound int
+	// Queries is the number of merged queries issued during the lazy phase.
+	Queries int64
+	// LowerViolations counts queries whose answer missed more than S·r
+	// completed updates; UpperViolations counts answers exceeding the
+	// updates started by query end (invented data).
+	LowerViolations, UpperViolations int64
+	// WorstDeficit is the maximum observed (completed − S·r − answer) over
+	// all queries; ≤ 0 means the bound held with margin, > 0 is a violation.
+	WorstDeficit int64
+	// EagerQueries counts queries issued during the eager prologue;
+	// EagerViolations counts those whose answer was not exact.
+	EagerQueries, EagerViolations int64
+}
+
+// StressCountTotals drives a sharded Count-Min and checks its cross-shard
+// total N() — the aggregate most sensitive to propagation lag, since every
+// update contributes to it exactly once. Update keys cycle over a small hot
+// set so all shards stay loaded.
+//
+// The check per query: let c1 be the ground-truth completed count read
+// before the merged read and c2 the started count read after. Shard i's
+// contribution misses at most r of shard i's updates completed at c1-time,
+// so the merged total must satisfy  c1 − S·r ≤ answer ≤ c2.
+func StressCountTotals(cfg StressConfig) (StressReport, error) {
+	cfg.normalise()
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   cfg.MaxError,
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+	rep := StressReport{Bound: sk.Relaxation()}
+
+	var completed, started atomic.Int64
+	const hotKeys = 64
+
+	// Eager prologue (single-threaded): while every shard is eager, each
+	// completed update is immediately visible, so N() must be exact.
+	if cfg.MaxError < 1 {
+		for i := 0; sk.Eager(); i++ {
+			started.Add(1)
+			sk.Update(0, uint64(i%hotKeys))
+			completed.Add(1)
+			rep.EagerQueries++
+			if got := int64(sk.N()); got != completed.Load() {
+				rep.EagerViolations++
+			}
+		}
+	}
+
+	// Lazy phase: concurrent writers vs queriers.
+	stop := make(chan struct{})
+	var wg, qwg sync.WaitGroup
+	bound := int64(rep.Bound)
+	var worst atomic.Int64
+	for q := 0; q < cfg.Queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c1 := completed.Load()
+				got := int64(sk.N())
+				c2 := started.Load()
+				atomic.AddInt64(&rep.Queries, 1)
+				raiseMax(&worst, c1-bound-got)
+				if got < c1-bound {
+					atomic.AddInt64(&rep.LowerViolations, 1)
+				}
+				if got > c2 {
+					atomic.AddInt64(&rep.UpperViolations, 1)
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				started.Add(1)
+				sk.Update(w, uint64((w*cfg.UpdatesPerWriter+i)%hotKeys))
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	rep.WorstDeficit = worst.Load()
+	return rep, nil
+}
+
+// StressThetaDistinct drives a sharded Θ sketch with all-distinct keys kept
+// below k per shard, so every shard stays in exact mode and the merged
+// Union estimate is an exact count of propagated distinct keys. The same
+// c1 − S·r ≤ answer ≤ c2 envelope then applies to the estimate.
+func StressThetaDistinct(cfg StressConfig) (StressReport, error) {
+	cfg.normalise()
+	// Keep total distinct (eager prologue + lazy phase) ≤ k, well inside the
+	// 2k exact-mode boundary of every shard gadget and of the union gadget,
+	// so the estimate counts propagated distinct keys exactly.
+	const lgK = 13
+	prologue := cfg.Shards * core.DeriveEagerLimit(cfg.MaxError)
+	if cap := (1 << lgK) / 2; prologue > cap {
+		prologue = cap // the prologue loop stops at this many updates too
+	}
+	if budget := (1 << lgK) - prologue; cfg.Writers*cfg.UpdatesPerWriter > budget {
+		cfg.UpdatesPerWriter = budget / cfg.Writers
+	}
+	sk, err := shard.NewTheta(lgK, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   cfg.MaxError,
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+	rep := StressReport{Bound: sk.Relaxation()}
+
+	var completed, started atomic.Int64
+
+	if cfg.MaxError < 1 {
+		// Cap the prologue at half the union's exact capacity: for large S
+		// the combined eager window S·2/e² could otherwise outgrow the merge
+		// Union's exact mode and flag sampling noise as violations.
+		prologueCap := (1 << lgK) / 2
+		for i := 0; sk.Eager() && i < prologueCap; i++ {
+			started.Add(1)
+			sk.Update(0, uint64(1)<<40|uint64(i)) // distinct, disjoint from lazy keys
+			completed.Add(1)
+			rep.EagerQueries++
+			if got := sk.Estimate(); got != float64(completed.Load()) {
+				rep.EagerViolations++
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg, qwg sync.WaitGroup
+	bound := int64(rep.Bound)
+	var worst atomic.Int64
+	for q := 0; q < cfg.Queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c1 := completed.Load()
+				got := int64(sk.Estimate())
+				c2 := started.Load()
+				atomic.AddInt64(&rep.Queries, 1)
+				raiseMax(&worst, c1-bound-got)
+				if got < c1-bound {
+					atomic.AddInt64(&rep.LowerViolations, 1)
+				}
+				if got > c2 {
+					atomic.AddInt64(&rep.UpperViolations, 1)
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w+2) << 40 // disjoint from the eager prologue keys
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				started.Add(1)
+				sk.Update(w, base+uint64(i))
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	rep.WorstDeficit = worst.Load()
+	return rep, nil
+}

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -200,7 +201,7 @@ func TestRelaxationBoundHolds(t *testing.T) {
 			if deficit := before - r - est; deficit > worst {
 				worst = deficit
 			}
-			time.Sleep(50 * time.Microsecond)
+			runtime.Gosched()
 		}
 	}()
 	wg.Wait()
@@ -240,7 +241,7 @@ func TestEstimateNeverExceedsIngested(t *testing.T) {
 				default:
 				}
 			}
-			time.Sleep(20 * time.Microsecond)
+			runtime.Gosched()
 		}
 	}()
 	for w := 0; w < writers; w++ {
@@ -321,24 +322,46 @@ func TestCloseWithoutStartDrains(t *testing.T) {
 func TestStalledPropagatorRecovery(t *testing.T) {
 	// Writer fills both double buffers while the propagator is stalled,
 	// blocks, then resumes when the propagator starts. No updates lost.
+	//
+	// The blocking point is deterministic, so no wall-clock waits are
+	// needed: with b=8 the writer publishes the first full buffer (update
+	// #8, instant hint from the initial prop value), fills the second, and
+	// must block inside update #16 awaiting a hint that the stalled
+	// propagator never posts — progress stops at exactly 15 completed
+	// updates.
 	fw, comp := newThetaFramework(core.Config{Workers: 1, BufferSize: 8, MaxError: 1}, 12)
+	var progress atomic.Int64
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < 1000; i++ {
 			fw.Update(0, theta.HashKey(uint64(i), seed))
+			progress.Add(1)
 		}
 	}()
+	// The deadline only bounds how long a REGRESSION takes to fail; the
+	// pass path is synchronised purely on the atomic counter and channel.
+	deadline := time.After(30 * time.Second)
+	for progress.Load() < 15 {
+		select {
+		case <-deadline:
+			t.Fatalf("writer stalled at %d completed updates, expected to reach 15", progress.Load())
+		default:
+		}
+		runtime.Gosched()
+	}
+	// progress == 15: the writer is inside update #16. done cannot possibly
+	// be closed — assert without any timing assumption.
 	select {
 	case <-done:
-		t.Fatal("writer should have blocked on the stalled propagator")
-	case <-time.After(50 * time.Millisecond):
+		t.Fatal("writer finished despite the stalled propagator")
+	default:
 	}
 	fw.Start() // propagator comes alive; writer unblocks
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("writer did not unblock after propagator started")
+	case <-deadline:
+		t.Fatal("writer did not unblock after the propagator started")
 	}
 	fw.Close()
 	if est := comp.Estimate(); est != 1000 {
@@ -397,7 +420,7 @@ func TestConcurrentQuantiles(t *testing.T) {
 					return
 				}
 			}
-			time.Sleep(100 * time.Microsecond)
+			runtime.Gosched()
 		}
 	}()
 	wg.Wait()

@@ -203,6 +203,31 @@ func (c *Composable) Estimate(key uint64) uint64 {
 // N returns the total merged weight (wait-free).
 func (c *Composable) N() uint64 { return c.n.Load() }
 
+// SnapshotMerge folds the current counters into the accumulator sketch by
+// element-wise addition — the merge-on-query path of a sharded deployment.
+// Each counter is read with one atomic load, so the fold is wait-free and
+// safe concurrently with ingestion; the result summarises, for every key,
+// at least the updates propagated before the call (the one-sided Count-Min
+// overestimation guarantee is preserved per shard). acc must have matching
+// width, depth and seed.
+func (c *Composable) SnapshotMerge(acc *Sketch) {
+	if acc.width != c.width || acc.depth != c.depth {
+		panic(fmt.Sprintf("countmin: dimension mismatch %dx%d vs %dx%d",
+			acc.width, acc.depth, c.width, c.depth))
+	}
+	if acc.seed != c.seed {
+		panic("countmin: cannot merge sketches with different seeds")
+	}
+	// Load n before the counters: counters only grow, so the fold then
+	// reflects at least the n.Load() updates it claims to summarise.
+	acc.n += c.n.Load()
+	for r := range c.rows {
+		for col := range c.rows[r] {
+			acc.rows[r][col] += atomic.LoadUint64(&c.rows[r][col])
+		}
+	}
+}
+
 // Snapshot copies the counters into a sequential Sketch for offline
 // analysis. Only consistent after the framework is closed.
 func (c *Composable) Snapshot() *Sketch {

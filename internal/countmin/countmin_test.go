@@ -259,3 +259,60 @@ func BenchmarkEstimate(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSnapshotMergeEqualsSequential(t *testing.T) {
+	// Folding k shard composables into an accumulator must equal the
+	// sequential sketch over the concatenated streams exactly: Count-Min
+	// merging is element-wise counter addition, which is lossless.
+	cases := []struct {
+		name     string
+		shards   int
+		perShard int
+		width    int
+		depth    int
+	}{
+		{"1-shard", 1, 5000, 256, 4},
+		{"2-shard", 2, 5000, 256, 4},
+		{"4-shard skewed", 4, 20000, 128, 5},
+		{"8-shard", 8, 3000, 512, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := New(tc.width, tc.depth, 9001)
+			acc := New(tc.width, tc.depth, 9001)
+			for s := 0; s < tc.shards; s++ {
+				c := NewComposable(tc.width, tc.depth, 9001)
+				keys := make([]uint64, tc.perShard)
+				for i := range keys {
+					// Zipf-ish skew: low keys repeat often.
+					keys[i] = uint64(i % (7 + s*13))
+					seq.Update(keys[i])
+				}
+				c.MergeBuffer(keys)
+				c.SnapshotMerge(acc)
+			}
+			if acc.N() != seq.N() {
+				t.Fatalf("merged N %d != sequential %d", acc.N(), seq.N())
+			}
+			for key := uint64(0); key < 200; key++ {
+				if got, want := acc.Estimate(key), seq.Estimate(key); got != want {
+					t.Fatalf("key %d: merged estimate %d != sequential %d", key, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotMergeDimensionMismatchPanics(t *testing.T) {
+	c := NewComposable(128, 4, 9001)
+	for _, acc := range []*Sketch{New(64, 4, 9001), New(128, 3, 9001), New(128, 4, 1234)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("mismatched SnapshotMerge must panic")
+				}
+			}()
+			c.SnapshotMerge(acc)
+		}()
+	}
+}

@@ -17,6 +17,11 @@ type Composable struct {
 	sumInv  float64 // Σ 2^-reg[i]
 	zeros   int
 	estBits atomic.Uint64
+	// snapshots, when enabled, makes every publish additionally store an
+	// immutable register copy so cross-sketch folds (SnapshotMerge) are
+	// wait-free. Off by default: the copy is O(m) per propagation.
+	snapshots bool
+	snap      atomic.Pointer[Sketch]
 }
 
 // NewComposable returns a composable HLL with 2^p registers.
@@ -71,6 +76,38 @@ func (c *Composable) publish() {
 		est = m * math.Log(m/float64(c.zeros))
 	}
 	c.estBits.Store(math.Float64bits(est))
+	if c.snapshots {
+		g := c.gadget
+		c.snap.Store(&Sketch{
+			p: g.p, m: g.m, seed: g.seed,
+			regs: append([]uint8(nil), g.regs...),
+		})
+	}
+}
+
+// EnableSnapshots turns on full-snapshot publication: after every merge the
+// composable additionally publishes an immutable copy of the register array,
+// making Snapshot and SnapshotMerge available to concurrent readers. Must be
+// called before the framework starts ingesting.
+func (c *Composable) EnableSnapshots() {
+	c.snapshots = true
+	c.snap.Store(New(c.gadget.p, c.gadget.seed))
+}
+
+// Snapshot returns the latest published immutable register copy (nil unless
+// EnableSnapshots was called). Wait-free; safe concurrently with merges. The
+// returned sketch must not be mutated.
+func (c *Composable) Snapshot() *Sketch { return c.snap.Load() }
+
+// SnapshotMerge folds the latest published snapshot into acc by register-wise
+// max — the merge-on-query path of a sharded deployment. Requires
+// EnableSnapshots and matching (p, seed) on acc.
+func (c *Composable) SnapshotMerge(acc *Sketch) {
+	s := c.snap.Load()
+	if s == nil {
+		panic("hll: SnapshotMerge requires EnableSnapshots before ingestion")
+	}
+	acc.Merge(s)
 }
 
 // CalcHint returns 1 (no pre-filtering: a register max check would need

@@ -91,3 +91,63 @@ func TestComposableConcurrentReads(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestSnapshotMergeEqualsSequential(t *testing.T) {
+	// HLL register-max merging is lossless: folding k shard snapshots must
+	// reproduce the sequential sketch over the concatenated streams exactly,
+	// register for register.
+	cases := []struct {
+		name     string
+		shards   int
+		perShard int
+		p        int
+	}{
+		{"1-shard", 1, 10000, 10},
+		{"2-shard", 2, 20000, 10},
+		{"4-shard", 4, 50000, 12},
+		{"8-shard overlapping", 8, 30000, 11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := New(tc.p, 9001)
+			acc := New(tc.p, 9001)
+			for s := 0; s < tc.shards; s++ {
+				c := NewComposable(tc.p, 9001)
+				c.EnableSnapshots()
+				var batch []uint64
+				for i := 0; i < tc.perShard; i++ {
+					// "overlapping" case reuses keys across shards: union
+					// semantics must still hold.
+					key := uint64(s*tc.perShard + i)
+					if tc.shards == 8 {
+						key = uint64(i * (s%2 + 1))
+					}
+					h := murmur.HashUint64(key, 9001)
+					batch = append(batch, h)
+					seq.UpdateHash(h)
+				}
+				c.MergeBuffer(batch)
+				c.SnapshotMerge(acc)
+			}
+			gotRegs, wantRegs := acc.Registers(), seq.Registers()
+			for i := range gotRegs {
+				if gotRegs[i] != wantRegs[i] {
+					t.Fatalf("register %d: merged %d != sequential %d", i, gotRegs[i], wantRegs[i])
+				}
+			}
+			if acc.Estimate() != seq.Estimate() {
+				t.Errorf("merged estimate %v != sequential %v", acc.Estimate(), seq.Estimate())
+			}
+		})
+	}
+}
+
+func TestSnapshotMergeRequiresEnable(t *testing.T) {
+	c := NewComposable(10, 9001)
+	defer func() {
+		if recover() == nil {
+			t.Error("SnapshotMerge without EnableSnapshots must panic")
+		}
+	}()
+	c.SnapshotMerge(New(10, 9001))
+}

@@ -83,6 +83,57 @@ func (s *Summary) Rank(v float64) float64 {
 	return s.cum[lo-1] / float64(s.n)
 }
 
+// weight returns the individual weight of item i (cum is cumulative).
+func (s *Summary) weight(i int) float64 {
+	if i == 0 {
+		return s.cum[0]
+	}
+	return s.cum[i] - s.cum[i-1]
+}
+
+// MergeSummaries combines two immutable summaries into one summarising the
+// concatenation of their streams: values are merged in sorted order with
+// their weights, and n/min/max accumulate. Either argument may be nil or
+// empty, in which case the other is returned unchanged (summaries are
+// immutable, so sharing is safe). The rank error of the result is bounded by
+// the max of the inputs' errors, as for sketch-level merging of mergeable
+// summaries.
+func MergeSummaries(a, b *Summary) *Summary {
+	if a == nil || a.n == 0 {
+		if b == nil {
+			return emptySummary
+		}
+		return b
+	}
+	if b == nil || b.n == 0 {
+		return a
+	}
+	out := &Summary{
+		values: make([]float64, 0, len(a.values)+len(b.values)),
+		cum:    make([]float64, 0, len(a.values)+len(b.values)),
+		n:      a.n + b.n,
+		min:    math.Min(a.min, b.min),
+		max:    math.Max(a.max, b.max),
+	}
+	var cum float64
+	i, j := 0, 0
+	for i < len(a.values) || j < len(b.values) {
+		takeA := j >= len(b.values) ||
+			(i < len(a.values) && a.values[i] <= b.values[j])
+		if takeA {
+			cum += a.weight(i)
+			out.values = append(out.values, a.values[i])
+			i++
+		} else {
+			cum += b.weight(j)
+			out.values = append(out.values, b.values[j])
+			j++
+		}
+		out.cum = append(out.cum, cum)
+	}
+	return out
+}
+
 // emptySummary is the snapshot published before any data arrives.
 var emptySummary = &Summary{}
 
@@ -150,6 +201,14 @@ func (c *Composable) ShouldAdd(hint uint64, v float64) bool { return true }
 
 // Snapshot returns the latest published summary (wait-free).
 func (c *Composable) Snapshot() *Summary { return c.snap.Load() }
+
+// SnapshotMerge folds the latest published summary into the accumulator and
+// returns the combined summary — the merge-on-query path of a sharded
+// deployment: each shard's snapshot is taken wait-free and folded without
+// ever touching the shard's gadget. acc may be nil to start a fold.
+func (c *Composable) SnapshotMerge(acc *Summary) *Summary {
+	return MergeSummaries(acc, c.snap.Load())
+}
 
 // Quantile is a convenience for Snapshot().Quantile(phi).
 func (c *Composable) Quantile(phi float64) float64 {

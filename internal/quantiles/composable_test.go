@@ -134,3 +134,98 @@ func TestComposableTrivialHint(t *testing.T) {
 		t.Error("quantiles shouldAdd must always accept")
 	}
 }
+
+func TestSnapshotMergeEqualsSequential(t *testing.T) {
+	// Folding k shard summaries must answer rank/quantile queries over the
+	// concatenated streams within the sketch's documented epsilon: merging
+	// summaries is exact (weights and order preserved), so the only error is
+	// each shard's own summarisation error.
+	cases := []struct {
+		name     string
+		shards   int
+		perShard int
+		k        int
+	}{
+		{"1-shard exact", 1, 100, 128},   // fits base buffer: eps = 0
+		{"2-shard small", 2, 5000, 128},
+		{"4-shard", 4, 20000, 128},
+		{"8-shard", 8, 10000, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.shards * tc.perShard
+			// Stream 0..n-1 dealt round-robin across shards, so each shard
+			// sees an interleaved slice and the true rank of value v is v/n.
+			comps := make([]*Composable, tc.shards)
+			for s := range comps {
+				comps[s] = NewComposable(tc.k, NewRandomBits(int64(s+1)))
+			}
+			batches := make([][]float64, tc.shards)
+			for v := 0; v < n; v++ {
+				s := v % tc.shards
+				batches[s] = append(batches[s], float64(v))
+			}
+			var acc *Summary
+			for s, c := range comps {
+				c.MergeBuffer(batches[s])
+				acc = c.SnapshotMerge(acc)
+			}
+			if acc.N() != uint64(n) {
+				t.Fatalf("merged N %d != %d", acc.N(), n)
+			}
+			if acc.Min() != 0 || acc.Max() != float64(n-1) {
+				t.Fatalf("merged min/max %v/%v want 0/%d", acc.Min(), acc.Max(), n-1)
+			}
+			// Per-shard eps bounds the merged rank error (weighted combination
+			// of the shards' errors can't exceed the worst shard's eps).
+			eps := EpsilonBound(tc.k, uint64(tc.perShard))
+			if eps == 0 && tc.shards > 1 {
+				eps = EpsilonBound(tc.k, uint64(n))
+			}
+			// ±1/n slack for the discretisation of integer-valued streams.
+			slack := 1/float64(n) + 1e-12
+			for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				got := acc.Quantile(phi)
+				trueRank := got / float64(n)
+				if dev := math.Abs(trueRank - phi); dev > eps+slack {
+					t.Errorf("phi=%v: merged quantile %v has rank dev %.4f > eps %.4f",
+						phi, got, dev, eps)
+				}
+			}
+		})
+	}
+}
+
+func TestMergeSummariesProperties(t *testing.T) {
+	// Edge cases: nil/empty operands, and cum weights strictly increasing.
+	c := NewComposable(64, NewRandomBits(3))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	c.MergeBuffer(vals)
+	s := c.Snapshot()
+	if got := MergeSummaries(nil, nil); got.N() != 0 {
+		t.Error("nil merge should be empty")
+	}
+	if got := MergeSummaries(nil, s); got != s {
+		t.Error("nil ⊕ s should return s unchanged")
+	}
+	if got := MergeSummaries(s, nil); got != s {
+		t.Error("s ⊕ nil should return s unchanged")
+	}
+	m := MergeSummaries(s, s) // self-merge: doubled weights
+	if m.N() != 2*s.N() {
+		t.Errorf("self-merge N %d, want %d", m.N(), 2*s.N())
+	}
+	last := 0.0
+	for i := 0; i < len(m.values); i++ {
+		if m.cum[i] <= last {
+			t.Fatalf("cum not strictly increasing at %d", i)
+		}
+		last = m.cum[i]
+	}
+	if m.cum[len(m.cum)-1] != float64(m.N()) {
+		t.Errorf("total cum weight %v != N %d", m.cum[len(m.cum)-1], m.N())
+	}
+}

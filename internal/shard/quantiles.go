@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"math"
+
+	"fastsketches/internal/core"
+	"fastsketches/internal/murmur"
+	"fastsketches/internal/quantiles"
+)
+
+// Quantiles is a sharded concurrent quantiles sketch: values are striped by
+// a hash of their bit pattern (so equal values co-locate and shards stay
+// balanced for diverse streams), and queries merge the S immutable shard
+// summaries on demand. Summary merging is exact — weights and order are
+// preserved — so the merged rank error is bounded by the worst shard's ε.
+type Quantiles struct {
+	g     group[float64]
+	comps []*quantiles.Composable
+	k     int
+}
+
+// NewQuantiles builds and starts a sharded concurrent quantiles sketch with
+// summary parameter k per shard.
+func NewQuantiles(k int, cfg Config) (*Quantiles, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = 64 // quantiles propagations republish a snapshot; amortise
+	}
+	q := &Quantiles{
+		comps: make([]*quantiles.Composable, cfg.Shards),
+		k:     k,
+	}
+	globals := make([]core.Global[float64], cfg.Shards)
+	for i := range q.comps {
+		c := quantiles.NewComposable(k, quantiles.NewRandomBits(int64(cfg.Seed)+int64(i)))
+		q.comps[i] = c
+		globals[i] = c
+	}
+	q.g = newGroup[float64](&cfg, k, globals)
+	return q, nil
+}
+
+// Update ingests one value on writer lane lane.
+func (q *Quantiles) Update(lane int, v float64) {
+	q.g.update(lane, murmur.HashUint64(math.Float64bits(v), q.g.routeSeed), v)
+}
+
+// Summary returns the merged summary over all shard snapshots — an immutable
+// view supporting many queries. Wait-free: one atomic pointer load per shard
+// plus the fold. The view reflects all but at most Relaxation() of the
+// updates completed before the call.
+func (q *Quantiles) Summary() *quantiles.Summary {
+	var acc *quantiles.Summary
+	for _, c := range q.comps {
+		acc = c.SnapshotMerge(acc)
+	}
+	return acc
+}
+
+// Quantile returns an element of the merged summary whose normalized rank is
+// ≈ phi.
+func (q *Quantiles) Quantile(phi float64) float64 { return q.Summary().Quantile(phi) }
+
+// Rank returns the estimated normalized rank of v in the merged summary.
+func (q *Quantiles) Rank(v float64) float64 { return q.Summary().Rank(v) }
+
+// N returns the item count of the merged summary.
+func (q *Quantiles) N() uint64 { return q.Summary().N() }
+
+// Relaxation returns the combined staleness bound S·r for merged queries.
+func (q *Quantiles) Relaxation() int { return q.g.relaxation() }
+
+// Shards returns S.
+func (q *Quantiles) Shards() int { return len(q.comps) }
+
+// Eager reports whether every shard is still exact (eager phase).
+func (q *Quantiles) Eager() bool { return q.g.eager() }
+
+// Close stops all shard propagators and drains every buffer.
+func (q *Quantiles) Close() { q.g.close() }

@@ -1,0 +1,128 @@
+package shard_test
+
+// Relaxation-bound stress suite: the adversary package drives the sharded
+// registry with concurrent writers and queriers and checks EVERY merged
+// query against the combined staleness bound S·r = S·2·N·b — and against
+// exactness during the eager phase. Run with -race in CI.
+
+import (
+	"testing"
+
+	"fastsketches/internal/adversary"
+)
+
+func TestStressCountTotalsBound(t *testing.T) {
+	cfg := adversary.StressConfig{
+		Shards: 4, Writers: 4, BufferSize: 4,
+		UpdatesPerWriter: 20000, Queriers: 2,
+		MaxError: 1.0, // lazy from the first update
+	}
+	if testing.Short() {
+		cfg.UpdatesPerWriter = 4000
+	}
+	rep, err := adversary.StressCountTotals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("countmin stress: %d queries, bound S·r=%d, worst deficit %d",
+		rep.Queries, rep.Bound, rep.WorstDeficit)
+	if rep.Queries == 0 {
+		t.Fatal("queriers never ran")
+	}
+	if rep.LowerViolations != 0 {
+		t.Errorf("%d/%d queries missed more than S·r=%d completed updates (worst deficit %d)",
+			rep.LowerViolations, rep.Queries, rep.Bound, rep.WorstDeficit)
+	}
+	if rep.UpperViolations != 0 {
+		t.Errorf("%d/%d queries reported more weight than was ever started",
+			rep.UpperViolations, rep.Queries)
+	}
+}
+
+func TestStressCountTotalsEagerPrologueExact(t *testing.T) {
+	rep, err := adversary.StressCountTotals(adversary.StressConfig{
+		Shards: 4, Writers: 4, BufferSize: 4,
+		UpdatesPerWriter: 8000, Queriers: 2,
+		MaxError: 0.1, // eager for ≈2/e² updates per shard first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("countmin eager prologue: %d exact queries, then %d lazy queries within S·r=%d",
+		rep.EagerQueries, rep.Queries, rep.Bound)
+	if rep.EagerQueries == 0 {
+		t.Fatal("eager prologue never ran")
+	}
+	if rep.EagerViolations != 0 {
+		t.Errorf("%d/%d eager-phase queries were not exact", rep.EagerViolations, rep.EagerQueries)
+	}
+	if rep.LowerViolations != 0 || rep.UpperViolations != 0 {
+		t.Errorf("lazy-phase violations: %d lower, %d upper (bound %d)",
+			rep.LowerViolations, rep.UpperViolations, rep.Bound)
+	}
+}
+
+func TestStressThetaDistinctBound(t *testing.T) {
+	rep, err := adversary.StressThetaDistinct(adversary.StressConfig{
+		Shards: 4, Writers: 4, BufferSize: 4, Queriers: 2,
+		MaxError: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("theta stress: %d queries, bound S·r=%d, worst deficit %d",
+		rep.Queries, rep.Bound, rep.WorstDeficit)
+	if rep.Queries == 0 {
+		t.Fatal("queriers never ran")
+	}
+	if rep.LowerViolations != 0 {
+		t.Errorf("%d/%d merged estimates missed more than S·r=%d completed updates",
+			rep.LowerViolations, rep.Queries, rep.Bound)
+	}
+	if rep.UpperViolations != 0 {
+		t.Errorf("%d/%d merged estimates exceeded started updates", rep.UpperViolations, rep.Queries)
+	}
+}
+
+func TestStressThetaEagerPrologueExact(t *testing.T) {
+	rep, err := adversary.StressThetaDistinct(adversary.StressConfig{
+		Shards: 2, Writers: 2, BufferSize: 4, Queriers: 2,
+		MaxError: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("theta eager prologue: %d exact queries, then %d lazy queries within S·r=%d",
+		rep.EagerQueries, rep.Queries, rep.Bound)
+	if rep.EagerQueries == 0 {
+		t.Fatal("eager prologue never ran")
+	}
+	if rep.EagerViolations != 0 {
+		t.Errorf("%d/%d eager-phase merged estimates were not exact",
+			rep.EagerViolations, rep.EagerQueries)
+	}
+	if rep.LowerViolations != 0 || rep.UpperViolations != 0 {
+		t.Errorf("lazy-phase violations: %d lower, %d upper (bound %d)",
+			rep.LowerViolations, rep.UpperViolations, rep.Bound)
+	}
+}
+
+func TestStressManyShardsManyWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rep, err := adversary.StressCountTotals(adversary.StressConfig{
+		Shards: 8, Writers: 8, BufferSize: 8,
+		UpdatesPerWriter: 30000, Queriers: 4,
+		MaxError: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("8×8 stress: %d queries, bound S·r=%d, worst deficit %d",
+		rep.Queries, rep.Bound, rep.WorstDeficit)
+	if rep.LowerViolations != 0 || rep.UpperViolations != 0 {
+		t.Errorf("violations under 8 shards × 8 writers: %d lower, %d upper",
+			rep.LowerViolations, rep.UpperViolations)
+	}
+}

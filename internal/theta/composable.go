@@ -29,6 +29,12 @@ type Composable struct {
 	thetaLong atomic.Uint64
 	// retainedApprox mirrors the retained count for monitoring.
 	retained atomic.Int64
+	// snapshots, when enabled, makes every publish additionally store an
+	// immutable CompactSketch of the full retained set, so cross-sketch
+	// folds (SnapshotMerge) are wait-free. Off by default: the copy is
+	// O(retained) per propagation, which single-sketch users don't need.
+	snapshots bool
+	snap      atomic.Pointer[CompactSketch]
 }
 
 // NewComposable returns a composable Θ sketch with 2^lgK nominal entries.
@@ -59,6 +65,47 @@ func (c *Composable) publish() {
 	c.thetaLong.Store(c.gadget.ThetaLong())
 	c.retained.Store(int64(c.gadget.Retained()))
 	c.estBits.Store(math.Float64bits(c.gadget.Estimate()))
+	if c.snapshots {
+		c.snap.Store(&CompactSketch{
+			thetaLong: c.gadget.ThetaLong(),
+			hashes:    c.gadget.Retention(nil),
+			seed:      c.gadget.Seed(),
+		})
+	}
+}
+
+// EnableSnapshots turns on full-snapshot publication: after every merge the
+// composable additionally publishes an immutable CompactSketch of the
+// retained set, making Snapshot and SnapshotMerge available to concurrent
+// readers. Must be called before the framework starts ingesting (it is not
+// synchronised with the propagator).
+func (c *Composable) EnableSnapshots() {
+	c.snapshots = true
+	c.snap.Store(&CompactSketch{
+		thetaLong: c.gadget.ThetaLong(),
+		seed:      c.gadget.Seed(),
+	})
+}
+
+// Snapshot returns the latest published immutable view of the whole sketch
+// (nil unless EnableSnapshots was called). Wait-free: one atomic pointer
+// load; safe concurrently with merges.
+func (c *Composable) Snapshot() *CompactSketch { return c.snap.Load() }
+
+// SnapshotMerge folds the latest published snapshot into the union
+// accumulator — the merge-on-query path of a sharded deployment: each
+// shard's global sketch is snapshotted wait-free and folded into acc, so a
+// cross-shard query never blocks any shard's propagator. Requires
+// EnableSnapshots.
+func (c *Composable) SnapshotMerge(acc *Union) {
+	s := c.snap.Load()
+	if s == nil {
+		panic("theta: SnapshotMerge requires EnableSnapshots before ingestion")
+	}
+	if s.seed != acc.gadget.seed {
+		panic("theta: cannot merge sketches with different seeds")
+	}
+	acc.AddHashes(s.hashes, s.thetaLong)
 }
 
 // CalcHint returns the current Θ threshold; never zero because retained

@@ -2,7 +2,9 @@ package theta
 
 import (
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -143,4 +145,103 @@ func TestComposableFilteredMergeMatchesUnfiltered(t *testing.T) {
 	if ref.Gadget().ThetaLong() != filt.Gadget().ThetaLong() {
 		t.Error("filtered theta diverged")
 	}
+}
+
+func TestSnapshotMergeEqualsSequential(t *testing.T) {
+	// The sharded merge-on-query contract: folding k shard snapshots into a
+	// Union must summarise the concatenated streams — exactly while every
+	// shard is in exact mode, and within the sketch's documented RSE once
+	// sampling kicks in.
+	cases := []struct {
+		name     string
+		shards   int
+		perShard int
+		lgK      int
+	}{
+		{"1-shard exact", 1, 1000, 12},
+		{"2-shard exact", 2, 1000, 12},
+		{"8-shard exact", 8, 500, 12},
+		{"4-shard sampling", 4, 50000, 10},
+		{"8-shard sampling", 8, 20000, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := NewQuickSelect(tc.lgK, testSeed)
+			u := NewUnion(tc.lgK, testSeed)
+			for s := 0; s < tc.shards; s++ {
+				c := NewComposable(tc.lgK, testSeed)
+				c.EnableSnapshots()
+				var batch []uint64
+				for i := 0; i < tc.perShard; i++ {
+					h := HashKey(uint64(s*tc.perShard+i), testSeed)
+					batch = append(batch, h)
+					seq.UpdateHash(h)
+				}
+				c.MergeBuffer(batch)
+				c.SnapshotMerge(u)
+			}
+			n := float64(tc.shards * tc.perShard)
+			got := u.Estimate()
+			if int(n) < 1<<tc.lgK {
+				// Exact mode on both sides: equality, and equal to the truth.
+				if got != seq.Estimate() || got != n {
+					t.Errorf("merged %v, sequential %v, truth %v", got, seq.Estimate(), n)
+				}
+				return
+			}
+			for name, est := range map[string]float64{"merged": got, "sequential": seq.Estimate()} {
+				if re := est/n - 1; math.Abs(re) > 4*RSEBound(1<<tc.lgK) {
+					t.Errorf("%s estimate error %.4f exceeds 4·RSE", name, re)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotMergeLiveDuringIngestion(t *testing.T) {
+	// SnapshotMerge must be callable concurrently with MergeBuffer and always
+	// see a consistent published state (estimate never exceeds ingested).
+	c := NewComposable(10, testSeed)
+	c.EnableSnapshots()
+	done := make(chan struct{})
+	var ingested atomic.Int64
+	go func() {
+		defer close(done)
+		var batch []uint64
+		for i := 0; i < 200000; i++ {
+			batch = append(batch, HashKey(uint64(i), testSeed))
+			if len(batch) == 64 {
+				c.MergeBuffer(batch)
+				ingested.Add(64)
+				batch = batch[:0]
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		before := ingested.Load()
+		u := NewUnion(10, testSeed)
+		c.SnapshotMerge(u)
+		est := u.Estimate()
+		after := ingested.Load()
+		_ = before
+		if est > float64(after)*(1+4*RSEBound(1<<10)) {
+			t.Fatalf("live merged estimate %v wildly exceeds ingested %d", est, after)
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestSnapshotMergeRequiresEnable(t *testing.T) {
+	c := NewComposable(10, testSeed)
+	defer func() {
+		if recover() == nil {
+			t.Error("SnapshotMerge without EnableSnapshots must panic")
+		}
+	}()
+	c.SnapshotMerge(NewUnion(10, testSeed))
 }

@@ -1,0 +1,276 @@
+package fastsketches
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fastsketches/internal/shard"
+)
+
+// RegistryConfig parameterises a Registry and the sharded sketches it
+// creates. The zero value serves 4-shard, single-lane sketches with the
+// paper's default accuracy parameters.
+type RegistryConfig struct {
+	// Shards is S, the number of independent concurrent sketches each named
+	// sketch is striped over. More shards buy ingest throughput (one
+	// propagator per shard) at the cost of a larger combined staleness
+	// window S·r for merged queries. Default 4.
+	Shards int
+	// Writers is the number of writer lanes per named sketch. Lane l must
+	// be driven by at most one goroutine at a time. Default 1.
+	Writers int
+	// MaxError is the per-shard eager-phase error budget e; each shard
+	// answers exactly until its substream exceeds 2/e². 1.0 disables the
+	// eager phase. Default 0.04.
+	MaxError float64
+	// BufferSize overrides the derived per-writer buffer b. The combined
+	// relaxation of a merged query is S·2·Writers·b. 0 = derive per family.
+	BufferSize int
+	// Unoptimised selects the ParSketch variant (r = N·b per shard).
+	Unoptimised bool
+	// Seed is the hash seed shared by all sketches; 0 means DefaultSeed.
+	Seed uint64
+
+	// ThetaLgK is log2 of the per-shard Θ sample count. Default 12.
+	ThetaLgK int
+	// HLLPrecision is the per-shard HLL precision p. Default 12.
+	HLLPrecision int
+	// QuantilesK is the per-shard quantiles summary parameter. Default 128.
+	QuantilesK int
+	// CountMinEpsilon / CountMinDelta dimension per-shard Count-Min
+	// sketches. Defaults 0.001 / 0.01.
+	CountMinEpsilon float64
+	CountMinDelta   float64
+}
+
+func (c *RegistryConfig) normalise() error {
+	if c.Shards == 0 {
+		c.Shards = shard.DefaultShards
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("%w: Shards must be ≥ 1", ErrConfig)
+	}
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.Writers < 0 {
+		return fmt.Errorf("%w: negative Writers", ErrConfig)
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 0.04
+	}
+	if c.MaxError < 0 {
+		return fmt.Errorf("%w: negative MaxError", ErrConfig)
+	}
+	if c.BufferSize < 0 {
+		return fmt.Errorf("%w: negative BufferSize", ErrConfig)
+	}
+	if c.ThetaLgK == 0 {
+		c.ThetaLgK = 12
+	}
+	if c.ThetaLgK < 2 || c.ThetaLgK > 26 {
+		return fmt.Errorf("%w: ThetaLgK %d outside [2,26]", ErrConfig, c.ThetaLgK)
+	}
+	if c.HLLPrecision == 0 {
+		c.HLLPrecision = 12
+	}
+	if c.HLLPrecision < 4 || c.HLLPrecision > 21 {
+		return fmt.Errorf("%w: HLLPrecision %d outside [4,21]", ErrConfig, c.HLLPrecision)
+	}
+	if c.QuantilesK == 0 {
+		c.QuantilesK = 128
+	}
+	if c.QuantilesK < 2 {
+		return fmt.Errorf("%w: QuantilesK must be ≥ 2", ErrConfig)
+	}
+	if c.CountMinEpsilon == 0 {
+		c.CountMinEpsilon = 0.001
+	}
+	if c.CountMinEpsilon <= 0 || c.CountMinEpsilon >= 1 {
+		return fmt.Errorf("%w: CountMinEpsilon must be in (0,1)", ErrConfig)
+	}
+	if c.CountMinDelta == 0 {
+		c.CountMinDelta = 0.01
+	}
+	if c.CountMinDelta <= 0 || c.CountMinDelta >= 1 {
+		return fmt.Errorf("%w: CountMinDelta must be in (0,1)", ErrConfig)
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return nil
+}
+
+func (c *RegistryConfig) shardConfig() shard.Config {
+	return shard.Config{
+		Shards:      c.Shards,
+		Writers:     c.Writers,
+		BufferSize:  c.BufferSize,
+		MaxError:    c.MaxError,
+		Unoptimised: c.Unoptimised,
+		Seed:        c.Seed,
+	}
+}
+
+// Registry is a multi-tenant collection of named sharded sketches: the
+// service-facing facade over the concurrent framework. Each name maps to an
+// independent sharded sketch created on first use:
+//
+//	reg, _ := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+//		Shards: 8, Writers: 4,
+//	})
+//	defer reg.Close()
+//	reg.Theta("users.daily").Update(lane, userID)   // ingestion path
+//	reg.CountMin("api.calls").Update(lane, endpoint)
+//	est := reg.Theta("users.daily").Estimate()      // merged live query
+//
+// Accessors are safe to call from any goroutine (creation is serialised);
+// the returned sketches follow the lane discipline of the core framework —
+// writer lane l of any sketch must be driven by one goroutine at a time.
+// Merged queries are wait-free and may run at any time; each reflects all
+// but at most S·2·Writers·b of the updates that completed before it.
+type Registry struct {
+	cfg    RegistryConfig
+	mu     sync.RWMutex
+	closed bool
+	thetas map[string]*shard.Theta
+	hlls   map[string]*shard.HLL
+	quants map[string]*shard.Quantiles
+	cms    map[string]*shard.CountMin
+}
+
+// NewRegistry validates the configuration and returns an empty registry.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	return &Registry{
+		cfg:    cfg,
+		thetas: make(map[string]*shard.Theta),
+		hlls:   make(map[string]*shard.HLL),
+		quants: make(map[string]*shard.Quantiles),
+		cms:    make(map[string]*shard.CountMin),
+	}, nil
+}
+
+// getOrCreate returns m[name], creating it with mk on first use. The read
+// path is a shared-lock map hit; creation takes the exclusive lock.
+func getOrCreate[T any](r *Registry, m map[string]T, name string, mk func() T) T {
+	r.mu.RLock()
+	sk, ok := m[name]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		// A sketch handle obtained before Close stays queryable, but the
+		// registry itself must not hand out sketches whose propagators are
+		// stopped: an Update on one would block forever.
+		panic("fastsketches: Registry used after Close")
+	}
+	if ok {
+		return sk
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		panic("fastsketches: Registry used after Close")
+	}
+	if sk, ok = m[name]; !ok {
+		sk = mk()
+		m[name] = sk
+	}
+	return sk
+}
+
+// Theta returns the named sharded distinct-count sketch, creating it on
+// first use. Configuration errors are impossible here: the registry config
+// was validated by NewRegistry.
+func (r *Registry) Theta(name string) *shard.Theta {
+	return getOrCreate(r, r.thetas, name, func() *shard.Theta {
+		sk, err := shard.NewTheta(r.cfg.ThetaLgK, r.cfg.shardConfig())
+		if err != nil {
+			panic(err) // unreachable: config pre-validated
+		}
+		return sk
+	})
+}
+
+// HLL returns the named sharded HLL sketch, creating it on first use.
+func (r *Registry) HLL(name string) *shard.HLL {
+	return getOrCreate(r, r.hlls, name, func() *shard.HLL {
+		sk, err := shard.NewHLL(r.cfg.HLLPrecision, r.cfg.shardConfig())
+		if err != nil {
+			panic(err)
+		}
+		return sk
+	})
+}
+
+// Quantiles returns the named sharded quantiles sketch, creating it on
+// first use.
+func (r *Registry) Quantiles(name string) *shard.Quantiles {
+	return getOrCreate(r, r.quants, name, func() *shard.Quantiles {
+		sk, err := shard.NewQuantiles(r.cfg.QuantilesK, r.cfg.shardConfig())
+		if err != nil {
+			panic(err)
+		}
+		return sk
+	})
+}
+
+// CountMin returns the named sharded frequency sketch, creating it on first
+// use.
+func (r *Registry) CountMin(name string) *shard.CountMin {
+	return getOrCreate(r, r.cms, name, func() *shard.CountMin {
+		sk, err := shard.NewCountMin(r.cfg.CountMinEpsilon, r.cfg.CountMinDelta, r.cfg.shardConfig())
+		if err != nil {
+			panic(err)
+		}
+		return sk
+	})
+}
+
+// Names lists every registered sketch, sorted, as "family/name".
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.thetas)+len(r.hlls)+len(r.quants)+len(r.cms))
+	for n := range r.thetas {
+		out = append(out, "theta/"+n)
+	}
+	for n := range r.hlls {
+		out = append(out, "hll/"+n)
+	}
+	for n := range r.quants {
+		out = append(out, "quantiles/"+n)
+	}
+	for n := range r.cms {
+		out = append(out, "countmin/"+n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops every sketch's propagators and drains all buffers; afterwards
+// merged queries summarise their full streams exactly. The registry must
+// not be used after Close. Close is idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, sk := range r.thetas {
+		sk.Close()
+	}
+	for _, sk := range r.hlls {
+		sk.Close()
+	}
+	for _, sk := range r.quants {
+		sk.Close()
+	}
+	for _, sk := range r.cms {
+		sk.Close()
+	}
+}

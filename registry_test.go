@@ -1,0 +1,155 @@
+package fastsketches_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fastsketches"
+)
+
+func TestRegistryConfigValidation(t *testing.T) {
+	bad := []fastsketches.RegistryConfig{
+		{Shards: -1},
+		{Writers: -1},
+		{MaxError: -0.1},
+		{ThetaLgK: 1},
+		{HLLPrecision: 30},
+		{QuantilesK: 1},
+		{CountMinEpsilon: 1.5},
+		{CountMinDelta: -0.2},
+	}
+	for _, cfg := range bad {
+		if _, err := fastsketches.NewRegistry(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestRegistryGetOrCreateStable(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if reg.Theta("a") != reg.Theta("a") {
+		t.Error("same name must return the same sketch")
+	}
+	if reg.Theta("a") == reg.Theta("b") {
+		t.Error("different names must be independent sketches")
+	}
+	// Same name across families are independent tenants.
+	reg.HLL("a")
+	reg.Quantiles("a")
+	reg.CountMin("a")
+	names := reg.Names()
+	want := []string{"countmin/a", "hll/a", "quantiles/a", "theta/a", "theta/b"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccessors(t *testing.T) {
+	// Many goroutines racing to create/fetch the same names must agree on
+	// the winners and never deadlock.
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	const goroutines = 16
+	sketches := make([]interface{}, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sketches[g] = reg.Theta("contended")
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if sketches[g] != sketches[0] {
+			t.Fatal("racing accessors returned different sketches for one name")
+		}
+	}
+}
+
+func TestRegistryEndToEnd(t *testing.T) {
+	// The facade walkthrough: multiple tenants ingesting concurrently on
+	// separate lanes, live merged queries, exact answers after Close.
+	const writers, n = 2, 40000
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 4, Writers: writers, MaxError: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := reg.Theta("users")
+	latency := reg.Quantiles("latency")
+	calls := reg.CountMin("calls")
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < n/writers; i++ {
+				users.Update(w, base+uint64(i))
+				latency.Update(w, float64(i%1000))
+				calls.Update(w, uint64(i%32))
+			}
+			// Live merged queries from a writer goroutine are fine too.
+			_ = users.Estimate()
+			_ = latency.Quantile(0.99)
+		}(w)
+	}
+	wg.Wait()
+	reg.Close()
+	// users: n distinct keys but 2k = 8192 < n → sampling estimate.
+	re := users.Estimate()/float64(n) - 1
+	if math.Abs(re) > 0.1 {
+		t.Errorf("theta estimate error %.4f", re)
+	}
+	if got := latency.N(); got != n {
+		t.Errorf("quantiles N = %d, want %d", got, n)
+	}
+	if got := calls.N(); got != n {
+		t.Errorf("countmin N = %d, want %d", got, n)
+	}
+	// Each of the 32 hot keys appeared n/32 times; wide sketch → exact.
+	if got := calls.Estimate(7); got != n/32 {
+		t.Errorf("countmin key-7 estimate %d, want %d", got, n/32)
+	}
+}
+
+func TestRegistryCloseIdempotentAndFinal(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Theta("x").Update(0, 1)
+	reg.Close()
+	reg.Close() // idempotent
+	// Both the create path and the existing-name fast path must refuse:
+	// a sketch fetched after Close has a stopped propagator and an Update
+	// on it would block forever.
+	for _, name := range []string{"new-after-close", "x"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fetching %q after Close must panic", name)
+				}
+			}()
+			reg.Theta(name)
+		}()
+	}
+}

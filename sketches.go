@@ -35,6 +35,31 @@
 //	sk.Update(w, key)
 //	// any goroutine, at any time:
 //	estimate := sk.Estimate()
+//
+// # Sharded multi-tenant registry
+//
+// A service ingesting many keyed streams uses the Registry: named sketches
+// created on first use, each striped across S independent concurrent
+// sketches (its own propagator and writer lanes per shard) with queries
+// merging per-shard snapshots on demand:
+//
+//	reg, _ := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+//		Shards: 8, Writers: 4,
+//	})
+//	defer reg.Close()
+//	reg.Theta("tenant-42/visitors").Update(lane, userID)
+//	reg.Quantiles("tenant-42/latency").Update(lane, ms)
+//	est := reg.Theta("tenant-42/visitors").Estimate() // merged, wait-free
+//
+// The staleness contract extends shard-wise: each shard is r-relaxed with
+// r = 2·Writers·b (Theorem 1), and a merged query folds one wait-free
+// snapshot per shard, so it misses at most S·r completed updates in total;
+// per-key Count-Min estimates touch only the owning shard and keep the
+// tighter single-shard r. Shard count is therefore a throughput/staleness
+// dial: more shards mean more parallel propagators and smaller per-shard
+// writer contention, but a larger combined S·r window for cross-shard
+// queries. Eager small-stream semantics also hold per shard — every shard
+// answers exactly until its own substream exceeds 2/e².
 package fastsketches
 
 import (
