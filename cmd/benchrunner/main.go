@@ -15,6 +15,7 @@
 //	benchrunner table2          performance/accuracy tradeoff vs k
 //	benchrunner quantiles-error Section 6.2 ε_r validation
 //	benchrunner sharded         shard-count sweep: throughput vs S·r staleness
+//	benchrunner mergedquery     merged-query plane: ns/op + allocs/op per path
 //	benchrunner all             everything above, in order
 //
 // Use -quick for a fast smoke run (small sweeps, few trials) and -full for
@@ -28,10 +29,12 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"testing"
 	"time"
 
 	"fastsketches/internal/adversary"
 	"fastsketches/internal/harness"
+	"fastsketches/internal/mergedbench"
 	"fastsketches/internal/shard"
 	"fastsketches/internal/stats"
 )
@@ -73,7 +76,7 @@ func main() {
 	quick := flag.Bool("quick", false, "fast smoke-run parameters")
 	full := flag.Bool("full", false, "paper-scale parameters (very slow)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -114,10 +117,12 @@ func main() {
 		"table2":          table2,
 		"quantiles-error": quantilesError,
 		"sharded":         sharded,
+		"mergedquery":     mergedQuery,
 	}
 	if test == "all" {
 		order := []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
-			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded"}
+			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded",
+			"mergedquery"}
 		for _, name := range order {
 			run(name, tests[name])
 		}
@@ -414,6 +419,33 @@ func sharded(sc scale) {
 		}
 		fmt.Printf("%d\t%d\t%.3f\t%d\t%.2f\t%.4f\n",
 			s, writers, 1e3/nsPer, relax, avgQueryUs, finalRE)
+	}
+}
+
+// mergedquery: the merge-on-query plane — ns/op and allocs/op of merged
+// queries through the registry across shard counts, for the pooled path
+// (reused accumulator from the sketch's pool; the hot path), the
+// caller-owned QueryInto path, and the pre-refactor fresh-accumulator-per-
+// query path kept as the allocation baseline. Θ and HLL pooled queries are
+// zero-alloc steady-state; quantiles and Count-Min amortise to zero once
+// the reused accumulator's capacity stabilises.
+func mergedQuery(sc scale) {
+	uniques := sc.mixedUniques
+	if uniques > 1<<16 {
+		uniques = 1 << 16 // query cost is snapshot-, not stream-, sized
+	}
+	fmt.Println("family\tshards\tpath\tns_op\tallocs_op\tbytes_op")
+	for _, s := range []int{1, 2, 4, 8} {
+		suite, err := mergedbench.NewSuite(s, uniques)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, c := range suite.Cases() {
+			res := testing.Benchmark(c.Fn)
+			fmt.Printf("%s\t%d\t%s\t%d\t%d\t%d\n",
+				c.Family, s, c.Path, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp())
+		}
 	}
 }
 

@@ -88,9 +88,9 @@ func main() {
 			defer wg.Done()
 			base := uint64(w) << 40
 			for i := 0; i < perLane; i++ {
-				visitors.Update(w, base+uint64(i))             // unique user IDs
-				latency.Update(w, float64((i*i)%200)+1)        // deterministic spread
-				endpoints.UpdateString(w, endpointNames[i%4])  // hot endpoints
+				visitors.Update(w, base+uint64(i))            // unique user IDs
+				latency.Update(w, float64((i*i)%200)+1)       // deterministic spread
+				endpoints.UpdateString(w, endpointNames[i%4]) // hot endpoints
 				completed.Add(1)
 			}
 		}(w)

@@ -8,6 +8,14 @@ package adversary
 // relaxation bound S·r = S·2·N·b (Theorem 1 applied per shard, summed over
 // the fold) — and against exactness while every shard is still in its eager
 // phase.
+//
+// The queriers alternate between the two merged-query planes: the pooled
+// path (family query methods drawing a reused accumulator from the sketch's
+// internal sync.Pool) and the caller-owned path (one accumulator per
+// querier goroutine, reset and refolded by QueryInto on every odd query).
+// Both race live against concurrent propagation, so the run also asserts
+// that accumulator reuse never leaks state across queries — a stale fold
+// would surface as a bound violation in either direction.
 
 import (
 	"runtime"
@@ -133,14 +141,24 @@ func StressCountTotals(cfg StressConfig) (StressReport, error) {
 		qwg.Add(1)
 		go func() {
 			defer qwg.Done()
-			for {
+			// Owned accumulator, reused across this querier's whole run: the
+			// aggregate N() of a QueryInto fold must obey the same envelope
+			// as the lock-free counter sum.
+			acc := sk.NewAccumulator()
+			for i := 0; ; i++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
 				c1 := completed.Load()
-				got := int64(sk.N())
+				var got int64
+				if i%2 == 0 {
+					got = int64(sk.N())
+				} else {
+					sk.QueryInto(acc)
+					got = int64(acc.N())
+				}
 				c2 := started.Load()
 				atomic.AddInt64(&rep.Queries, 1)
 				raiseMax(&worst, c1-bound-got)
@@ -227,14 +245,24 @@ func StressThetaDistinct(cfg StressConfig) (StressReport, error) {
 		qwg.Add(1)
 		go func() {
 			defer qwg.Done()
-			for {
+			// Owned Union, reused across this querier's whole run: the
+			// estimate of a QueryInto fold must obey the same envelope as
+			// the pooled Estimate path.
+			acc := sk.NewAccumulator()
+			for i := 0; ; i++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
 				c1 := completed.Load()
-				got := int64(sk.Estimate())
+				var got int64
+				if i%2 == 0 {
+					got = int64(sk.Estimate())
+				} else {
+					sk.QueryInto(acc)
+					got = int64(acc.Estimate())
+				}
 				c2 := started.Load()
 				atomic.AddInt64(&rep.Queries, 1)
 				raiseMax(&worst, c1-bound-got)

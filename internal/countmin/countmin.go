@@ -203,14 +203,19 @@ func (c *Composable) Estimate(key uint64) uint64 {
 // N returns the total merged weight (wait-free).
 func (c *Composable) N() uint64 { return c.n.Load() }
 
-// SnapshotMerge folds the current counters into the accumulator sketch by
-// element-wise addition — the merge-on-query path of a sharded deployment.
-// Each counter is read with one atomic load, so the fold is wait-free and
-// safe concurrently with ingestion; the result summarises, for every key,
-// at least the updates propagated before the call (the one-sided Count-Min
-// overestimation guarantee is preserved per shard). acc must have matching
-// width, depth and seed.
-func (c *Composable) SnapshotMerge(acc *Sketch) {
+// SnapshotMergeInto folds the current counters into the accumulator sketch
+// by element-wise addition — the merge-on-query path of a sharded
+// deployment. Each counter is read with one atomic load, so the fold is
+// wait-free and safe concurrently with ingestion; the result summarises,
+// for every key, at least the updates propagated before the call (the
+// one-sided Count-Min overestimation guarantee is preserved per shard). acc
+// must have matching width, depth and seed.
+//
+// acc is caller-owned and reusable: the fold writes only into acc's existing
+// counter grid, so a hot query path can Reset one Sketch and fold every
+// shard into it on each query without allocating. Repeated reuse is
+// equivalent to a fresh accumulator per query.
+func (c *Composable) SnapshotMergeInto(acc *Sketch) {
 	if acc.width != c.width || acc.depth != c.depth {
 		panic(fmt.Sprintf("countmin: dimension mismatch %dx%d vs %dx%d",
 			acc.width, acc.depth, c.width, c.depth))

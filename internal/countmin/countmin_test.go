@@ -289,7 +289,7 @@ func TestSnapshotMergeEqualsSequential(t *testing.T) {
 					seq.Update(keys[i])
 				}
 				c.MergeBuffer(keys)
-				c.SnapshotMerge(acc)
+				c.SnapshotMergeInto(acc)
 			}
 			if acc.N() != seq.N() {
 				t.Fatalf("merged N %d != sequential %d", acc.N(), seq.N())
@@ -309,10 +309,10 @@ func TestSnapshotMergeDimensionMismatchPanics(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Error("mismatched SnapshotMerge must panic")
+					t.Error("mismatched SnapshotMergeInto must panic")
 				}
 			}()
-			c.SnapshotMerge(acc)
+			c.SnapshotMergeInto(acc)
 		}()
 	}
 }

@@ -99,13 +99,18 @@ func (c *Composable) EnableSnapshots() {
 // returned sketch must not be mutated.
 func (c *Composable) Snapshot() *Sketch { return c.snap.Load() }
 
-// SnapshotMerge folds the latest published snapshot into acc by register-wise
-// max — the merge-on-query path of a sharded deployment. Requires
-// EnableSnapshots and matching (p, seed) on acc.
-func (c *Composable) SnapshotMerge(acc *Sketch) {
+// SnapshotMergeInto folds the latest published snapshot into acc by
+// register-wise max — the merge-on-query path of a sharded deployment.
+// Requires EnableSnapshots and matching (p, seed) on acc.
+//
+// acc is caller-owned and reusable: the fold writes only into acc's existing
+// register array, so a hot query path can Reset one Sketch and fold every
+// shard into it on each query without allocating. Repeated reuse is
+// equivalent to a fresh accumulator per query.
+func (c *Composable) SnapshotMergeInto(acc *Sketch) {
 	s := c.snap.Load()
 	if s == nil {
-		panic("hll: SnapshotMerge requires EnableSnapshots before ingestion")
+		panic("hll: SnapshotMergeInto requires EnableSnapshots before ingestion")
 	}
 	acc.Merge(s)
 }

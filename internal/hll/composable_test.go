@@ -127,7 +127,7 @@ func TestSnapshotMergeEqualsSequential(t *testing.T) {
 					seq.UpdateHash(h)
 				}
 				c.MergeBuffer(batch)
-				c.SnapshotMerge(acc)
+				c.SnapshotMergeInto(acc)
 			}
 			gotRegs, wantRegs := acc.Registers(), seq.Registers()
 			for i := range gotRegs {
@@ -146,8 +146,8 @@ func TestSnapshotMergeRequiresEnable(t *testing.T) {
 	c := NewComposable(10, 9001)
 	defer func() {
 		if recover() == nil {
-			t.Error("SnapshotMerge without EnableSnapshots must panic")
+			t.Error("SnapshotMergeInto without EnableSnapshots must panic")
 		}
 	}()
-	c.SnapshotMerge(New(10, 9001))
+	c.SnapshotMergeInto(New(10, 9001))
 }

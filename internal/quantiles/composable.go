@@ -202,12 +202,17 @@ func (c *Composable) ShouldAdd(hint uint64, v float64) bool { return true }
 // Snapshot returns the latest published summary (wait-free).
 func (c *Composable) Snapshot() *Summary { return c.snap.Load() }
 
-// SnapshotMerge folds the latest published summary into the accumulator and
-// returns the combined summary — the merge-on-query path of a sharded
-// deployment: each shard's snapshot is taken wait-free and folded without
-// ever touching the shard's gadget. acc may be nil to start a fold.
-func (c *Composable) SnapshotMerge(acc *Summary) *Summary {
-	return MergeSummaries(acc, c.snap.Load())
+// SnapshotMergeInto folds the latest published summary into the reusable
+// accumulator — the merge-on-query path of a sharded deployment: each
+// shard's snapshot is taken wait-free and folded without ever touching the
+// shard's gadget or allocating a fresh summary.
+//
+// acc is caller-owned and reusable: the fold merges into acc's ping-ponged
+// buffers, so a hot query path can Reset one Accumulator and fold every
+// shard into it on each query without allocating once its capacity has
+// grown. Repeated reuse is equivalent to a fresh accumulator per query.
+func (c *Composable) SnapshotMergeInto(acc *Accumulator) {
+	acc.Merge(c.snap.Load())
 }
 
 // Quantile is a convenience for Snapshot().Quantile(phi).

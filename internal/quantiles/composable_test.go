@@ -146,7 +146,7 @@ func TestSnapshotMergeEqualsSequential(t *testing.T) {
 		perShard int
 		k        int
 	}{
-		{"1-shard exact", 1, 100, 128},   // fits base buffer: eps = 0
+		{"1-shard exact", 1, 100, 128}, // fits base buffer: eps = 0
 		{"2-shard small", 2, 5000, 128},
 		{"4-shard", 4, 20000, 128},
 		{"8-shard", 8, 10000, 64},
@@ -165,10 +165,10 @@ func TestSnapshotMergeEqualsSequential(t *testing.T) {
 				s := v % tc.shards
 				batches[s] = append(batches[s], float64(v))
 			}
-			var acc *Summary
+			acc := NewAccumulator()
 			for s, c := range comps {
 				c.MergeBuffer(batches[s])
-				acc = c.SnapshotMerge(acc)
+				c.SnapshotMergeInto(acc)
 			}
 			if acc.N() != uint64(n) {
 				t.Fatalf("merged N %d != %d", acc.N(), n)

@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"fastsketches/internal/core"
 	"fastsketches/internal/countmin"
 	"fastsketches/internal/murmur"
 )
@@ -9,14 +8,13 @@ import (
 // CountMin is a sharded concurrent Count-Min sketch. Keys are striped by
 // hash, so each key's counters live on exactly one shard: per-key frequency
 // queries touch only the owning shard and keep the tight single-shard
-// staleness bound r, while aggregate queries (N, Merged) fold all shards and
-// carry the combined S·r bound.
+// staleness bound r, while aggregate queries (N, Merged, QueryInto) fold
+// all shards and carry the combined S·r bound. It is a thin descriptor
+// over the generic Sharded layer: the accumulator is a sequential
+// countmin.Sketch whose counter grid is zeroed and refolded per query.
 type CountMin struct {
-	g     group[uint64]
-	comps []*countmin.Composable
-	width int
-	depth int
-	seed  uint64
+	*Sharded[uint64, *countmin.Sketch, *countmin.Composable]
+	seed uint64
 }
 
 // NewCountMin builds and starts a sharded concurrent Count-Min sketch
@@ -29,21 +27,18 @@ func NewCountMin(eps, delta float64, cfg Config) (*CountMin, error) {
 	if cfg.BufferSize == 0 {
 		cfg.BufferSize = 32
 	}
-	proto := countmin.NewWithError(eps, delta, cfg.Seed)
-	c := &CountMin{
-		comps: make([]*countmin.Composable, cfg.Shards),
-		width: proto.Width(),
-		depth: proto.Depth(),
-		seed:  cfg.Seed,
-	}
-	globals := make([]core.Global[uint64], cfg.Shards)
-	for i := range c.comps {
-		comp := countmin.NewComposable(proto.Width(), proto.Depth(), cfg.Seed)
-		c.comps[i] = comp
-		globals[i] = comp
-	}
-	c.g = newGroup[uint64](&cfg, proto.Width(), globals)
-	return c, nil
+	seed := cfg.Seed
+	proto := countmin.NewWithError(eps, delta, seed)
+	width, depth := proto.Width(), proto.Depth()
+	return &CountMin{
+		Sharded: newSharded[uint64](&cfg, width,
+			func(int) *countmin.Composable {
+				return countmin.NewComposable(width, depth, seed)
+			},
+			func() *countmin.Sketch { return countmin.New(width, depth, seed) },
+		),
+		seed: seed,
+	}, nil
 }
 
 // routeKey maps a raw key to its owning shard. Count-Min elements travel as
@@ -54,18 +49,19 @@ func (c *CountMin) routeKey(key uint64) uint64 {
 
 // Update adds one occurrence of key on writer lane lane.
 func (c *CountMin) Update(lane int, key uint64) {
-	c.g.update(lane, c.routeKey(key), key)
+	c.update(lane, c.routeKey(key), key)
 }
 
 // UpdateString adds one occurrence of a string key on writer lane lane.
 func (c *CountMin) UpdateString(lane int, key string) {
 	h := murmur.HashString(key, c.seed)
-	c.g.update(lane, c.routeKey(h), h)
+	c.update(lane, c.routeKey(h), h)
 }
 
 // Estimate returns the frequency estimate of key from its owning shard —
 // wait-free, never underestimating the shard's propagated prefix, with the
-// tight single-shard staleness bound r (not S·r).
+// tight single-shard staleness bound r (not S·r). No accumulator involved:
+// the owning shard's counters are read directly.
 func (c *CountMin) Estimate(key uint64) uint64 {
 	return c.comps[c.g.route(c.routeKey(key))].Estimate(key)
 }
@@ -88,27 +84,15 @@ func (c *CountMin) N() uint64 {
 
 // Merged folds every shard's counters into one sequential sketch (wait-free
 // per counter): the element-wise sum summarises the whole stream modulo the
-// S·r staleness window.
+// S·r staleness window. It folds into a fresh (non-pooled) sketch because
+// the result escapes to the caller; use QueryInto with a reused accumulator
+// for the allocation-free aggregate path.
 func (c *CountMin) Merged() *countmin.Sketch {
-	acc := countmin.New(c.width, c.depth, c.seed)
-	for _, comp := range c.comps {
-		comp.SnapshotMerge(acc)
-	}
+	acc := c.NewAccumulator()
+	c.MergeInto(acc)
 	return acc
 }
-
-// Relaxation returns the combined staleness bound S·r for aggregate queries.
-func (c *CountMin) Relaxation() int { return c.g.relaxation() }
 
 // ShardRelaxation returns the single-shard bound r governing per-key
 // Estimate queries.
 func (c *CountMin) ShardRelaxation() int { return c.g.fws[0].Relaxation() }
-
-// Shards returns S.
-func (c *CountMin) Shards() int { return len(c.comps) }
-
-// Eager reports whether every shard is still exact (eager phase).
-func (c *CountMin) Eager() bool { return c.g.eager() }
-
-// Close stops all shard propagators and drains every buffer.
-func (c *CountMin) Close() { c.g.close() }

@@ -1,0 +1,99 @@
+package shard_test
+
+// Fuzzed merge-into equivalence: arbitrary key streams (duplicates, skew,
+// any byte pattern) through arbitrary shard counts must leave the pooled,
+// fresh-accumulator and reused-accumulator query paths in exact agreement
+// after Close — for the exact-mode Θ sketch also with the true distinct
+// count, and for Count-Min with per-key exactness of path agreement.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fastsketches/internal/shard"
+)
+
+// fuzzKeys derives a key stream from raw fuzz bytes: one key per 2-byte
+// window, so small inputs still produce collisions and duplicates.
+func fuzzKeys(data []byte) []uint64 {
+	if len(data) == 0 {
+		return nil
+	}
+	keys := make([]uint64, 0, len(data))
+	for i := 0; i+2 <= len(data); i += 2 {
+		keys = append(keys, uint64(binary.LittleEndian.Uint16(data[i:])))
+	}
+	if len(data)%2 == 1 {
+		keys = append(keys, uint64(data[len(data)-1]))
+	}
+	return keys
+}
+
+func FuzzMergeIntoEquivalence(f *testing.F) {
+	f.Add([]byte("hello sharded sketches"), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 0}, uint8(1))
+	f.Add([]byte{255, 255, 17, 3, 9, 200, 42, 42, 42, 42}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, shardByte uint8) {
+		keys := fuzzKeys(data)
+		if len(keys) == 0 {
+			t.Skip()
+		}
+		if len(keys) > 1000 {
+			// Keep the total distinct count inside exact mode (< 2k for the
+			// lgK=10 shard gadgets and the merge Union), so Θ equality with
+			// the true distinct count holds on every path.
+			keys = keys[:1000]
+		}
+		S := 1 + int(shardByte)%4
+		cfg := shard.Config{Shards: S, MaxError: 1}
+
+		// Θ: keys are ≤ 16-bit so distincts stay below k=2^10·2 per shard →
+		// exact mode; the merged estimate must equal the true distinct count
+		// on every path.
+		th, err := shard.NewTheta(10, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := shard.NewCountMin(0.05, 0.1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := make(map[uint64]int, len(keys))
+		for _, k := range keys {
+			th.Update(0, k)
+			cm.Update(0, k)
+			distinct[k]++
+		}
+		th.Close()
+		cm.Close()
+
+		thReused := th.NewAccumulator()
+		cmReused := cm.NewAccumulator()
+		for q := 0; q < 3; q++ {
+			want := float64(len(distinct))
+			thFresh := th.NewAccumulator()
+			th.MergeInto(thFresh)
+			th.QueryInto(thReused)
+			if got := th.Estimate(); got != want || thFresh.Estimate() != want || thReused.Estimate() != want {
+				t.Fatalf("theta query %d: pooled %v, fresh %v, reused %v, want %v",
+					q, got, thFresh.Estimate(), thReused.Estimate(), want)
+			}
+
+			cmFresh := cm.Merged()
+			cm.QueryInto(cmReused)
+			if cmFresh.N() != uint64(len(keys)) || cmReused.N() != uint64(len(keys)) {
+				t.Fatalf("countmin query %d: fresh N %d, reused N %d, want %d",
+					q, cmFresh.N(), cmReused.N(), len(keys))
+			}
+			probe := keys[q%len(keys)]
+			if cmFresh.Estimate(probe) != cmReused.Estimate(probe) {
+				t.Fatalf("countmin key %d: fresh %d != reused %d",
+					probe, cmFresh.Estimate(probe), cmReused.Estimate(probe))
+			}
+			if cmReused.Estimate(probe) < uint64(distinct[probe]) {
+				t.Fatalf("countmin key %d: merged estimate %d underestimates true %d",
+					probe, cmReused.Estimate(probe), distinct[probe])
+			}
+		}
+	})
+}

@@ -1,19 +1,19 @@
 package shard
 
 import (
-	"fastsketches/internal/core"
 	"fastsketches/internal/hll"
 	"fastsketches/internal/murmur"
 )
 
 // HLL is a sharded concurrent HLL sketch: S independent concurrent HLLs
 // striped by key hash, merged on query by register-wise max over per-shard
-// snapshots (the standard HLL union, which is lossless).
+// snapshots (the standard HLL union, which is lossless). It is a thin
+// descriptor over the generic Sharded layer: the composable is
+// hll.Composable with snapshots enabled, the accumulator a sequential
+// hll.Sketch whose register array is zeroed and refolded per query.
 type HLL struct {
-	g     group[uint64]
-	comps []*hll.Composable
-	p     int
-	seed  uint64
+	*Sharded[uint64, *hll.Sketch, *hll.Composable]
+	seed uint64
 }
 
 // NewHLL builds and starts a sharded concurrent HLL with 2^p registers per
@@ -22,63 +22,53 @@ func NewHLL(p int, cfg Config) (*HLL, error) {
 	if err := cfg.normalise(); err != nil {
 		return nil, err
 	}
-	h := &HLL{
-		comps: make([]*hll.Composable, cfg.Shards),
-		p:     p,
-		seed:  cfg.Seed,
-	}
-	globals := make([]core.Global[uint64], cfg.Shards)
-	for i := range h.comps {
-		c := hll.NewComposable(p, cfg.Seed)
-		c.EnableSnapshots()
-		h.comps[i] = c
-		globals[i] = c
-	}
-	h.g = newGroup[uint64](&cfg, 1<<p, globals)
-	return h, nil
+	seed := cfg.Seed
+	return &HLL{
+		Sharded: newSharded[uint64](&cfg, 1<<p,
+			func(int) *hll.Composable {
+				c := hll.NewComposable(p, seed)
+				c.EnableSnapshots()
+				return c
+			},
+			func() *hll.Sketch { return hll.New(p, seed) },
+		),
+		seed: seed,
+	}, nil
 }
 
 // Update ingests a uint64 key on writer lane lane.
 func (h *HLL) Update(lane int, key uint64) {
 	hash := murmur.HashUint64(key, h.seed)
-	h.g.update(lane, hash, hash)
+	h.update(lane, hash, hash)
 }
 
 // UpdateString ingests a string key on writer lane lane.
 func (h *HLL) UpdateString(lane int, key string) {
 	hash := murmur.HashString(key, h.seed)
-	h.g.update(lane, hash, hash)
+	h.update(lane, hash, hash)
 }
 
-// Estimate answers the merged distinct-count query by folding every shard's
-// register snapshot into a fresh accumulator. The result reflects all but at
-// most Relaxation() = S·2·N·b of the updates completed before the call.
+// Estimate answers the merged distinct-count query: every shard's register
+// snapshot is folded by register-wise max into a pooled accumulator sketch
+// that is reused across queries (registers zeroed before each fold), so the
+// steady-state query path allocates nothing. Accumulator reuse does not
+// change the answer — register-max into a zeroed array is equivalent to a
+// fresh accumulator per query — nor the staleness contract: the result
+// still reflects all but at most Relaxation() = S·r = S·2·N·b of the
+// updates completed before the call.
 func (h *HLL) Estimate() float64 {
-	acc := hll.New(h.p, h.seed)
-	for _, c := range h.comps {
-		c.SnapshotMerge(acc)
-	}
-	return acc.Estimate()
+	acc := h.acquire()
+	h.MergeInto(acc)
+	est := acc.Estimate()
+	h.release(acc)
+	return est
 }
 
 // Merged returns the merged register snapshot as a standalone sequential
-// sketch. Wait-free, like Estimate.
+// sketch. Wait-free, like Estimate; it folds into a fresh (non-pooled)
+// sketch because the result escapes to the caller.
 func (h *HLL) Merged() *hll.Sketch {
-	acc := hll.New(h.p, h.seed)
-	for _, c := range h.comps {
-		c.SnapshotMerge(acc)
-	}
+	acc := h.NewAccumulator()
+	h.MergeInto(acc)
 	return acc
 }
-
-// Relaxation returns the combined staleness bound S·r for merged queries.
-func (h *HLL) Relaxation() int { return h.g.relaxation() }
-
-// Shards returns S.
-func (h *HLL) Shards() int { return len(h.comps) }
-
-// Eager reports whether every shard is still exact (eager phase).
-func (h *HLL) Eager() bool { return h.g.eager() }
-
-// Close stops all shard propagators and drains every buffer.
-func (h *HLL) Close() { h.g.close() }

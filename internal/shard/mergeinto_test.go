@@ -1,0 +1,183 @@
+package shard_test
+
+// Merge-into equivalence suite: for every family, the three merged-query
+// paths — pooled (family query methods), fresh accumulator per query
+// (NewAccumulator + MergeInto), and one caller-owned accumulator reused via
+// QueryInto across 100 queries — must agree with each other exactly, and
+// with a sequential reference sketch over the same stream where the family
+// is lossless. This is the contract that makes the zero-allocation query
+// plane safe: accumulator reuse must be observationally invisible.
+
+import (
+	"math"
+	"testing"
+
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/murmur"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/shard"
+	"fastsketches/internal/theta"
+)
+
+const reusedQueries = 100
+
+var shardCounts = []int{1, 3, 8}
+
+func TestThetaMergeIntoEquivalence(t *testing.T) {
+	for _, S := range shardCounts {
+		t.Run(map[int]string{1: "1-shard", 3: "3-shard", 8: "8-shard"}[S], func(t *testing.T) {
+			const n = 3000 // < k per shard and < union k → exact mode throughout
+			sk, err := shard.NewTheta(12, shard.Config{Shards: S, MaxError: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := theta.NewQuickSelect(12, murmur.DefaultSeed)
+			for i := 0; i < n; i++ {
+				sk.Update(0, uint64(i))
+				seq.Update(uint64(i))
+			}
+			sk.Close()
+			want := seq.Estimate()
+			if want != n {
+				t.Fatalf("sequential reference not exact: %v", want)
+			}
+			reused := sk.NewAccumulator()
+			for q := 0; q < reusedQueries; q++ {
+				pooled := sk.Estimate()
+				fresh := sk.NewAccumulator()
+				sk.MergeInto(fresh)
+				sk.QueryInto(reused)
+				if pooled != want || fresh.Estimate() != want || reused.Estimate() != want {
+					t.Fatalf("query %d: pooled %v, fresh %v, reused %v, want %v",
+						q, pooled, fresh.Estimate(), reused.Estimate(), want)
+				}
+			}
+		})
+	}
+}
+
+func TestHLLMergeIntoEquivalence(t *testing.T) {
+	for _, S := range shardCounts {
+		t.Run(map[int]string{1: "1-shard", 3: "3-shard", 8: "8-shard"}[S], func(t *testing.T) {
+			const n = 50000
+			sk, err := shard.NewHLL(11, shard.Config{Shards: S, MaxError: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := hll.New(11, murmur.DefaultSeed)
+			for i := 0; i < n; i++ {
+				sk.Update(0, uint64(i))
+				seq.Update(uint64(i))
+			}
+			sk.Close()
+			want := seq.Estimate() // register-max union is lossless → exact match
+			reused := sk.NewAccumulator()
+			for q := 0; q < reusedQueries; q++ {
+				pooled := sk.Estimate()
+				fresh := sk.NewAccumulator()
+				sk.MergeInto(fresh)
+				sk.QueryInto(reused)
+				if pooled != want || fresh.Estimate() != want || reused.Estimate() != want {
+					t.Fatalf("query %d: pooled %v, fresh %v, reused %v, want %v",
+						q, pooled, fresh.Estimate(), reused.Estimate(), want)
+				}
+			}
+		})
+	}
+}
+
+func TestQuantilesMergeIntoEquivalence(t *testing.T) {
+	for _, S := range shardCounts {
+		t.Run(map[int]string{1: "1-shard", 3: "3-shard", 8: "8-shard"}[S], func(t *testing.T) {
+			const n, k = 1 << 14, 128
+			sk, err := shard.NewQuantiles(k, shard.Config{Shards: S, MaxError: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				sk.Update(0, float64(i))
+			}
+			sk.Close()
+			eps := quantiles.EpsilonBound(k, n)
+			reused := sk.NewAccumulator()
+			for q := 0; q < reusedQueries; q++ {
+				phi := float64(q) / float64(reusedQueries-1)
+				pooled := sk.Quantile(phi)
+				fresh := sk.NewAccumulator()
+				sk.MergeInto(fresh)
+				sk.QueryInto(reused)
+				if fresh.Quantile(phi) != pooled || reused.Quantile(phi) != pooled {
+					t.Fatalf("phi=%v: pooled %v, fresh %v, reused %v must be identical",
+						phi, pooled, fresh.Quantile(phi), reused.Quantile(phi))
+				}
+				if reused.N() != n {
+					t.Fatalf("reused accumulator N %d, want %d", reused.N(), n)
+				}
+				// Sequential reference: true normalized rank of the answer.
+				if dev := math.Abs(pooled/float64(n) - phi); phi > 0 && phi < 1 && dev > eps+1.0/float64(n) {
+					t.Errorf("phi=%v: quantile %v deviates %.4f > eps %.4f", phi, pooled, dev, eps)
+				}
+			}
+		})
+	}
+}
+
+func TestCountMinMergeIntoEquivalence(t *testing.T) {
+	for _, S := range shardCounts {
+		t.Run(map[int]string{1: "1-shard", 3: "3-shard", 8: "8-shard"}[S], func(t *testing.T) {
+			const keys, reps = 128, 37
+			sk, err := shard.NewCountMin(0.01, 0.01, shard.Config{Shards: S, MaxError: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := countmin.NewWithError(0.01, 0.01, murmur.DefaultSeed)
+			for r := 0; r < reps; r++ {
+				for k := uint64(0); k < keys; k++ {
+					sk.Update(0, k)
+					seq.Update(k)
+				}
+			}
+			sk.Close()
+			reused := sk.NewAccumulator()
+			for q := 0; q < reusedQueries; q++ {
+				fresh := sk.Merged()
+				sk.QueryInto(reused)
+				if fresh.N() != seq.N() || reused.N() != seq.N() {
+					t.Fatalf("query %d: fresh N %d, reused N %d, sequential %d",
+						q, fresh.N(), reused.N(), seq.N())
+				}
+				key := uint64(q % keys)
+				if fresh.Estimate(key) != seq.Estimate(key) || reused.Estimate(key) != seq.Estimate(key) {
+					t.Fatalf("query %d key %d: fresh %d, reused %d, sequential %d",
+						q, key, fresh.Estimate(key), reused.Estimate(key), seq.Estimate(key))
+				}
+			}
+		})
+	}
+}
+
+func TestMergeIntoAccumulatesAcrossSketches(t *testing.T) {
+	// MergeInto (unlike QueryInto) must not reset: folding two sharded
+	// sketches into one accumulator summarises the union of their streams.
+	a, err := shard.NewTheta(12, shard.Config{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shard.NewTheta(12, shard.Config{Shards: 4, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a.Update(0, uint64(i))
+		b.Update(0, uint64(i+500)) // overlap: union must count 1500 distinct
+	}
+	a.Close()
+	b.Close()
+	acc := a.NewAccumulator()
+	a.MergeInto(acc)
+	b.MergeInto(acc)
+	if est := acc.Estimate(); est != 1500 {
+		t.Errorf("cross-sketch union estimate %v, want exactly 1500", est)
+	}
+}

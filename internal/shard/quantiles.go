@@ -3,7 +3,6 @@ package shard
 import (
 	"math"
 
-	"fastsketches/internal/core"
 	"fastsketches/internal/murmur"
 	"fastsketches/internal/quantiles"
 )
@@ -13,10 +12,11 @@ import (
 // balanced for diverse streams), and queries merge the S immutable shard
 // summaries on demand. Summary merging is exact — weights and order are
 // preserved — so the merged rank error is bounded by the worst shard's ε.
+// It is a thin descriptor over the generic Sharded layer: the accumulator
+// is a quantiles.Accumulator that merges shard summaries over reused
+// ping-ponged buffers instead of allocating a fresh Summary per fold.
 type Quantiles struct {
-	g     group[float64]
-	comps []*quantiles.Composable
-	k     int
+	*Sharded[float64, *quantiles.Accumulator, *quantiles.Composable]
 }
 
 // NewQuantiles builds and starts a sharded concurrent quantiles sketch with
@@ -28,55 +28,68 @@ func NewQuantiles(k int, cfg Config) (*Quantiles, error) {
 	if cfg.BufferSize == 0 {
 		cfg.BufferSize = 64 // quantiles propagations republish a snapshot; amortise
 	}
-	q := &Quantiles{
-		comps: make([]*quantiles.Composable, cfg.Shards),
-		k:     k,
-	}
-	globals := make([]core.Global[float64], cfg.Shards)
-	for i := range q.comps {
-		c := quantiles.NewComposable(k, quantiles.NewRandomBits(int64(cfg.Seed)+int64(i)))
-		q.comps[i] = c
-		globals[i] = c
-	}
-	q.g = newGroup[float64](&cfg, k, globals)
-	return q, nil
+	seed := cfg.Seed
+	return &Quantiles{
+		Sharded: newSharded[float64](&cfg, k,
+			func(i int) *quantiles.Composable {
+				return quantiles.NewComposable(k, quantiles.NewRandomBits(int64(seed)+int64(i)))
+			},
+			quantiles.NewAccumulator,
+		),
+	}, nil
 }
 
 // Update ingests one value on writer lane lane.
 func (q *Quantiles) Update(lane int, v float64) {
-	q.g.update(lane, murmur.HashUint64(math.Float64bits(v), q.g.routeSeed), v)
+	q.update(lane, murmur.HashUint64(math.Float64bits(v), q.g.routeSeed), v)
 }
 
 // Summary returns the merged summary over all shard snapshots — an immutable
 // view supporting many queries. Wait-free: one atomic pointer load per shard
-// plus the fold. The view reflects all but at most Relaxation() of the
-// updates completed before the call.
+// plus the fold (through a pooled, reused accumulator), with one allocation
+// for the returned copy since it escapes. The view reflects all but at most
+// Relaxation() of the updates completed before the call. Scalar queries
+// (Quantile, Rank, N) skip the copy and allocate nothing steady-state.
 func (q *Quantiles) Summary() *quantiles.Summary {
-	var acc *quantiles.Summary
-	for _, c := range q.comps {
-		acc = c.SnapshotMerge(acc)
+	if len(q.comps) == 1 {
+		// Single shard: the published snapshot is already an immutable
+		// merged view — share it, zero copies.
+		return q.comps[0].Snapshot()
 	}
-	return acc
+	acc := q.acquire()
+	q.MergeInto(acc)
+	s := acc.Summary()
+	q.release(acc)
+	return s
 }
 
-// Quantile returns an element of the merged summary whose normalized rank is
-// ≈ phi.
-func (q *Quantiles) Quantile(phi float64) float64 { return q.Summary().Quantile(phi) }
+// Quantile returns an element of the merged state whose normalized rank is
+// ≈ phi, folding through a pooled reused accumulator (no steady-state
+// allocation).
+func (q *Quantiles) Quantile(phi float64) float64 {
+	acc := q.acquire()
+	q.MergeInto(acc)
+	v := acc.Quantile(phi)
+	q.release(acc)
+	return v
+}
 
-// Rank returns the estimated normalized rank of v in the merged summary.
-func (q *Quantiles) Rank(v float64) float64 { return q.Summary().Rank(v) }
+// Rank returns the estimated normalized rank of v in the merged state,
+// folding through a pooled reused accumulator.
+func (q *Quantiles) Rank(v float64) float64 {
+	acc := q.acquire()
+	q.MergeInto(acc)
+	r := acc.Rank(v)
+	q.release(acc)
+	return r
+}
 
-// N returns the item count of the merged summary.
-func (q *Quantiles) N() uint64 { return q.Summary().N() }
-
-// Relaxation returns the combined staleness bound S·r for merged queries.
-func (q *Quantiles) Relaxation() int { return q.g.relaxation() }
-
-// Shards returns S.
-func (q *Quantiles) Shards() int { return len(q.comps) }
-
-// Eager reports whether every shard is still exact (eager phase).
-func (q *Quantiles) Eager() bool { return q.g.eager() }
-
-// Close stops all shard propagators and drains every buffer.
-func (q *Quantiles) Close() { q.g.close() }
+// N returns the item count of the merged state, folding through a pooled
+// reused accumulator.
+func (q *Quantiles) N() uint64 {
+	acc := q.acquire()
+	q.MergeInto(acc)
+	n := acc.N()
+	q.release(acc)
+	return n
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"sync"
+
+	"fastsketches/internal/core"
+)
+
+// Accumulator is the reusable merge target of a sketch family. Reset must
+// restore the empty state while retaining capacity, so one accumulator can
+// serve an unbounded sequence of merged queries without allocating.
+type Accumulator interface{ Reset() }
+
+// Mergeable is the uniform contract a family's concurrent composable
+// satisfies toward the generic sharded layer: the core framework's Global
+// interface for ingestion, plus a wait-free fold of the published snapshot
+// into a caller-owned accumulator for the merge-on-query plane.
+type Mergeable[T any, A Accumulator] interface {
+	core.Global[T]
+	// SnapshotMergeInto folds the latest published snapshot into acc. It
+	// must be wait-free, safe concurrently with ingestion, and must not
+	// retain acc: repeatedly reusing one Reset accumulator must be
+	// equivalent to folding into a fresh accumulator per query.
+	SnapshotMergeInto(acc A)
+}
+
+// Sharded is the generic sharded sketch underlying all four families: S
+// independent concurrent composables striped by key hash (the group layer),
+// plus the allocation-free merge-on-query plane — a sync.Pool of reusable
+// accumulators, so steady-state merged queries allocate nothing. The family
+// wrappers (Theta, HLL, Quantiles, CountMin) embed a *Sharded and add only
+// their hash routing and family-specific query signatures.
+type Sharded[T any, A Accumulator, C Mergeable[T, A]] struct {
+	g     group[T]
+	comps []C
+	mkAcc func() A
+	accs  sync.Pool
+}
+
+// newSharded builds and starts one sharded sketch from a family descriptor:
+// mkComp constructs the per-shard concurrent composable (shard index i is
+// provided so families can decorrelate per-shard randomness) and mkAcc
+// constructs an empty accumulator for the pool.
+func newSharded[T any, A Accumulator, C Mergeable[T, A]](
+	cfg *Config, k int, mkComp func(i int) C, mkAcc func() A,
+) *Sharded[T, A, C] {
+	s := &Sharded[T, A, C]{
+		comps: make([]C, cfg.Shards),
+		mkAcc: mkAcc,
+	}
+	globals := make([]core.Global[T], cfg.Shards)
+	for i := range s.comps {
+		c := mkComp(i)
+		s.comps[i] = c
+		globals[i] = c
+	}
+	s.g = newGroup[T](cfg, k, globals)
+	s.accs.New = func() any { return mkAcc() }
+	return s
+}
+
+// update ingests item on writer lane lane of the shard selected by routeHash.
+func (s *Sharded[T, A, C]) update(lane int, routeHash uint64, item T) {
+	s.g.update(lane, routeHash, item)
+}
+
+// MergeInto folds every shard's published snapshot into acc without
+// resetting it first, so a fold can accumulate across several sketches.
+// Wait-free: one atomic snapshot load per shard plus the fold; no shard's
+// propagator is ever blocked. The combined state reflects all but at most
+// Relaxation() = S·r of the updates completed before the call.
+func (s *Sharded[T, A, C]) MergeInto(acc A) {
+	for _, c := range s.comps {
+		c.SnapshotMergeInto(acc)
+	}
+}
+
+// QueryInto resets acc and folds every shard's published snapshot into it —
+// the merged-query path for callers that own their accumulator and want
+// zero allocation without touching the internal pool. Reusing one
+// accumulator across queries is equivalent to a fresh accumulator per
+// query, and the S·r staleness bound of MergeInto applies unchanged.
+func (s *Sharded[T, A, C]) QueryInto(acc A) {
+	acc.Reset()
+	s.MergeInto(acc)
+}
+
+// NewAccumulator returns a fresh, empty accumulator of this sketch's family
+// and dimensions, for callers using QueryInto/MergeInto. The accumulator is
+// caller-owned: reuse it across queries (QueryInto resets it) but not from
+// multiple goroutines at once.
+func (s *Sharded[T, A, C]) NewAccumulator() A { return s.mkAcc() }
+
+// acquire returns a Reset accumulator from the pool. Callers must release
+// it after extracting scalar results; an accumulator must not be released
+// while anything still references its internal state.
+func (s *Sharded[T, A, C]) acquire() A {
+	acc := s.accs.Get().(A)
+	acc.Reset()
+	return acc
+}
+
+// release returns a pooled accumulator.
+func (s *Sharded[T, A, C]) release(acc A) { s.accs.Put(acc) }
+
+// Relaxation returns the combined staleness bound S·r = S·2·N·b for merged
+// queries: the maximum number of completed updates a cross-shard fold may
+// miss (Theorem 1 applied per shard and summed).
+func (s *Sharded[T, A, C]) Relaxation() int { return s.g.relaxation() }
+
+// Shards returns S.
+func (s *Sharded[T, A, C]) Shards() int { return len(s.comps) }
+
+// Eager reports whether every shard is still in its exact eager phase;
+// while true, merged queries reflect every completed update.
+func (s *Sharded[T, A, C]) Eager() bool { return s.g.eager() }
+
+// Close stops all shard propagators and drains every buffer; afterwards
+// merged queries summarise the entire ingested stream with no relaxation
+// residue. Call once, after all writer goroutines stop.
+func (s *Sharded[T, A, C]) Close() { s.g.close() }

@@ -107,6 +107,44 @@ func TestStressThetaEagerPrologueExact(t *testing.T) {
 	}
 }
 
+func TestStressAccumulatorReuseUnderContention(t *testing.T) {
+	// The pooled merge-on-query plane under heavy querier contention: many
+	// goroutines hammer the sketch's accumulator pool (Estimate/N) and their
+	// own reused accumulators (QueryInto) while writers ingest. Every answer
+	// must stay inside the c1 − S·r ≤ got ≤ c2 envelope — a pool bug that
+	// handed one accumulator to two queriers, or a Reset that left residue,
+	// would breach it (upper: double-counted fold; lower: clobbered fold).
+	cfg := adversary.StressConfig{
+		Shards: 4, Writers: 4, BufferSize: 4,
+		UpdatesPerWriter: 15000, Queriers: 8,
+		MaxError: 1.0,
+	}
+	if testing.Short() {
+		cfg.UpdatesPerWriter = 3000
+		cfg.Queriers = 4
+	}
+	for name, stress := range map[string]func(adversary.StressConfig) (adversary.StressReport, error){
+		"countmin": adversary.StressCountTotals,
+		"theta":    adversary.StressThetaDistinct,
+	} {
+		t.Run(name, func(t *testing.T) {
+			rep, err := stress(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s pooled-path stress: %d queries over %d queriers, bound S·r=%d, worst deficit %d",
+				name, rep.Queries, cfg.Queriers, rep.Bound, rep.WorstDeficit)
+			if rep.Queries == 0 {
+				t.Fatal("queriers never ran")
+			}
+			if rep.LowerViolations != 0 || rep.UpperViolations != 0 {
+				t.Errorf("accumulator-reuse violations: %d lower, %d upper (bound %d)",
+					rep.LowerViolations, rep.UpperViolations, rep.Bound)
+			}
+		})
+	}
+}
+
 func TestStressManyShardsManyWriters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")

@@ -92,15 +92,21 @@ func (c *Composable) EnableSnapshots() {
 // load; safe concurrently with merges.
 func (c *Composable) Snapshot() *CompactSketch { return c.snap.Load() }
 
-// SnapshotMerge folds the latest published snapshot into the union
+// SnapshotMergeInto folds the latest published snapshot into the union
 // accumulator — the merge-on-query path of a sharded deployment: each
 // shard's global sketch is snapshotted wait-free and folded into acc, so a
 // cross-shard query never blocks any shard's propagator. Requires
 // EnableSnapshots.
-func (c *Composable) SnapshotMerge(acc *Union) {
+//
+// acc is caller-owned and reusable: the fold only reads the published
+// snapshot (never retains a reference to acc or vice versa), so a hot query
+// path can Reset one Union and fold every shard into it on each query
+// without allocating. Repeated reuse is equivalent to a fresh accumulator
+// per query.
+func (c *Composable) SnapshotMergeInto(acc *Union) {
 	s := c.snap.Load()
 	if s == nil {
-		panic("theta: SnapshotMerge requires EnableSnapshots before ingestion")
+		panic("theta: SnapshotMergeInto requires EnableSnapshots before ingestion")
 	}
 	if s.seed != acc.gadget.seed {
 		panic("theta: cannot merge sketches with different seeds")

@@ -178,7 +178,7 @@ func TestSnapshotMergeEqualsSequential(t *testing.T) {
 					seq.UpdateHash(h)
 				}
 				c.MergeBuffer(batch)
-				c.SnapshotMerge(u)
+				c.SnapshotMergeInto(u)
 			}
 			n := float64(tc.shards * tc.perShard)
 			got := u.Estimate()
@@ -199,7 +199,7 @@ func TestSnapshotMergeEqualsSequential(t *testing.T) {
 }
 
 func TestSnapshotMergeLiveDuringIngestion(t *testing.T) {
-	// SnapshotMerge must be callable concurrently with MergeBuffer and always
+	// SnapshotMergeInto must be callable concurrently with MergeBuffer and always
 	// see a consistent published state (estimate never exceeds ingested).
 	c := NewComposable(10, testSeed)
 	c.EnableSnapshots()
@@ -225,7 +225,7 @@ func TestSnapshotMergeLiveDuringIngestion(t *testing.T) {
 		}
 		before := ingested.Load()
 		u := NewUnion(10, testSeed)
-		c.SnapshotMerge(u)
+		c.SnapshotMergeInto(u)
 		est := u.Estimate()
 		after := ingested.Load()
 		_ = before
@@ -240,8 +240,8 @@ func TestSnapshotMergeRequiresEnable(t *testing.T) {
 	c := NewComposable(10, testSeed)
 	defer func() {
 		if recover() == nil {
-			t.Error("SnapshotMerge without EnableSnapshots must panic")
+			t.Error("SnapshotMergeInto without EnableSnapshots must panic")
 		}
 	}()
-	c.SnapshotMerge(NewUnion(10, testSeed))
+	c.SnapshotMergeInto(NewUnion(10, testSeed))
 }

@@ -1,0 +1,44 @@
+//go:build !race
+
+package fastsketches_test
+
+// TestMergedQueryZeroAlloc turns the PR's headline claim into an enforced
+// contract: steady-state merged queries through the pooled registry path
+// (and the caller-owned QueryInto path) must not allocate. CI's bench-smoke
+// job runs this test without the race detector; it is excluded under -race
+// because the race-mode sync.Pool intentionally drops puts at random, so
+// pool misses (and their allocations) are expected there.
+
+import (
+	"testing"
+
+	"fastsketches/internal/mergedbench"
+)
+
+func TestMergedQueryZeroAlloc(t *testing.T) {
+	// 4 shards so the quantiles fold exercises the ping-ponged scratch
+	// buffers, not just the first-summary copy.
+	suite, err := mergedbench.NewSuite(4, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sinkF float64
+	var sinkU uint64
+	thAcc := suite.Theta.NewAccumulator()
+	cmAcc := suite.CountMin.NewAccumulator()
+	// AllocsPerRun's warm-up call primes each sketch's accumulator pool and
+	// grows the reused buffers to steady state before counting.
+	paths := map[string]func(){
+		"theta/pooled":       func() { sinkF = suite.Theta.Estimate() },
+		"theta/queryinto":    func() { suite.Theta.QueryInto(thAcc); sinkF = thAcc.Estimate() },
+		"hll/pooled":         func() { sinkF = suite.HLL.Estimate() },
+		"quantiles/pooled":   func() { sinkF = suite.Quantiles.Quantile(0.99) },
+		"countmin/queryinto": func() { suite.CountMin.QueryInto(cmAcc); sinkU = cmAcc.Estimate(7) },
+	}
+	for name, fn := range paths {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op steady-state, want 0", name, allocs)
+		}
+	}
+	_, _ = sinkF, sinkU
+}

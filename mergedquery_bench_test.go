@@ -1,0 +1,29 @@
+package fastsketches_test
+
+// BenchmarkMergedQuery measures the merged-query plane across shard counts
+// and query paths (pooled / queryinto / fresh — see internal/mergedbench,
+// which benchrunner's mergedquery scenario shares so both surfaces measure
+// the same code).
+//
+// Run: go test -bench=MergedQuery -benchtime=100x -run='^$' .
+// CI runs exactly that as an allocation smoke; the hard zero-alloc contract
+// is enforced by TestMergedQueryZeroAlloc.
+
+import (
+	"fmt"
+	"testing"
+
+	"fastsketches/internal/mergedbench"
+)
+
+func BenchmarkMergedQuery(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		suite, err := mergedbench.NewSuite(shards, 1<<15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range suite.Cases() {
+			b.Run(fmt.Sprintf("%s/%s/shards=%d", c.Family, c.Path, shards), c.Fn)
+		}
+	}
+}

@@ -5,7 +5,11 @@ import (
 	"sort"
 	"sync"
 
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/quantiles"
 	"fastsketches/internal/shard"
+	"fastsketches/internal/theta"
 )
 
 // RegistryConfig parameterises a Registry and the sharded sketches it
@@ -130,6 +134,14 @@ func (c *RegistryConfig) shardConfig() shard.Config {
 // writer lane l of any sketch must be driven by one goroutine at a time.
 // Merged queries are wait-free and may run at any time; each reflects all
 // but at most S·2·Writers·b of the updates that completed before it.
+//
+// Merged queries are also allocation-free steady-state: every named sketch
+// owns a sync.Pool of reusable merge accumulators (a theta.Union, an HLL
+// register array, a quantiles.Accumulator, a Count-Min counter grid), so
+// Estimate/Quantile/Rank/N reset a pooled accumulator and fold the S shard
+// snapshots into it instead of allocating per query. Callers that prefer to
+// own the accumulator — e.g. one per reader goroutine — use the per-family
+// QueryInto methods (or NewAccumulator/QueryInto on the sketch itself).
 type Registry struct {
 	cfg    RegistryConfig
 	mu     sync.RWMutex
@@ -228,6 +240,38 @@ func (r *Registry) CountMin(name string) *shard.CountMin {
 		}
 		return sk
 	})
+}
+
+// ThetaQueryInto answers the named Θ sketch's merged distinct-count query
+// by resetting the caller-owned acc and folding every shard snapshot into
+// it — the zero-allocation query plane for callers that keep an accumulator
+// per reader goroutine. Build acc with reg.Theta(name).NewAccumulator().
+// The S·r staleness bound of Estimate applies unchanged; the estimate is
+// read off acc, which stays valid until its next reuse.
+func (r *Registry) ThetaQueryInto(name string, acc *theta.Union) float64 {
+	r.Theta(name).QueryInto(acc)
+	return acc.Estimate()
+}
+
+// HLLQueryInto is ThetaQueryInto for the named HLL sketch.
+func (r *Registry) HLLQueryInto(name string, acc *hll.Sketch) float64 {
+	r.HLL(name).QueryInto(acc)
+	return acc.Estimate()
+}
+
+// QuantilesQueryInto resets the caller-owned acc and folds the named
+// quantiles sketch's shard summaries into it; query acc (Quantile, Rank, N)
+// until its next reuse.
+func (r *Registry) QuantilesQueryInto(name string, acc *quantiles.Accumulator) {
+	r.Quantiles(name).QueryInto(acc)
+}
+
+// CountMinQueryInto resets the caller-owned acc and folds the named
+// Count-Min sketch's counters into it — the aggregate (S·r-bounded) view;
+// per-key estimates that only need the owning shard should use
+// CountMin(name).Estimate instead.
+func (r *Registry) CountMinQueryInto(name string, acc *countmin.Sketch) {
+	r.CountMin(name).QueryInto(acc)
 }
 
 // Names lists every registered sketch, sorted, as "family/name".

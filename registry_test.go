@@ -131,6 +131,107 @@ func TestRegistryEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRegistryConcurrentFirstUseAndQueryRace(t *testing.T) {
+	// Race the whole first-use window under -race (CI runs this suite with
+	// the race detector): many goroutines simultaneously trigger creation of
+	// the same named sketch while others update it on their own lanes and
+	// query it through both the pooled path (Estimate) and the caller-owned
+	// accumulator path (ThetaQueryInto with one accumulator per goroutine).
+	const goroutines, iters = 12, 200
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 2, Writers: goroutines,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			switch g % 3 {
+			case 0: // creator + writer: lane g is owned by this goroutine only
+				for i := 0; i < iters; i++ {
+					reg.Theta("hot").Update(g, uint64(g)<<32|uint64(i))
+				}
+			case 1: // pooled queriers, plus first-use races on other families
+				for i := 0; i < iters; i++ {
+					_ = reg.Theta("hot").Estimate()
+					_ = reg.CountMin("hot").N()
+					_ = reg.Names()
+				}
+			case 2: // owned-accumulator queriers
+				acc := reg.Theta("hot").NewAccumulator()
+				for i := 0; i < iters; i++ {
+					_ = reg.ThetaQueryInto("hot", acc)
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	sk := reg.Theta("hot")
+	reg.Close()
+	// 4 writer goroutines (g = 0, 3, 6, 9) each ingested `iters` distinct
+	// keys; well under k per shard, so the merged estimate is exact.
+	if est, want := sk.Estimate(), float64(4*iters); est != want {
+		t.Errorf("estimate after racing creation/queries = %v, want exactly %v", est, want)
+	}
+}
+
+func TestRegistryQueryIntoMatchesPooled(t *testing.T) {
+	// The four QueryInto facades must agree with the pooled query methods,
+	// and one accumulator must survive reuse across names.
+	// Default MaxError keeps every shard eager for this stream size, so the
+	// registry stays live (facades need an open registry) while published
+	// snapshots are exact and stable between the paired queries below.
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 4, CountMinEpsilon: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for i := 0; i < 2000; i++ {
+		reg.Theta("a").Update(0, uint64(i))
+		reg.Theta("b").Update(0, uint64(i%100))
+		reg.HLL("a").Update(0, uint64(i))
+		reg.Quantiles("a").Update(0, float64(i))
+		reg.CountMin("a").Update(0, uint64(i%32))
+	}
+	if !reg.Theta("a").Eager() {
+		t.Fatal("test premise broken: sketch left the eager phase")
+	}
+
+	thAcc := reg.Theta("a").NewAccumulator()
+	for _, name := range []string{"a", "b", "a"} { // reuse across names and back
+		if got, want := reg.ThetaQueryInto(name, thAcc), reg.Theta(name).Estimate(); got != want {
+			t.Errorf("theta %q: QueryInto %v != pooled %v", name, got, want)
+		}
+	}
+	hlAcc := reg.HLL("a").NewAccumulator()
+	if got, want := reg.HLLQueryInto("a", hlAcc), reg.HLL("a").Estimate(); got != want {
+		t.Errorf("hll: QueryInto %v != pooled %v", got, want)
+	}
+	quAcc := reg.Quantiles("a").NewAccumulator()
+	reg.QuantilesQueryInto("a", quAcc)
+	if got, want := quAcc.Quantile(0.5), reg.Quantiles("a").Quantile(0.5); got != want {
+		t.Errorf("quantiles: QueryInto median %v != pooled %v", got, want)
+	}
+	cmAcc := reg.CountMin("a").NewAccumulator()
+	reg.CountMinQueryInto("a", cmAcc)
+	if got, want := cmAcc.N(), reg.CountMin("a").N(); got != want {
+		t.Errorf("countmin: QueryInto N %d != aggregate N %d", got, want)
+	}
+	// The merged grid sums all shards, so its one-sided estimate dominates
+	// the owning shard's (which itself never underestimates the truth).
+	if got, perKey := cmAcc.Estimate(7), reg.CountMin("a").Estimate(7); got < perKey {
+		t.Errorf("countmin: merged estimate %d below per-key estimate %d", got, perKey)
+	}
+}
+
 func TestRegistryCloseIdempotentAndFinal(t *testing.T) {
 	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
 	if err != nil {

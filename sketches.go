@@ -60,6 +60,13 @@
 // writer contention, but a larger combined S·r window for cross-shard
 // queries. Eager small-stream semantics also hold per shard — every shard
 // answers exactly until its own substream exceeds 2/e².
+//
+// Merged queries are allocation-free steady-state: each named sketch pools
+// reusable merge accumulators, and query methods reset one and fold the
+// shard snapshots into it rather than allocating per query. Callers that
+// prefer to own the accumulator (one per reader goroutine, say) build one
+// with the sketch's NewAccumulator and query through QueryInto or the
+// registry's per-family QueryInto facades.
 package fastsketches
 
 import (
