@@ -16,6 +16,7 @@
 //	benchrunner quantiles-error Section 6.2 ε_r validation
 //	benchrunner sharded         shard-count sweep: throughput vs S·r staleness
 //	benchrunner mergedquery     merged-query plane: ns/op + allocs/op per path
+//	benchrunner reshard         live resharding: throughput timeline across epoch swaps
 //	benchrunner all             everything above, in order
 //
 // Use -quick for a fast smoke run (small sweeps, few trials) and -full for
@@ -29,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -76,7 +78,7 @@ func main() {
 	quick := flag.Bool("quick", false, "fast smoke-run parameters")
 	full := flag.Bool("full", false, "paper-scale parameters (very slow)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -118,11 +120,12 @@ func main() {
 		"quantiles-error": quantilesError,
 		"sharded":         sharded,
 		"mergedquery":     mergedQuery,
+		"reshard":         reshard,
 	}
 	if test == "all" {
 		order := []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
 			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded",
-			"mergedquery"}
+			"mergedquery", "reshard"}
 		for _, name := range order {
 			run(name, tests[name])
 		}
@@ -447,6 +450,117 @@ func mergedQuery(sc scale) {
 				c.Family, s, c.Path, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp())
 		}
 	}
+}
+
+// reshard: the live-resharding scenario — writers hammer a sharded Θ sketch
+// for a fixed wall-clock run while a resizer grows the group mid-run and
+// collapses it again later; a sampler reports the ingest-throughput
+// timeline in fixed windows. The output shows the throughput dip during
+// each epoch-swap transition (building the new shard frameworks, the writer
+// grace period, draining and folding the old shards) and the new
+// steady-state level after it, together with the relaxation bound S·r the
+// query plane pays at each instant — the throughput/staleness trade-off
+// being walked live. The final column marks samples that overlap a Resize
+// call; the summary lines report each transition's wall-clock drain time.
+func reshard(sc scale) {
+	writers := sc.maxThreads
+	if writers > 4 {
+		writers = 4
+	}
+	runFor := 3 * time.Second
+	switch {
+	case sc.lgMaxU <= quickScale.lgMaxU:
+		runFor = time.Second
+	case sc.lgMaxU >= fullScale.lgMaxU:
+		runFor = 10 * time.Second
+	}
+	const window = 25 * time.Millisecond
+	schedule := []struct {
+		at time.Duration // absolute offset into the run
+		S  int
+	}{{runFor / 3, 8}, {2 * runFor / 3, 2}}
+
+	sk, err := shard.NewTheta(12, shard.Config{Shards: 2, Writers: writers, MaxError: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var updates atomic.Int64
+	var resizing atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := 0; j < 256; j++ { // amortise the stop check
+					sk.Update(w, base+i*256+uint64(j))
+				}
+				updates.Add(256)
+			}
+		}(w)
+	}
+
+	type transition struct {
+		from, to int
+		at, took time.Duration
+	}
+	var transitions []transition
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		start := time.Now()
+		for _, step := range schedule {
+			select {
+			case <-stop:
+				return
+			case <-time.After(step.at - time.Since(start)):
+			}
+			from := sk.Shards()
+			resizing.Store(true)
+			t0 := time.Now()
+			if err := sk.Resize(step.S); err != nil {
+				// A failed live resize is the one thing this scenario exists
+				// to catch: fail the process so the CI smoke step goes red.
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			took := time.Since(t0)
+			resizing.Store(false)
+			transitions = append(transitions, transition{from, step.S, step.at, took})
+		}
+	}()
+
+	fmt.Println("t_ms\tingest_Mops\tshards\trelaxation_Sr\tresizing")
+	start := time.Now()
+	last := int64(0)
+	for time.Since(start) < runFor {
+		time.Sleep(window)
+		now := updates.Load()
+		mops := float64(now-last) / window.Seconds() / 1e6
+		last = now
+		inResize := 0
+		if resizing.Load() {
+			inResize = 1
+		}
+		fmt.Printf("%d\t%.2f\t%d\t%d\t%d\n",
+			time.Since(start).Milliseconds(), mops, sk.Shards(), sk.Relaxation(), inResize)
+	}
+	close(stop)
+	wg.Wait()
+	sk.Close()
+	for _, tr := range transitions {
+		fmt.Printf("# resize %d→%d at %v drained in %v\n", tr.from, tr.to, tr.at, tr.took)
+	}
+	fmt.Printf("# total ingested: %d updates; final estimate %.0f\n", updates.Load(), sk.Estimate())
 }
 
 // quantilesError: Section 6.2 validation — the relaxed PAC bound ε_r holds

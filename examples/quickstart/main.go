@@ -1,6 +1,12 @@
 // Quickstart: the smallest useful program — count distinct elements in a
 // stream with multiple concurrent writers and query the estimate live while
 // ingestion is running.
+//
+// Where to go next: examples/sharded runs many named sketches behind the
+// sharded Registry (including the zero-allocation QueryInto query plane
+// for readers that own their merge accumulator), and examples/resharding
+// shows Registry.ResizeTheta live-resizing a sketch's shard group — the
+// throughput/staleness dial — under full write load.
 package main
 
 import (

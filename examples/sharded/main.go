@@ -12,7 +12,13 @@
 //     at most S·r = S·2·N·b completed updates (the combined relaxation
 //     bound — the paper's Theorem 1 applied shard-wise and summed);
 //   - per-key queries (Count-Min frequencies) touch only the owning shard
-//     and keep the tighter single-shard bound r.
+//     and keep the tighter single-shard bound r;
+//   - readers that want to avoid even the pooled accumulator can own one:
+//     NewAccumulator + QueryInto give a zero-allocation merged query per
+//     reader goroutine (see the monitor below);
+//   - the shard count is live-tunable: Registry.ResizeTheta (and the other
+//     family facades) reshards a named sketch under full write fire — see
+//     examples/resharding for that walkthrough.
 //
 // The walkthrough simulates a tiny analytics service: per-tenant unique
 // visitors (Θ), request latency quantiles, and per-endpoint hit counts,
@@ -57,11 +63,17 @@ func main() {
 	stop := make(chan struct{})
 
 	// Monitor: live merged queries while ingestion runs. Wait-free — it
-	// never blocks a propagator or a writer.
+	// never blocks a propagator or a writer. The visitors query goes
+	// through the caller-owned plane: one Union accumulator owned by this
+	// goroutine, reset and refolded by QueryInto on every report, so the
+	// monitor allocates nothing however often it polls (the pooled query
+	// methods used for latency/endpoints are equally allocation-free, just
+	// pool-managed).
 	var monitorWG sync.WaitGroup
 	monitorWG.Add(1)
 	go func() {
 		defer monitorWG.Done()
+		visitorsAcc := visitors.NewAccumulator()
 		lastReport := int64(0)
 		for {
 			select {
@@ -71,8 +83,9 @@ func main() {
 			}
 			if done := completed.Load(); done-lastReport >= int64(perLane*writers/4) {
 				lastReport = done
+				visitors.QueryInto(visitorsAcc)
 				fmt.Printf("  live @ %7d updates/stream: visitors≈%8.0f  p99≈%6.1fms  /checkout=%d\n",
-					done, visitors.Estimate(), latency.Quantile(0.99),
+					done, visitorsAcc.Estimate(), latency.Quantile(0.99),
 					endpoints.EstimateString("/checkout"))
 			}
 			runtime.Gosched() // don't busy-steal cycles from the writers

@@ -90,6 +90,264 @@ type StressReport struct {
 	// EagerQueries counts queries issued during the eager prologue;
 	// EagerViolations counts those whose answer was not exact.
 	EagerQueries, EagerViolations int64
+	// Resizes counts live Resize transitions completed during the run
+	// (resize-under-fire scenarios only).
+	Resizes int64
+	// PostResizeQueries counts queries issued strictly after the final
+	// resize completed; those were checked against the tighter steady-state
+	// bound S_final·r instead of the transitional bound.
+	PostResizeQueries int64
+}
+
+// ResizeStressConfig parameterises a resize-under-fire stress run: the
+// base workload of StressConfig plus a schedule of live Resize calls issued
+// while writers and queriers stay active.
+type ResizeStressConfig struct {
+	StressConfig
+	// Schedule is the successive shard counts Resize moves through,
+	// triggered at evenly-spaced points of the ingested stream. Default
+	// {2·Shards, 1, 2·Shards} — grow, collapse, grow again.
+	Schedule []int
+}
+
+func (c *ResizeStressConfig) normalise() {
+	c.StressConfig.normalise()
+	if len(c.Schedule) == 0 {
+		c.Schedule = []int{2 * c.Shards, 1, 2 * c.Shards}
+	}
+}
+
+// bounds returns the transitional and steady-state staleness bounds the
+// envelope is checked against. While resizes may still be in flight every
+// query is checked against the worst transitional bound of the schedule,
+// (S_old + S_new)·r for the widest consecutive pair (the documented bound
+// while a drain is in progress — both epochs' live snapshots are folded).
+// Once the final Resize has returned, queries are held to the tighter
+// steady-state bound S_final·r: retired state is folded exactly and must
+// contribute no staleness at all.
+func (c *ResizeStressConfig) bounds() (transitional, final int64) {
+	perShard := int64(2 * c.Writers * c.BufferSize) // r = 2·N·b (OptParSketch)
+	prev := int64(c.Shards)
+	for _, s := range c.Schedule {
+		if sum := (prev + int64(s)) * perShard; sum > transitional {
+			transitional = sum
+		}
+		prev = int64(s)
+	}
+	if steady := prev * perShard; steady > transitional {
+		transitional = steady
+	}
+	return transitional, prev * perShard
+}
+
+// resizer walks the schedule, issuing each Resize once the ground-truth
+// completed counter crosses the next evenly-spaced threshold (or the
+// writers finish), and flags doneResizing after the last transition has
+// fully drained.
+func resizer(cfg ResizeStressConfig, resize func(int) error,
+	completed *atomic.Int64, writersDone <-chan struct{},
+	doneResizing *atomic.Bool, resizes *int64) error {
+	total := int64(cfg.Writers * cfg.UpdatesPerWriter)
+	for i, s := range cfg.Schedule {
+		threshold := total * int64(i+1) / int64(len(cfg.Schedule)+1)
+	wait:
+		for completed.Load() < threshold {
+			select {
+			case <-writersDone:
+				break wait
+			default:
+				runtime.Gosched()
+			}
+		}
+		if err := resize(s); err != nil {
+			return err
+		}
+		*resizes++
+	}
+	doneResizing.Store(true)
+	return nil
+}
+
+// resizeQuerier runs one query goroutine of a resize-under-fire scenario:
+// query() returns the merged answer (alternating pooled and caller-owned
+// paths is the caller's business). Every answer is checked against
+// c1 − bound ≤ answer ≤ c2, where bound is the transitional bound while
+// resizes may be in flight and the steady-state bound after the final
+// resize has drained. An upper violation (answer > started) would expose a
+// drain that double-counts retired updates; a lower violation a drain that
+// loses them.
+func resizeQuerier(rep *StressReport, stop <-chan struct{},
+	completed, started *atomic.Int64, doneResizing *atomic.Bool,
+	transitional, final int64, worst *atomic.Int64, query func() int64) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		bound := transitional
+		post := doneResizing.Load()
+		if post {
+			bound = final
+		}
+		c1 := completed.Load()
+		got := query()
+		c2 := started.Load()
+		atomic.AddInt64(&rep.Queries, 1)
+		if post {
+			atomic.AddInt64(&rep.PostResizeQueries, 1)
+		}
+		raiseMax(worst, c1-bound-got)
+		if got < c1-bound {
+			atomic.AddInt64(&rep.LowerViolations, 1)
+		}
+		if got > c2 {
+			atomic.AddInt64(&rep.UpperViolations, 1)
+		}
+		runtime.Gosched()
+	}
+}
+
+// resizeStressDriver bundles the family-specific pieces of a resize-under-
+// fire run; runResizeStress supplies the shared orchestration.
+type resizeStressDriver struct {
+	// resize is the sketch's live Resize entry point.
+	resize func(int) error
+	// update ingests the i-th update of writer lane w (ground-truth
+	// counting around it is the runner's business).
+	update func(w, i int)
+	// newQuery returns one querier's merged-query closure; alternating
+	// between the pooled and caller-owned query planes is the driver's
+	// business.
+	newQuery func() func() int64
+}
+
+// runResizeStress is the shared engine of the resize-under-fire scenarios:
+// cfg.Writers writer goroutines drive the driver's update, cfg.Queriers
+// queriers race its merged query through resizeQuerier's phased envelope,
+// and a resizer walks the shard-count schedule in between.
+func runResizeStress(cfg ResizeStressConfig, d resizeStressDriver) (StressReport, error) {
+	transitional, final := cfg.bounds()
+	rep := StressReport{Bound: int(transitional)}
+
+	var completed, started atomic.Int64
+	var doneResizing atomic.Bool
+	var worst atomic.Int64
+	stop := make(chan struct{})
+	writersDone := make(chan struct{})
+	var wg, qwg sync.WaitGroup
+
+	for q := 0; q < cfg.Queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			resizeQuerier(&rep, stop, &completed, &started, &doneResizing,
+				transitional, final, &worst, d.newQuery())
+		}()
+	}
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				started.Add(1)
+				d.update(w, i)
+				completed.Add(1)
+			}
+		}(w)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- resizer(cfg, d.resize, &completed, writersDone, &doneResizing, &rep.Resizes)
+	}()
+	wg.Wait()
+	close(writersDone)
+	err := <-errc
+	close(stop)
+	qwg.Wait()
+	rep.WorstDeficit = worst.Load()
+	return rep, err
+}
+
+// StressResizeCountTotals is StressCountTotals with live resharding layered
+// on top: while writers hammer a sharded Count-Min and queriers race its
+// cross-shard total N(), a resizer goroutine walks the configured shard-
+// count schedule. Every merged answer must stay inside the envelope
+// c1 − bound ≤ N() ≤ c2 with bound the documented transitional staleness
+// bound S_old·r + S_new·r while a drain may be in flight, and the plain
+// S_final·r once the last Resize has returned — so the run asserts both
+// that a transition never loses or double-counts retired updates and that
+// the bound tightens back after the drain.
+func StressResizeCountTotals(cfg ResizeStressConfig) (StressReport, error) {
+	cfg.normalise()
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   1.0, // lazy path throughout; eager resizes are covered by unit tests
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+	const hotKeys = 64
+	return runResizeStress(cfg, resizeStressDriver{
+		resize: sk.Resize,
+		update: func(w, i int) { sk.Update(w, uint64((w*cfg.UpdatesPerWriter+i)%hotKeys)) },
+		newQuery: func() func() int64 {
+			acc := sk.NewAccumulator()
+			i := 0
+			return func() int64 {
+				i++
+				if i%2 == 0 {
+					return int64(sk.N())
+				}
+				sk.QueryInto(acc)
+				return int64(acc.N())
+			}
+		},
+	})
+}
+
+// StressResizeThetaDistinct layers live resharding over StressThetaDistinct:
+// all-distinct keys kept inside every gadget's exact mode, so the merged
+// Union estimate counts propagated distinct keys exactly — across epoch
+// swaps, drains and the legacy fold, which additionally exercises the
+// idempotence of the Θ drain (retired hashes reappear only once however
+// many times they are refolded). The envelope and bound phasing are as in
+// StressResizeCountTotals.
+func StressResizeThetaDistinct(cfg ResizeStressConfig) (StressReport, error) {
+	cfg.normalise()
+	const lgK = 13
+	if budget := 1 << lgK; cfg.Writers*cfg.UpdatesPerWriter > budget {
+		cfg.UpdatesPerWriter = budget / cfg.Writers
+	}
+	sk, err := shard.NewTheta(lgK, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   1.0,
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+	return runResizeStress(cfg, resizeStressDriver{
+		resize: sk.Resize,
+		update: func(w, i int) { sk.Update(w, uint64(w+2)<<40+uint64(i)) },
+		newQuery: func() func() int64 {
+			acc := sk.NewAccumulator()
+			i := 0
+			return func() int64 {
+				i++
+				if i%2 == 0 {
+					return int64(sk.Estimate())
+				}
+				sk.QueryInto(acc)
+				return int64(acc.Estimate())
+			}
+		},
+	})
 }
 
 // StressCountTotals drives a sharded Count-Min and checks its cross-shard

@@ -123,6 +123,14 @@ func (s *Sketch) Merge(other *Sketch) {
 	}
 }
 
+// FoldInto folds the receiver's counters and weight into dst by element-wise
+// addition without mutating the receiver — the retired-state drain hook of
+// the sharded layer's live resharding: a legacy sketch published by a
+// completed Resize is folded into every merged-query accumulator exactly
+// like one more shard snapshot. Allocation-free; the receiver is only read,
+// so concurrent folds into distinct accumulators are safe.
+func (s *Sketch) FoldInto(dst *Sketch) { dst.Merge(s) }
+
 // Reset restores the empty state.
 func (s *Sketch) Reset() {
 	s.n = 0

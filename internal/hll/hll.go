@@ -107,6 +107,14 @@ func (s *Sketch) Merge(other *Sketch) {
 	}
 }
 
+// FoldInto folds the receiver's registers into dst by register-wise max
+// without mutating the receiver — the retired-state drain hook of the
+// sharded layer's live resharding: a legacy sketch published by a completed
+// Resize is folded into every merged-query accumulator exactly like one
+// more shard snapshot. Allocation-free; the receiver is only read, so
+// concurrent folds into distinct accumulators are safe.
+func (s *Sketch) FoldInto(dst *Sketch) { dst.Merge(s) }
+
 // MergeHashes folds a batch of raw hashes into the sketch.
 func (s *Sketch) MergeHashes(hashes []uint64) {
 	for _, h := range hashes {

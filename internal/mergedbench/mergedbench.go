@@ -41,6 +41,21 @@ type Suite struct {
 // NewSuite builds the registry-backed sketches, ingests `uniques` items per
 // family and closes the registry so every case measures a stable snapshot.
 func NewSuite(shards, uniques int) (*Suite, error) {
+	return newSuite(shards, uniques, nil)
+}
+
+// NewSuiteResized is NewSuite with a live-resharding history: each sketch
+// ingests part of the stream at each shard count of the resize schedule
+// before settling on the schedule's last entry. The resulting suite
+// exercises the post-resize query planes — every merged query additionally
+// folds the legacy accumulator holding the retired epochs' drained state —
+// so the zero-allocation contract test and the benchmarks can pin that a
+// resize leaves the steady-state paths allocation-free.
+func NewSuiteResized(shards, uniques int, schedule []int) (*Suite, error) {
+	return newSuite(shards, uniques, schedule)
+}
+
+func newSuite(shards, uniques int, schedule []int) (*Suite, error) {
 	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
 		Shards:          shards,
 		MaxError:        1,
@@ -56,7 +71,22 @@ func NewSuite(shards, uniques int) (*Suite, error) {
 		Quantiles: reg.Quantiles("bench"),
 		CountMin:  reg.CountMin("bench"),
 	}
+	// cuts[p] is the stream position where schedule[p] takes effect,
+	// splitting the stream into len(schedule)+1 roughly equal phases.
+	cuts := make(map[int]int, len(schedule))
+	for p, newS := range schedule {
+		cuts[(p+1)*uniques/(len(schedule)+1)] = newS
+	}
 	for i := 0; i < uniques; i++ {
+		if newS, ok := cuts[i]; ok {
+			for _, resize := range []func(string, int) error{
+				reg.ResizeTheta, reg.ResizeHLL, reg.ResizeQuantiles, reg.ResizeCountMin,
+			} {
+				if err := resize("bench", newS); err != nil {
+					return nil, err
+				}
+			}
+		}
 		s.Theta.Update(0, uint64(i))
 		s.HLL.Update(0, uint64(i))
 		s.Quantiles.Update(0, float64(i%4096))

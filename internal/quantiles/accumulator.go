@@ -70,6 +70,16 @@ func (a *Accumulator) Merge(s *Summary) {
 	a.cur.max = math.Max(a.cur.max, s.max)
 }
 
+// FoldInto folds the receiver's accumulated summary into dst without
+// mutating the receiver — the retired-state drain hook of the sharded
+// layer's live resharding: a legacy Accumulator published by a completed
+// Resize is folded into every merged-query accumulator exactly like one
+// more shard summary. The merge reads the receiver's current state in
+// place (no detached Summary copy), so it allocates nothing once dst's
+// buffers have grown; the receiver is only read, making concurrent folds
+// into distinct accumulators safe.
+func (a *Accumulator) FoldInto(dst *Accumulator) { dst.Merge(&a.cur) }
+
 // N returns the item count of the accumulated state.
 func (a *Accumulator) N() uint64 { return a.cur.n }
 

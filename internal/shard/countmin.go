@@ -58,25 +58,61 @@ func (c *CountMin) UpdateString(lane int, key string) {
 	c.update(lane, c.routeKey(h), h)
 }
 
-// Estimate returns the frequency estimate of key from its owning shard —
-// wait-free, never underestimating the shard's propagated prefix, with the
+// Estimate returns the frequency estimate of key — wait-free, never
+// underestimating the propagated prefix of the key's updates, with the
 // tight single-shard staleness bound r (not S·r). No accumulator involved:
 // the owning shard's counters are read directly.
+//
+// Across resizes the owning shard changes with the routing modulus, so the
+// estimate sums the contributions that can hold the key's counts: the
+// current epoch's owning shard, the draining epoch's owning shard while a
+// Resize transition is in flight, and the legacy sketch holding all retired
+// epochs' counters. Each term is itself a never-underestimating Count-Min
+// read, so the sum never underestimates either; the price of resharding is
+// that the overestimation error after a resize is bounded by ε·N over the
+// legacy (whole retired stream) rather than ε·N_shard. The per-key
+// staleness bound is ShardRelaxation(): r in steady state, r_old + r_new
+// during a transition (legacy state is exact).
 func (c *CountMin) Estimate(key uint64) uint64 {
-	return c.comps[c.g.route(c.routeKey(key))].Estimate(key)
+	return c.estimateHashed(c.routeKey(key), key)
 }
 
 // EstimateString is Estimate for string keys.
 func (c *CountMin) EstimateString(key string) uint64 {
 	h := murmur.HashString(key, c.seed)
-	return c.comps[c.g.route(c.routeKey(h))].Estimate(h)
+	return c.estimateHashed(c.routeKey(h), h)
 }
 
-// N returns the total weight across all shards. As a cross-shard aggregate
-// it reflects all but at most Relaxation() = S·r of the completed updates.
+// estimateHashed sums the owning-shard estimates of every state component
+// that can hold counts for the key: current epoch, draining epoch, legacy.
+func (c *CountMin) estimateHashed(routeHash, key uint64) uint64 {
+	st := c.st.Load()
+	est := st.comps[st.g.route(routeHash)].Estimate(key)
+	if st.old != nil {
+		est += st.old.comps[st.old.g.route(routeHash)].Estimate(key)
+	}
+	if st.hasLegacy {
+		est += st.legacy.Estimate(key)
+	}
+	return est
+}
+
+// N returns the total weight across the sketch's entire state: legacy
+// (retired epochs), the draining epoch during a Resize transition, and
+// every current shard. As a cross-shard aggregate it reflects all but at
+// most Relaxation() of the completed updates.
 func (c *CountMin) N() uint64 {
+	st := c.st.Load()
 	var total uint64
-	for _, comp := range c.comps {
+	if st.hasLegacy {
+		total += st.legacy.N()
+	}
+	if st.old != nil {
+		for _, comp := range st.old.comps {
+			total += comp.N()
+		}
+	}
+	for _, comp := range st.comps {
 		total += comp.N()
 	}
 	return total
@@ -93,6 +129,15 @@ func (c *CountMin) Merged() *countmin.Sketch {
 	return acc
 }
 
-// ShardRelaxation returns the single-shard bound r governing per-key
-// Estimate queries.
-func (c *CountMin) ShardRelaxation() int { return c.g.fws[0].Relaxation() }
+// ShardRelaxation returns the bound governing per-key Estimate queries:
+// the single-shard relaxation r in steady state, transiently r_old + r_new
+// while a Resize transition is draining (the estimate reads one owning
+// shard per live epoch; legacy state is exact and adds no staleness).
+func (c *CountMin) ShardRelaxation() int {
+	st := c.st.Load()
+	r := st.g.fws[0].Relaxation()
+	if st.old != nil {
+		r += st.old.g.fws[0].Relaxation()
+	}
+	return r
+}

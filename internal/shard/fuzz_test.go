@@ -97,3 +97,75 @@ func FuzzMergeIntoEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzResizeEquivalence drives live resharding at arbitrary points of
+// arbitrary streams: the fuzzer picks the initial shard count, two resize
+// target counts and the stream positions where the resizes happen. However
+// the epoch swaps interleave with the stream, the drained state must stay
+// lossless — the exact-mode Θ estimate equals the true distinct count, the
+// Count-Min totals and reference per-key aggregates are exact, and the
+// pooled/fresh/reused query paths agree.
+func FuzzResizeEquivalence(f *testing.F) {
+	f.Add([]byte("resize me under fire"), uint8(2), uint8(6), uint8(1), uint16(5), uint16(11))
+	f.Add([]byte{9, 9, 9, 9, 0, 1, 2, 3, 4, 5, 6, 7}, uint8(1), uint8(8), uint8(3), uint16(0), uint16(3))
+	f.Add([]byte{255, 0, 255, 0, 42}, uint8(4), uint8(4), uint8(2), uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, s0, s1, s2 uint8, cut1, cut2 uint16) {
+		keys := fuzzKeys(data)
+		if len(keys) == 0 {
+			t.Skip()
+		}
+		if len(keys) > 1000 {
+			keys = keys[:1000]
+		}
+		S0 := 1 + int(s0)%6
+		resizes := map[int]int{ // stream position → new shard count
+			int(cut1) % len(keys): 1 + int(s1)%6,
+			int(cut2) % len(keys): 1 + int(s2)%6,
+		}
+		th, err := shard.NewTheta(10, shard.Config{Shards: S0, MaxError: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := shard.NewCountMin(0.05, 0.1, shard.Config{Shards: S0, MaxError: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := make(map[uint64]int, len(keys))
+		for i, k := range keys {
+			if S, ok := resizes[i]; ok {
+				if err := th.Resize(S); err != nil {
+					t.Fatal(err)
+				}
+				if err := cm.Resize(S); err != nil {
+					t.Fatal(err)
+				}
+			}
+			th.Update(0, k)
+			cm.Update(0, k)
+			distinct[k]++
+		}
+		th.Close()
+		cm.Close()
+
+		want := float64(len(distinct))
+		thReused := th.NewAccumulator()
+		th.QueryInto(thReused)
+		thFresh := th.NewAccumulator()
+		th.MergeInto(thFresh)
+		if got := th.Estimate(); got != want || thFresh.Estimate() != want || thReused.Estimate() != want {
+			t.Fatalf("theta after resizes: pooled %v, fresh %v, reused %v, want %v",
+				got, thFresh.Estimate(), thReused.Estimate(), want)
+		}
+		if got := cm.N(); got != uint64(len(keys)) {
+			t.Fatalf("countmin N after resizes = %d, want %d", got, len(keys))
+		}
+		cmMerged := cm.Merged()
+		for k, n := range distinct {
+			if got := cm.Estimate(k); got < uint64(n) {
+				t.Fatalf("countmin key %d: estimate %d underestimates true %d", k, got, n)
+			} else if agg := cmMerged.Estimate(k); got > agg {
+				t.Fatalf("countmin key %d: estimate %d exceeds aggregate %d", k, got, agg)
+			}
+		}
+	})
+}

@@ -41,7 +41,7 @@ func NewQuantiles(k int, cfg Config) (*Quantiles, error) {
 
 // Update ingests one value on writer lane lane.
 func (q *Quantiles) Update(lane int, v float64) {
-	q.update(lane, murmur.HashUint64(math.Float64bits(v), q.g.routeSeed), v)
+	q.update(lane, murmur.HashUint64(math.Float64bits(v), q.cfg.RouteSeed), v)
 }
 
 // Summary returns the merged summary over all shard snapshots — an immutable
@@ -51,10 +51,10 @@ func (q *Quantiles) Update(lane int, v float64) {
 // Relaxation() of the updates completed before the call. Scalar queries
 // (Quantile, Rank, N) skip the copy and allocate nothing steady-state.
 func (q *Quantiles) Summary() *quantiles.Summary {
-	if len(q.comps) == 1 {
-		// Single shard: the published snapshot is already an immutable
-		// merged view — share it, zero copies.
-		return q.comps[0].Snapshot()
+	if st := q.st.Load(); len(st.comps) == 1 && st.old == nil && !st.hasLegacy {
+		// Single shard and no resize history: the published snapshot is
+		// already an immutable merged view — share it, zero copies.
+		return st.comps[0].Snapshot()
 	}
 	acc := q.acquire()
 	q.MergeInto(acc)

@@ -1,0 +1,264 @@
+package shard_test
+
+// Resize equivalence suite: for every family, resizing the shard group
+// mid-stream — growing and shrinking, repeatedly — must leave the final
+// merged state equivalent to a sequential reference over the same stream:
+// exactly where the family is lossless (Θ in exact mode, HLL registers,
+// quantiles/Count-Min totals), within the family's error bound otherwise.
+// The suite also pins the resharding state machine itself: Relaxation()
+// returns to the new S·r after the transition, all three query paths agree
+// after a resize, the accumulator pool carries over, and Resize after Close
+// is rejected.
+
+import (
+	"math"
+	"testing"
+
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/murmur"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/shard"
+)
+
+// resizeSchedule is the default grow/shrink sequence the equivalence tests
+// walk through mid-stream: grow, shrink below the start, grow again.
+var resizeSchedule = []int{5, 1, 4}
+
+func TestResizeThetaEquivalence(t *testing.T) {
+	// Distinct keys stay far below k = 2^12 per shard and in the merge
+	// union, so every path is in exact mode and the merged estimate must
+	// equal the true distinct count — across any number of resizes, because
+	// the drain folds retained hashes idempotently.
+	const n = 3000
+	sk, err := shard.NewTheta(12, shard.Config{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sk.Update(0, uint64(i))
+		if i%(n/(len(resizeSchedule)+1)) == n/(len(resizeSchedule)+1)-1 {
+			step := i / (n / (len(resizeSchedule) + 1))
+			if step < len(resizeSchedule) {
+				if err := sk.Resize(resizeSchedule[step]); err != nil {
+					t.Fatal(err)
+				}
+				if got := sk.Shards(); got != resizeSchedule[step] {
+					t.Fatalf("Shards() = %d after Resize(%d)", got, resizeSchedule[step])
+				}
+			}
+		}
+	}
+	sk.Close()
+	if est := sk.Estimate(); est != n {
+		t.Errorf("estimate after %v resizes = %v, want exactly %d", resizeSchedule, est, n)
+	}
+	// All three query paths must still agree after the resizes.
+	fresh := sk.NewAccumulator()
+	sk.MergeInto(fresh)
+	reused := sk.NewAccumulator()
+	for i := 0; i < 50; i++ {
+		sk.QueryInto(reused)
+	}
+	if fresh.Estimate() != sk.Estimate() || reused.Estimate() != sk.Estimate() {
+		t.Errorf("path disagreement after resize: pooled %v, fresh %v, reused %v",
+			sk.Estimate(), fresh.Estimate(), reused.Estimate())
+	}
+	// Relaxation must reflect the final shard count only (no transition,
+	// no retired residue): S_final · 2·N·b.
+	b := 16 // MaxError=1 → derived buffer default
+	if got, want := sk.Relaxation(), resizeSchedule[len(resizeSchedule)-1]*2*1*b; got != want {
+		t.Errorf("post-resize relaxation %d, want S·2·N·b = %d", got, want)
+	}
+}
+
+func TestResizeHLLEquivalence(t *testing.T) {
+	// HLL merging is lossless (register-wise max), and the resharding drain
+	// preserves it: the final merged registers must exactly equal a
+	// sequential sketch fed the same stream, so the estimates are equal.
+	const n = 50000
+	sk, err := shard.NewHLL(12, shard.Config{Shards: 3, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := hll.New(12, murmur.DefaultSeed)
+	for i := 0; i < n; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		sk.Update(0, key)
+		seq.Update(key)
+		switch i {
+		case n / 4:
+			if err := sk.Resize(8); err != nil {
+				t.Fatal(err)
+			}
+		case n / 2:
+			if err := sk.Resize(2); err != nil {
+				t.Fatal(err)
+			}
+		case 3 * n / 4:
+			if err := sk.Resize(6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sk.Close()
+	if got, want := sk.Estimate(), seq.Estimate(); got != want {
+		t.Errorf("resized sharded HLL %v != sequential %v", got, want)
+	}
+}
+
+func TestResizeQuantilesEquivalence(t *testing.T) {
+	// Totals are exact (every value is drained exactly once) and the merged
+	// rank error stays within the k=128 summary bound: resharding merges
+	// summaries, and merged-summary rank error is bounded by the worst
+	// input's ε.
+	const n = 40000
+	const k = 128
+	sk, err := shard.NewQuantiles(k, shard.Config{Shards: 4, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic shuffled stream of 0..n-1 (odd multiplier mod power of
+	// two is a bijection; n is not a power of two, so map through an index
+	// permutation of a covering power of two instead).
+	next := 0
+	for i := 0; next < n; i++ {
+		v := (i * 48271) & (1<<16 - 1)
+		if v >= n {
+			continue
+		}
+		sk.Update(0, float64(v))
+		next++
+		switch next {
+		case n / 3:
+			if err := sk.Resize(7); err != nil {
+				t.Fatal(err)
+			}
+		case 2 * n / 3:
+			if err := sk.Resize(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sk.Close()
+	if got := sk.N(); got != n {
+		t.Fatalf("merged N after resizes = %d, want exactly %d", got, n)
+	}
+	eps := quantiles.EpsilonBound(k, n)
+	for _, phi := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		v := sk.Quantile(phi)
+		if dev := math.Abs(v/float64(n) - phi); dev > eps+1.0/float64(n) {
+			t.Errorf("quantile(%v) = %v → rank deviation %v > ε = %v", phi, v, dev, eps)
+		}
+	}
+	if r := sk.Rank(float64(n) / 2); math.Abs(r-0.5) > eps+1.0/float64(n) {
+		t.Errorf("rank(n/2) = %v, want ≈0.5 within ε = %v", r, eps)
+	}
+}
+
+func TestResizeCountMinEquivalence(t *testing.T) {
+	// The drain is counter-exact: legacy + old + current grids sum to the
+	// same element-wise totals as one sequential sketch (identical row
+	// hashing everywhere), so the aggregate Merged() view must agree
+	// per-key with the sequential reference exactly, and N() with the true
+	// total. The fast per-key path sums per-component row minima, which is
+	// sandwiched between the true count and the aggregate estimate.
+	const keys = 64
+	const reps = 500
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := countmin.NewWithError(0.001, 0.01, murmur.DefaultSeed)
+	total := 0
+	for i := 0; i < keys*reps; i++ {
+		k := uint64(i % keys)
+		sk.Update(0, k)
+		ref.Update(k)
+		total++
+		switch i {
+		case keys * reps / 4:
+			if err := sk.Resize(6); err != nil {
+				t.Fatal(err)
+			}
+		case keys * reps / 2:
+			if err := sk.Resize(1); err != nil {
+				t.Fatal(err)
+			}
+		case 3 * keys * reps / 4:
+			if err := sk.Resize(3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sk.Close()
+	if got := sk.N(); got != uint64(total) {
+		t.Errorf("N() after resizes = %d, want exactly %d", got, total)
+	}
+	merged := sk.Merged()
+	for k := uint64(0); k < keys; k++ {
+		if got, want := merged.Estimate(k), ref.Estimate(k); got != want {
+			t.Errorf("merged estimate key %d = %d, want sequential %d", k, got, want)
+		}
+		est := sk.Estimate(k)
+		if est < reps {
+			t.Errorf("per-key estimate key %d = %d underestimates true count %d", k, est, reps)
+		}
+		if est > merged.Estimate(k) {
+			t.Errorf("per-key estimate key %d = %d exceeds aggregate bound %d", k, est, merged.Estimate(k))
+		}
+	}
+}
+
+func TestResizeNoopAndErrors(t *testing.T) {
+	sk, err := shard.NewTheta(10, shard.Config{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Resize(2); err != nil { // same S: no-op
+		t.Errorf("Resize to current S: %v, want nil", err)
+	}
+	if err := sk.Resize(0); err == nil {
+		t.Error("Resize(0) succeeded, want error")
+	}
+	if got, want := sk.Relaxation(), 2*2*1*16; got != want {
+		t.Errorf("relaxation after no-op resize %d, want %d", got, want)
+	}
+	sk.Close()
+	if err := sk.Resize(4); err == nil {
+		t.Error("Resize after Close succeeded, want error")
+	}
+	sk.Close() // idempotent
+}
+
+func TestResizePreservesEagerExactness(t *testing.T) {
+	// With an eager budget configured, a resize mid-eager-phase must keep
+	// queries exact: the old shards' eagerly-applied updates travel through
+	// the drain, and the new shards start their own eager phase.
+	sk, err := shard.NewTheta(12, shard.Config{Shards: 2, MaxError: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for ; n < 150; n++ {
+		sk.Update(0, uint64(n))
+	}
+	if !sk.Eager() {
+		t.Skip("eager phase over too early for this configuration")
+	}
+	if err := sk.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	for ; n < 300; n++ {
+		sk.Update(0, uint64(n))
+	}
+	if sk.Eager() {
+		if est := sk.Estimate(); est != float64(n) {
+			t.Errorf("eager estimate after resize = %v, want exactly %d", est, n)
+		}
+	}
+	sk.Close()
+	if est := sk.Estimate(); est != float64(n) {
+		t.Errorf("closed estimate after eager resize = %v, want exactly %d", est, n)
+	}
+}

@@ -48,6 +48,25 @@
 // known before hashing, so each goroutine must be able to reach all shards).
 // As in the core framework, each lane must be driven by at most one
 // goroutine at a time.
+//
+// # Live resharding
+//
+// S is not frozen at construction: Resize grows or shrinks the shard group
+// while writers and queriers stay active. Routing goes through an
+// atomically-swapped immutable epoch — current shards, optionally the old
+// epoch still draining, and a legacy accumulator holding all state retired
+// by earlier resizes. A resize builds and publishes the new epoch, waits
+// out in-flight writers behind per-lane seqlocks, closes the old epoch's
+// frameworks (an exact drain), folds the old shards' final snapshots into
+// the legacy accumulator through the same SnapshotMergeInto plane queries
+// use, and retires the old epoch in one atomic store. Because every query
+// reads one epoch pointer, it sees a retired epoch either live or as
+// legacy — never both, never neither — so no completed update is lost or
+// double-counted across a resize. The merged-query staleness bound is
+// transiently S_old·r + S_new·r while a drain is in flight and returns to
+// the new S·r when Resize completes; Relaxation() always reports the
+// current value. See Sharded.Resize and docs/ARCHITECTURE.md for the full
+// protocol.
 package shard
 
 import (

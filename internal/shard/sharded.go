@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fastsketches/internal/core"
 )
@@ -9,13 +12,25 @@ import (
 // Accumulator is the reusable merge target of a sketch family. Reset must
 // restore the empty state while retaining capacity, so one accumulator can
 // serve an unbounded sequence of merged queries without allocating.
-type Accumulator interface{ Reset() }
+//
+// FoldInto folds the receiver's accumulated state into dst without mutating
+// the receiver. It is the drain hook of live resharding: when Resize retires
+// an epoch, the retired shards' final snapshots are folded into one legacy
+// accumulator, which every subsequent merged query folds (via FoldInto) as
+// if it were one more shard snapshot. FoldInto must be allocation-free in
+// steady state and safe to call concurrently from many goroutines folding
+// into distinct dst accumulators, because the published legacy accumulator
+// is immutable and shared by all queriers.
+type Accumulator[A any] interface {
+	Reset()
+	FoldInto(dst A)
+}
 
 // Mergeable is the uniform contract a family's concurrent composable
 // satisfies toward the generic sharded layer: the core framework's Global
 // interface for ingestion, plus a wait-free fold of the published snapshot
 // into a caller-owned accumulator for the merge-on-query plane.
-type Mergeable[T any, A Accumulator] interface {
+type Mergeable[T any, A any] interface {
 	core.Global[T]
 	// SnapshotMergeInto folds the latest published snapshot into acc. It
 	// must be wait-free, safe concurrently with ingestion, and must not
@@ -24,62 +39,245 @@ type Mergeable[T any, A Accumulator] interface {
 	SnapshotMergeInto(acc A)
 }
 
+// epochState is one immutable routing/query epoch of a Sharded sketch. The
+// current epoch's comps receive all new updates; during a resize transition
+// old points at the epoch being drained (still part of every merged query);
+// legacy holds the accumulated state of all epochs retired by earlier
+// resizes, folded into every merged query via Accumulator.FoldInto.
+//
+// An epochState is never mutated after it is published through Sharded.st —
+// queries load the pointer once and get a consistent view of exactly which
+// state (legacy ∪ old comps ∪ current comps) their fold covers, which is
+// what makes resharding transitions atomic from the reader's perspective:
+// a query sees a retired epoch either as live shard snapshots or as part of
+// the legacy accumulator, never both and never neither.
+type epochState[T any, A Accumulator[A], C Mergeable[T, A]] struct {
+	comps []C
+	g     group[T]
+	// old is the epoch being drained by an in-flight Resize; nil otherwise.
+	old *epochState[T, A, C]
+	// legacy is the immutable accumulated state of all retired epochs;
+	// meaningful only when hasLegacy is true (type parameters cannot be
+	// compared against nil).
+	legacy    A
+	hasLegacy bool
+}
+
+// lanePad keeps each lane's seqlock word on its own cache line so writer
+// lanes do not false-share while entering/leaving their critical sections.
+type lanePad [8]uint64
+
+// laneSeq is the per-writer-lane seqlock coordinating updates with Resize:
+// a lane increments seq to an odd value before loading the routing epoch
+// and back to even after the update lands, so a resizer that has swapped
+// the epoch pointer can wait until every lane has provably left the old
+// epoch (seq even, or seq moved on) before draining it.
+type laneSeq struct {
+	_   lanePad
+	seq atomic.Uint64
+	_   lanePad
+}
+
 // Sharded is the generic sharded sketch underlying all four families: S
 // independent concurrent composables striped by key hash (the group layer),
 // plus the allocation-free merge-on-query plane — a sync.Pool of reusable
 // accumulators, so steady-state merged queries allocate nothing. The family
 // wrappers (Theta, HLL, Quantiles, CountMin) embed a *Sharded and add only
 // their hash routing and family-specific query signatures.
-type Sharded[T any, A Accumulator, C Mergeable[T, A]] struct {
-	g     group[T]
-	comps []C
-	mkAcc func() A
-	accs  sync.Pool
+//
+// The shard group is resizable while writers and queriers stay active: see
+// Resize for the epoch-swap protocol and its transient staleness bound.
+type Sharded[T any, A Accumulator[A], C Mergeable[T, A]] struct {
+	// st is the current epoch; swapped atomically by Resize. Writers load it
+	// once per update (under their lane seqlock), queriers once per fold.
+	st atomic.Pointer[epochState[T, A, C]]
+
+	cfg    Config // normalised; cfg.Shards is the *initial* S
+	k      int
+	mkComp func(i int) C
+	mkAcc  func() A
+	// accs is the pooled-accumulator query plane. The pool is owned by the
+	// Sharded sketch, not by an epoch, so it carries over across resizes:
+	// accumulators are dimensioned by family parameters (k, p, w×d), which
+	// Resize never changes, so pooled capacity stays valid for any shard
+	// count.
+	accs sync.Pool
+
+	lanes []laneSeq
+
+	// resizeMu serialises Resize and Close; neither is on a hot path.
+	resizeMu sync.Mutex
+	closed   bool
 }
 
 // newSharded builds and starts one sharded sketch from a family descriptor:
 // mkComp constructs the per-shard concurrent composable (shard index i is
 // provided so families can decorrelate per-shard randomness) and mkAcc
 // constructs an empty accumulator for the pool.
-func newSharded[T any, A Accumulator, C Mergeable[T, A]](
+func newSharded[T any, A Accumulator[A], C Mergeable[T, A]](
 	cfg *Config, k int, mkComp func(i int) C, mkAcc func() A,
 ) *Sharded[T, A, C] {
 	s := &Sharded[T, A, C]{
-		comps: make([]C, cfg.Shards),
-		mkAcc: mkAcc,
+		cfg:    *cfg,
+		k:      k,
+		mkComp: mkComp,
+		mkAcc:  mkAcc,
+		lanes:  make([]laneSeq, cfg.Writers),
 	}
-	globals := make([]core.Global[T], cfg.Shards)
-	for i := range s.comps {
-		c := mkComp(i)
-		s.comps[i] = c
-		globals[i] = c
-	}
-	s.g = newGroup[T](cfg, k, globals)
 	s.accs.New = func() any { return mkAcc() }
+	s.st.Store(s.newEpoch(cfg.Shards))
 	return s
 }
 
-// update ingests item on writer lane lane of the shard selected by routeHash.
-func (s *Sharded[T, A, C]) update(lane int, routeHash uint64, item T) {
-	s.g.update(lane, routeHash, item)
+// newEpoch builds and starts a fresh epoch of the given shard count, with no
+// transition links. The per-shard frameworks inherit the construction-time
+// configuration (writer lanes, buffer size, eager budget); only S varies.
+func (s *Sharded[T, A, C]) newEpoch(shards int) *epochState[T, A, C] {
+	e := &epochState[T, A, C]{comps: make([]C, shards)}
+	globals := make([]core.Global[T], shards)
+	for i := range e.comps {
+		c := s.mkComp(i)
+		e.comps[i] = c
+		globals[i] = c
+	}
+	cfg := s.cfg
+	cfg.Shards = shards
+	e.g = newGroup[T](&cfg, s.k, globals)
+	return e
 }
 
-// MergeInto folds every shard's published snapshot into acc without
-// resetting it first, so a fold can accumulate across several sketches.
-// Wait-free: one atomic snapshot load per shard plus the fold; no shard's
-// propagator is ever blocked. The combined state reflects all but at most
-// Relaxation() = S·r of the updates completed before the call.
+// update ingests item on writer lane lane of the shard selected by routeHash
+// in the current epoch. The lane seqlock (odd while the update is in
+// flight) is what lets Resize wait until no writer can still be touching a
+// swapped-out epoch before draining it.
+func (s *Sharded[T, A, C]) update(lane int, routeHash uint64, item T) {
+	ls := &s.lanes[lane]
+	ls.seq.Add(1) // odd: epoch load + update in flight
+	st := s.st.Load()
+	st.g.update(lane, routeHash, item)
+	ls.seq.Add(1) // even: lane idle
+}
+
+// awaitWriters returns once every writer lane has provably stopped using
+// any epoch loaded before the current one was published: for each lane, if
+// its seqlock was odd (update in flight), wait for it to move. Sequential
+// consistency of the atomics gives the grace-period argument: a lane whose
+// seq is even, or has changed since the epoch swap, can only load the new
+// epoch on its next update.
+func (s *Sharded[T, A, C]) awaitWriters() {
+	for i := range s.lanes {
+		seq := &s.lanes[i].seq
+		if s0 := seq.Load(); s0&1 == 1 {
+			for seq.Load() == s0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Resize grows or shrinks the shard group to the given count while writers
+// and queriers stay active — the live-resharding entry point. It returns
+// once the transition is fully drained; concurrent Resize/Close calls are
+// serialised.
+//
+// Protocol (the epoch swap):
+//
+//  1. Build and start a fresh epoch of `shards` framework instances.
+//  2. Publish it atomically as the routing epoch, with the previous epoch
+//     attached as `old`: from this instant new updates route to the new
+//     shards, while merged queries fold legacy ∪ old ∪ new.
+//  3. Wait out writer lanes still mid-update on the old epoch (per-lane
+//     seqlock grace period), then Close the old epoch's frameworks, which
+//     drains every buffered update exactly into the old composables.
+//  4. Fold the previous legacy state and every old shard's final snapshot —
+//     through the same SnapshotMergeInto plane merged queries use — into
+//     one fresh accumulator, and publish it as the new epoch's legacy,
+//     atomically detaching the old epoch. The old shards are now retired
+//     and unreachable from new queries.
+//
+// Staleness: while the transition is in flight (between steps 2 and 4) a
+// merged query folds both epochs' live snapshots and may miss up to
+// S_old·r + S_new·r completed updates — the sum of both epochs' combined
+// relaxation bounds, which is what Relaxation() reports during the
+// transition. Once Resize returns, the bound is the new epoch's S_new·r:
+// the legacy accumulator is an exact fold of everything the retired epochs
+// ingested. Queries never double-count across the retirement instant,
+// because a query reads one epoch pointer: it sees the old shards either
+// live or as legacy, never both.
+//
+// The accumulator pool, writer-lane count, per-shard accuracy parameters
+// and seeds are unchanged by a resize; only S — and with it the
+// throughput/staleness trade-off S·r — moves.
+func (s *Sharded[T, A, C]) Resize(shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("shard: Resize to %d shards; need ≥ 1", shards)
+	}
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("shard: Resize after Close")
+	}
+	old := s.st.Load()
+	if shards == len(old.comps) {
+		return nil
+	}
+
+	next := &epochState[T, A, C]{old: old, legacy: old.legacy, hasLegacy: old.hasLegacy}
+	built := s.newEpoch(shards)
+	next.comps, next.g = built.comps, built.g
+	s.st.Store(next) // writers route to the new shards from here on
+	s.awaitWriters() // grace period: no lane can still touch the old epoch
+	old.g.close()    // drain old buffers exactly into the old composables
+
+	// Fold prior legacy plus every retired shard's final snapshot into one
+	// fresh accumulator. It must be a fresh (never pooled, never released)
+	// instance: once published it is shared read-only by every query.
+	legacy := s.mkAcc()
+	if old.hasLegacy {
+		old.legacy.FoldInto(legacy)
+	}
+	for _, c := range old.comps {
+		c.SnapshotMergeInto(legacy)
+	}
+	retired := &epochState[T, A, C]{
+		comps: next.comps, g: next.g,
+		legacy: legacy, hasLegacy: true,
+	}
+	s.st.Store(retired) // retire the old epoch atomically
+	return nil
+}
+
+// MergeInto folds the sketch's entire published state into acc without
+// resetting it first, so a fold can accumulate across several sketches: the
+// legacy accumulator of retired epochs (if any), the draining epoch's shard
+// snapshots while a Resize transition is in flight, and every current
+// shard's published snapshot. Wait-free: one atomic epoch load, then one
+// atomic snapshot load per shard plus the folds; no shard's propagator is
+// ever blocked. The combined state reflects all but at most Relaxation()
+// of the updates completed before the call.
 func (s *Sharded[T, A, C]) MergeInto(acc A) {
-	for _, c := range s.comps {
+	st := s.st.Load()
+	if st.hasLegacy {
+		st.legacy.FoldInto(acc)
+	}
+	if st.old != nil {
+		for _, c := range st.old.comps {
+			c.SnapshotMergeInto(acc)
+		}
+	}
+	for _, c := range st.comps {
 		c.SnapshotMergeInto(acc)
 	}
 }
 
-// QueryInto resets acc and folds every shard's published snapshot into it —
-// the merged-query path for callers that own their accumulator and want
-// zero allocation without touching the internal pool. Reusing one
+// QueryInto resets acc and folds the sketch's entire published state into
+// it — the merged-query path for callers that own their accumulator and
+// want zero allocation without touching the internal pool. Reusing one
 // accumulator across queries is equivalent to a fresh accumulator per
-// query, and the S·r staleness bound of MergeInto applies unchanged.
+// query, and the Relaxation() staleness bound of MergeInto applies
+// unchanged (including across resizes: retired-epoch state arrives through
+// the legacy fold, in-transition state through the draining epoch's
+// snapshots).
 func (s *Sharded[T, A, C]) QueryInto(acc A) {
 	acc.Reset()
 	s.MergeInto(acc)
@@ -88,7 +286,9 @@ func (s *Sharded[T, A, C]) QueryInto(acc A) {
 // NewAccumulator returns a fresh, empty accumulator of this sketch's family
 // and dimensions, for callers using QueryInto/MergeInto. The accumulator is
 // caller-owned: reuse it across queries (QueryInto resets it) but not from
-// multiple goroutines at once.
+// multiple goroutines at once. Accumulator dimensions depend only on family
+// accuracy parameters, never on the shard count, so an accumulator stays
+// valid across any number of Resize calls.
 func (s *Sharded[T, A, C]) NewAccumulator() A { return s.mkAcc() }
 
 // acquire returns a Reset accumulator from the pool. Callers must release
@@ -103,19 +303,49 @@ func (s *Sharded[T, A, C]) acquire() A {
 // release returns a pooled accumulator.
 func (s *Sharded[T, A, C]) release(acc A) { s.accs.Put(acc) }
 
-// Relaxation returns the combined staleness bound S·r = S·2·N·b for merged
-// queries: the maximum number of completed updates a cross-shard fold may
-// miss (Theorem 1 applied per shard and summed).
-func (s *Sharded[T, A, C]) Relaxation() int { return s.g.relaxation() }
+// Relaxation returns the combined staleness bound for merged queries: the
+// maximum number of completed updates a cross-shard fold may miss. In
+// steady state this is S·r = S·2·N·b (Theorem 1 applied per shard and
+// summed). While a Resize transition is draining, queries fold both the
+// old and the new epoch's live snapshots, and the bound is transiently
+// S_old·r + S_new·r; it returns to S_new·r when Resize completes (retired
+// state is folded exactly, contributing no staleness).
+func (s *Sharded[T, A, C]) Relaxation() int {
+	st := s.st.Load()
+	r := st.g.relaxation()
+	if st.old != nil {
+		r += st.old.g.relaxation()
+	}
+	return r
+}
 
-// Shards returns S.
-func (s *Sharded[T, A, C]) Shards() int { return len(s.comps) }
+// Shards returns the current S. During a Resize transition this is already
+// the new epoch's shard count.
+func (s *Sharded[T, A, C]) Shards() int { return len(s.st.Load().comps) }
 
-// Eager reports whether every shard is still in its exact eager phase;
-// while true, merged queries reflect every completed update.
-func (s *Sharded[T, A, C]) Eager() bool { return s.g.eager() }
+// Eager reports whether merged queries currently reflect every completed
+// update: every current shard is still in its exact eager phase, and, if a
+// Resize transition is draining, every old-epoch shard stayed eager too
+// (retired legacy state is always exact and does not affect eagerness).
+// Note that a Resize starts the new shards in a fresh eager phase.
+func (s *Sharded[T, A, C]) Eager() bool {
+	st := s.st.Load()
+	if !st.g.eager() {
+		return false
+	}
+	return st.old == nil || st.old.g.eager()
+}
 
 // Close stops all shard propagators and drains every buffer; afterwards
 // merged queries summarise the entire ingested stream with no relaxation
-// residue. Call once, after all writer goroutines stop.
-func (s *Sharded[T, A, C]) Close() { s.g.close() }
+// residue. Call once, after all writer goroutines stop; Close is
+// serialised with Resize and idempotent.
+func (s *Sharded[T, A, C]) Close() {
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.st.Load().g.close()
+}

@@ -164,3 +164,51 @@ func TestStressManyShardsManyWriters(t *testing.T) {
 			rep.LowerViolations, rep.UpperViolations)
 	}
 }
+
+func TestStressResizeUnderFire(t *testing.T) {
+	// Resize-under-fire: the resizer cycles the shard group through
+	// grow → collapse → grow while writers hammer and queriers race merged
+	// reads on both query planes. Every answer must stay inside the
+	// transitional envelope c1 − (S_old + S_new)·r ≤ got ≤ c2 while drains
+	// may be in flight, and inside the plain S_final·r envelope once the
+	// last Resize has returned — an upper breach would mean a drain
+	// double-counted retired updates, a lower breach that it lost them.
+	cfg := adversary.ResizeStressConfig{
+		StressConfig: adversary.StressConfig{
+			Shards: 2, Writers: 4, BufferSize: 4,
+			UpdatesPerWriter: 20000, Queriers: 4,
+		},
+		Schedule: []int{8, 1, 6},
+	}
+	if testing.Short() {
+		cfg.UpdatesPerWriter = 4000
+		cfg.Queriers = 2
+	}
+	for name, stress := range map[string]func(adversary.ResizeStressConfig) (adversary.StressReport, error){
+		"countmin": adversary.StressResizeCountTotals,
+		"theta":    adversary.StressResizeThetaDistinct,
+	} {
+		t.Run(name, func(t *testing.T) {
+			rep, err := stress(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s resize stress: %d resizes, %d queries (%d post-resize), transitional bound %d, worst deficit %d",
+				name, rep.Resizes, rep.Queries, rep.PostResizeQueries, rep.Bound, rep.WorstDeficit)
+			if rep.Resizes != int64(len(cfg.Schedule)) {
+				t.Errorf("completed %d resizes, want %d", rep.Resizes, len(cfg.Schedule))
+			}
+			if rep.Queries == 0 {
+				t.Fatal("queriers never ran")
+			}
+			if rep.LowerViolations != 0 {
+				t.Errorf("%d/%d answers missed more than the transitional bound %d (worst deficit %d)",
+					rep.LowerViolations, rep.Queries, rep.Bound, rep.WorstDeficit)
+			}
+			if rep.UpperViolations != 0 {
+				t.Errorf("%d/%d answers exceeded started updates — a drain double-counted retired state",
+					rep.UpperViolations, rep.Queries)
+			}
+		})
+	}
+}

@@ -45,6 +45,27 @@ func (u *Union) Result() *QuickSelect {
 // Reset empties the union accumulator.
 func (u *Union) Reset() { u.gadget.Reset() }
 
+// FoldInto folds the receiver's accumulated union into dst without mutating
+// the receiver — the retired-state drain hook of the sharded layer's live
+// resharding: a legacy Union published by a completed Resize is folded into
+// every merged-query accumulator exactly like one more shard snapshot.
+//
+// The fold walks the receiver's hash table directly (no gather copy), so it
+// allocates nothing: concurrent FoldInto calls from many query goroutines
+// into their own dst accumulators are safe because the receiver is only
+// read.
+func (u *Union) FoldInto(dst *Union) {
+	if u.gadget.seed != dst.gadget.seed {
+		panic("theta: cannot fold unions with different seeds")
+	}
+	dst.gadget.shrinkTheta(u.gadget.thetaLong)
+	for _, h := range u.gadget.slots {
+		if h != 0 {
+			dst.gadget.UpdateHash(h)
+		}
+	}
+}
+
 // CompactSketch is an immutable result of a set operation: a sorted list of
 // retained hashes below a threshold. It supports only queries.
 type CompactSketch struct {

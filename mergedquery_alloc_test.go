@@ -22,18 +22,44 @@ func TestMergedQueryZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	assertZeroAllocQueries(t, suite)
+}
+
+// TestMergedQueryZeroAllocAfterResize extends the contract across live
+// resharding: after growing and shrinking the shard group mid-stream, every
+// merged query additionally folds the legacy accumulator holding the
+// retired epochs' drained state — and must still allocate nothing. This
+// pins two properties of the resize path: pooled accumulators carried over
+// from before the resize stay correctly sized for the new shard group (the
+// pool is family-dimensioned, not shard-dimensioned), and the published
+// legacy accumulator is folded via the allocation-free FoldInto hooks, not
+// through escaping copies.
+func TestMergedQueryZeroAllocAfterResize(t *testing.T) {
+	suite, err := mergedbench.NewSuiteResized(4, 1<<12, []int{8, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertZeroAllocQueries(t, suite)
+}
+
+func assertZeroAllocQueries(t *testing.T, suite *mergedbench.Suite) {
+	t.Helper()
 	var sinkF float64
 	var sinkU uint64
 	thAcc := suite.Theta.NewAccumulator()
+	hllAcc := suite.HLL.NewAccumulator()
+	qAcc := suite.Quantiles.NewAccumulator()
 	cmAcc := suite.CountMin.NewAccumulator()
 	// AllocsPerRun's warm-up call primes each sketch's accumulator pool and
 	// grows the reused buffers to steady state before counting.
 	paths := map[string]func(){
-		"theta/pooled":       func() { sinkF = suite.Theta.Estimate() },
-		"theta/queryinto":    func() { suite.Theta.QueryInto(thAcc); sinkF = thAcc.Estimate() },
-		"hll/pooled":         func() { sinkF = suite.HLL.Estimate() },
-		"quantiles/pooled":   func() { sinkF = suite.Quantiles.Quantile(0.99) },
-		"countmin/queryinto": func() { suite.CountMin.QueryInto(cmAcc); sinkU = cmAcc.Estimate(7) },
+		"theta/pooled":        func() { sinkF = suite.Theta.Estimate() },
+		"theta/queryinto":     func() { suite.Theta.QueryInto(thAcc); sinkF = thAcc.Estimate() },
+		"hll/pooled":          func() { sinkF = suite.HLL.Estimate() },
+		"hll/queryinto":       func() { suite.HLL.QueryInto(hllAcc); sinkF = hllAcc.Estimate() },
+		"quantiles/pooled":    func() { sinkF = suite.Quantiles.Quantile(0.99) },
+		"quantiles/queryinto": func() { suite.Quantiles.QueryInto(qAcc); sinkF = qAcc.Quantile(0.99) },
+		"countmin/queryinto":  func() { suite.CountMin.QueryInto(cmAcc); sinkU = cmAcc.Estimate(7) },
 	}
 	for name, fn := range paths {
 		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {

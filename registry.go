@@ -242,6 +242,44 @@ func (r *Registry) CountMin(name string) *shard.CountMin {
 	})
 }
 
+// ResizeTheta live-reshards the named Θ sketch to the given shard count,
+// creating the sketch on first use. Writers and queriers stay active
+// throughout: updates atomically switch to the new shard group, the old
+// shards are drained and their final snapshots folded into the sketch's
+// retained legacy state, and merged queries never miss or double-count a
+// retired update. During the transition a merged query's staleness bound is
+// transiently S_old·r + S_new·r (both epochs' live snapshots are folded);
+// once ResizeTheta returns it is the new S·r. Use it to move a hot tenant
+// along the throughput/staleness trade-off without restarting: grow S for
+// ingest throughput, shrink S for fresher merged reads.
+//
+// Like every registry accessor it panics if called after Close (the
+// registry must not be used after Close); calling Resize on a sketch
+// handle retained from before Close returns an error instead.
+func (r *Registry) ResizeTheta(name string, shards int) error {
+	return r.Theta(name).Resize(shards)
+}
+
+// ResizeHLL is ResizeTheta for the named HLL sketch.
+func (r *Registry) ResizeHLL(name string, shards int) error {
+	return r.HLL(name).Resize(shards)
+}
+
+// ResizeQuantiles is ResizeTheta for the named quantiles sketch.
+func (r *Registry) ResizeQuantiles(name string, shards int) error {
+	return r.Quantiles(name).Resize(shards)
+}
+
+// ResizeCountMin is ResizeTheta for the named Count-Min sketch. Per-key
+// estimates keep their one-sided guarantee across the resize (they sum the
+// owning shards of both epochs plus the legacy counters and so never
+// underestimate), but the overestimation bound after a resize widens to
+// ε·N over the retired stream rather than ε·N_shard — see
+// shard.CountMin.Estimate.
+func (r *Registry) ResizeCountMin(name string, shards int) error {
+	return r.CountMin(name).Resize(shards)
+}
+
 // ThetaQueryInto answers the named Θ sketch's merged distinct-count query
 // by resetting the caller-owned acc and folding every shard snapshot into
 // it — the zero-allocation query plane for callers that keep an accumulator

@@ -67,6 +67,23 @@
 // prefer to own the accumulator (one per reader goroutine, say) build one
 // with the sketch's NewAccumulator and query through QueryInto or the
 // registry's per-family QueryInto facades.
+//
+// # Live resharding
+//
+// The shard count is not frozen at construction: ResizeTheta (and the
+// other family facades, or Resize on the sketch itself) grows or shrinks
+// a named sketch's shard group while writers and queriers stay active —
+// an atomic routing-epoch swap followed by an exact drain of the old
+// shards into a retained legacy state. No completed update is lost or
+// double-counted across a resize; merged queries transiently carry the
+// combined bound S_old·r + S_new·r while a drain is in flight and settle
+// at the new S·r once Resize returns:
+//
+//	reg.ResizeTheta("tenant-42/visitors", 16) // going viral: throughput ↑
+//	reg.ResizeTheta("tenant-42/visitors", 2)  // nightly lull: staleness ↓
+//
+// See docs/ARCHITECTURE.md for the layer map, the bound derivations and
+// the epoch protocol, and examples/resharding for a runnable walkthrough.
 package fastsketches
 
 import (
