@@ -1,0 +1,77 @@
+// benchdiff is the CI benchmark regression gate: it compares a fresh
+// benchrunner JSON artifact against the committed baseline and exits
+// non-zero when the perf trajectory regressed.
+//
+//	benchdiff [-threshold 0.20] [-skip-throughput] [-allow-missing] BASELINE FRESH
+//
+// Gates (per baseline metric; informational metrics are never gated):
+//
+//   - ops_per_sec below baseline·(1−threshold) fails;
+//   - ns_op above baseline·(1+threshold) fails;
+//   - on paths pinned zero-alloc (the merge-on-query contract of PR 2/3),
+//     ANY allocs/op increase fails, regardless of threshold;
+//   - a gated baseline metric missing from the fresh report fails, unless
+//     -allow-missing.
+//
+// -skip-throughput restricts the gate to the machine-independent
+// allocation contracts — the right mode when baseline and fresh come from
+// unlike hardware. The default threshold of 0.20 is the repository's
+// regression budget: a >20% throughput drop on like hardware fails CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsketches/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "tolerated relative slowdown of ops_per_sec / ns_op metrics")
+	skipThroughput := flag.Bool("skip-throughput", false, "gate only the allocation contracts (for cross-machine comparisons)")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline metrics absent from the fresh report")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] BASELINE.json FRESH.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fresh, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	gated := 0
+	for _, m := range baseline.Metrics {
+		if !m.Informational {
+			gated++
+		}
+	}
+	fmt.Printf("benchdiff: %d baseline metrics (%d gated) vs %d fresh; threshold %.0f%%, skip-throughput=%v\n",
+		len(baseline.Metrics), gated, len(fresh.Metrics), *threshold*100, *skipThroughput)
+
+	regs := benchfmt.Compare(baseline, fresh, benchfmt.CompareOptions{
+		ThroughputThreshold: *threshold,
+		SkipThroughput:      *skipThroughput,
+		AllowMissing:        *allowMissing,
+	})
+	if len(regs) == 0 {
+		fmt.Println("benchdiff: no regressions")
+		return
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	fmt.Printf("benchdiff: %d regression(s)\n", len(regs))
+	os.Exit(1)
+}

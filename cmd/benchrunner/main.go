@@ -17,11 +17,18 @@
 //	benchrunner sharded         shard-count sweep: throughput vs S·r staleness
 //	benchrunner mergedquery     merged-query plane: ns/op + allocs/op per path
 //	benchrunner reshard         live resharding: throughput timeline across epoch swaps
+//	benchrunner autoscale       autoscaling controller: bursty load walks S up and back down
+//	benchrunner baseline        the CI benchmark-baseline set (sharded, mergedquery, reshard, autoscale)
 //	benchrunner all             everything above, in order
 //
 // Use -quick for a fast smoke run (small sweeps, few trials) and -full for
 // paper-scale parameters (hours). The default sits in between and completes
 // in minutes on a laptop.
+//
+// -json FILE additionally emits the run's scenario metrics as a
+// machine-readable benchfmt artifact (ns/op, allocs/op, ops/sec per
+// scenario) — the format the committed BENCH_baseline.json uses and
+// cmd/benchdiff gates CI against.
 package main
 
 import (
@@ -35,6 +42,8 @@ import (
 	"time"
 
 	"fastsketches/internal/adversary"
+	"fastsketches/internal/autoscale"
+	"fastsketches/internal/benchfmt"
 	"fastsketches/internal/harness"
 	"fastsketches/internal/mergedbench"
 	"fastsketches/internal/shard"
@@ -74,11 +83,22 @@ var (
 	}
 )
 
+// artifact collects the run's metrics when -json is given; scenarios feed
+// it through record and main writes it out at the end.
+var artifact *benchfmt.Report
+
+func record(m benchfmt.Metric) {
+	if artifact != nil {
+		artifact.Add(m)
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "fast smoke-run parameters")
 	full := flag.Bool("full", false, "paper-scale parameters (very slow)")
+	jsonPath := flag.String("json", "", "write scenario metrics as a benchfmt JSON artifact to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] [-json FILE] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard autoscale baseline all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,11 +107,19 @@ func main() {
 		os.Exit(2)
 	}
 	sc := defaultScale
+	scaleName := "default"
 	if *quick {
 		sc = quickScale
+		scaleName = "quick"
 	}
 	if *full {
 		sc = fullScale
+		scaleName = "full"
+	}
+	if *jsonPath != "" {
+		artifact = benchfmt.New("benchrunner", scaleName)
+		artifact.GoMaxProcs = runtime.GOMAXPROCS(0)
+		artifact.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	}
 
 	test := flag.Arg(0)
@@ -121,23 +149,42 @@ func main() {
 		"sharded":         sharded,
 		"mergedquery":     mergedQuery,
 		"reshard":         reshard,
+		"autoscale":       autoscaleScenario,
 	}
-	if test == "all" {
+	// baseline is the fixed scenario set the CI bench-baseline job runs and
+	// benchdiff gates: the scale-out layers, not the paper figures.
+	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale"}
+	finish := func() {
+		if artifact != nil {
+			if err := artifact.WriteFile(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("# wrote %d metrics to %s\n", len(artifact.Metrics), *jsonPath)
+		}
+	}
+	switch test {
+	case "all":
 		order := []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
 			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded",
-			"mergedquery", "reshard"}
+			"mergedquery", "reshard", "autoscale"}
 		for _, name := range order {
 			run(name, tests[name])
 		}
-		return
+	case "baseline":
+		for _, name := range baselineOrder {
+			run(name, tests[name])
+		}
+	default:
+		fn, ok := tests[test]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown test %q\n", test)
+			flag.Usage()
+			os.Exit(2)
+		}
+		run(test, fn)
 	}
-	fn, ok := tests[test]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown test %q\n", test)
-		flag.Usage()
-		os.Exit(2)
-	}
-	run(test, fn)
+	finish()
 }
 
 // figure1: scalability of the concurrent Θ sketch vs a lock-based sketch,
@@ -422,6 +469,10 @@ func sharded(sc scale) {
 		}
 		fmt.Printf("%d\t%d\t%.3f\t%d\t%.2f\t%.4f\n",
 			s, writers, 1e3/nsPer, relax, avgQueryUs, finalRE)
+		record(benchfmt.Metric{Scenario: "sharded",
+			Name: fmt.Sprintf("theta/S=%d/ingest", s), OpsPerSec: 1e9 / nsPer})
+		record(benchfmt.Metric{Scenario: "sharded",
+			Name: fmt.Sprintf("theta/S=%d/mergedquery", s), NsPerOp: avgQueryUs * 1e3})
 	}
 }
 
@@ -448,6 +499,17 @@ func mergedQuery(sc scale) {
 			res := testing.Benchmark(c.Fn)
 			fmt.Printf("%s\t%d\t%s\t%d\t%d\t%d\n",
 				c.Family, s, c.Path, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp())
+			// Θ/HLL pooled and caller-owned paths are the pinned zero-alloc
+			// contract (PR 2); "fresh" is the allocation baseline, never
+			// pinned.
+			pinned := c.Path != "fresh" && (c.Family == "theta" || c.Family == "hll")
+			record(benchfmt.Metric{Scenario: "mergedquery",
+				Name:            fmt.Sprintf("%s/S=%d/%s", c.Family, s, c.Path),
+				NsPerOp:         float64(res.NsPerOp()),
+				AllocsPerOp:     benchfmt.Int64(res.AllocsPerOp()),
+				BytesPerOp:      benchfmt.Int64(res.AllocedBytesPerOp()),
+				PinnedZeroAlloc: pinned,
+			})
 		}
 	}
 }
@@ -559,8 +621,164 @@ func reshard(sc scale) {
 	sk.Close()
 	for _, tr := range transitions {
 		fmt.Printf("# resize %d→%d at %v drained in %v\n", tr.from, tr.to, tr.at, tr.took)
+		// Drain times are scheduler- and load-sensitive: trajectory data,
+		// not a gate.
+		record(benchfmt.Metric{Scenario: "reshard",
+			Name:          fmt.Sprintf("drain/%dto%d", tr.from, tr.to),
+			NsPerOp:       float64(tr.took.Nanoseconds()),
+			Informational: true,
+		})
 	}
 	fmt.Printf("# total ingested: %d updates; final estimate %.0f\n", updates.Load(), sk.Estimate())
+	record(benchfmt.Metric{Scenario: "reshard",
+		Name: "theta/ingest_across_swaps", OpsPerSec: float64(updates.Load()) / runFor.Seconds()})
+}
+
+// autoscaleScenario: the closed control loop over the relaxation parameter —
+// a bursty load timeline drives the autoscale controller, which walks S up
+// under the burst and back down through the lull, with throughput and the
+// S·r staleness bound reported per sampling window and summarised per
+// S-epoch. Writers hammer a sharded Count-Min sketch flat-out for the first
+// ~45% of the run, then drop to a trickle; the controller (real clock, the
+// production path) samples the sketch's pressure counters and resizes under
+// its hysteresis policy. Count-Min is the demonstrative family because it
+// never pre-filters: every update exerts propagation pressure, which is the
+// pressure sharding parallelises (a Θ sketch deep in its sampling regime
+// filters almost everything locally, so its controller correctly sees
+// almost no pressure — and more shards would not make filtering faster).
+// The walk is timing-sensitive (real clock, sub-second phases), so a
+// missing walk is reported loudly but does not fail the process: the
+// deterministic assertion of the closed loop lives in
+// TestStressAutoscaleUnderFire, which paces the controller through a
+// ManualClock and runs under -race in CI.
+func autoscaleScenario(sc scale) {
+	writers := sc.maxThreads
+	if writers > 4 {
+		writers = 4
+	}
+	runFor := 3 * time.Second
+	switch {
+	case sc.lgMaxU <= quickScale.lgMaxU:
+		runFor = 1600 * time.Millisecond
+	case sc.lgMaxU >= fullScale.lgMaxU:
+		runFor = 8 * time.Second
+	}
+	burstFor := runFor * 45 / 100
+	const window = 25 * time.Millisecond
+
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{Shards: 2, Writers: writers, MaxError: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	policy := autoscale.Policy{
+		MinShards: 2, MaxShards: 8,
+		HighWater: 250e3, LowWater: 50e3,
+		SustainedUp: 2, SustainedDown: 2,
+		SampleEvery: window, Cooldown: 3 * window,
+		// Cap the transitional window at 16·r — loose for this 8-shard
+		// sweep ((8+8)·r at worst), shown here because production policies
+		// should always set it.
+		MaxTransitionalRelaxation: 16 * sk.ShardRelaxation(),
+	}
+	ctl, err := autoscale.New(sk, policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctl.Start()
+
+	var updates atomic.Int64
+	var light atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := 0; j < 64; j++ {
+					sk.Update(w, base+i*64+uint64(j))
+				}
+				updates.Add(64)
+				if light.Load() {
+					time.Sleep(10 * time.Millisecond) // the lull: a trickle
+				}
+			}
+		}(w)
+	}
+
+	type sample struct {
+		mops   float64
+		shards int
+	}
+	var samples []sample
+	fmt.Println("t_ms\tingest_Mops\tshards\trelaxation_Sr\tphase")
+	start := time.Now()
+	last := int64(0)
+	burstUpdates := int64(-1)
+	for time.Since(start) < runFor {
+		time.Sleep(window)
+		if burstUpdates < 0 && time.Since(start) >= burstFor {
+			burstUpdates = updates.Load()
+			light.Store(true)
+		}
+		now := updates.Load()
+		mops := float64(now-last) / window.Seconds() / 1e6
+		last = now
+		phase := "burst"
+		if light.Load() {
+			phase = "lull"
+		}
+		s := sk.Shards()
+		samples = append(samples, sample{mops, s})
+		fmt.Printf("%d\t%.2f\t%d\t%d\t%s\n",
+			time.Since(start).Milliseconds(), mops, s, sk.Relaxation(), phase)
+	}
+	close(stop)
+	wg.Wait()
+	ctl.Stop()
+	sk.Close()
+
+	// Per-epoch summary: consecutive windows at the same S are one epoch of
+	// the walk.
+	for i := 0; i < len(samples); {
+		j, sum := i, 0.0
+		for ; j < len(samples) && samples[j].shards == samples[i].shards; j++ {
+			sum += samples[j].mops
+		}
+		fmt.Printf("# epoch S=%d: %d windows (%v), avg %.2f Mops, S·r=%d\n",
+			samples[i].shards, j-i, time.Duration(j-i)*window,
+			sum/float64(j-i), samples[i].shards*sk.ShardRelaxation())
+		i = j
+	}
+	st := ctl.Stats()
+	fmt.Printf("# controller: %d samples, %d ups, %d downs, %d held-cooldown, %d at-bound, final S=%d\n",
+		st.Samples, st.ScaleUps, st.ScaleDowns, st.HeldCooldown, st.HeldAtBound, sk.Shards())
+	if burstUpdates < 0 {
+		burstUpdates = updates.Load()
+	}
+	record(benchfmt.Metric{Scenario: "autoscale",
+		Name: "countmin/burst_ingest", OpsPerSec: float64(burstUpdates) / burstFor.Seconds()})
+	record(benchfmt.Metric{Scenario: "autoscale",
+		Name: "scale_ups", Value: float64(st.ScaleUps), Informational: true})
+	record(benchfmt.Metric{Scenario: "autoscale",
+		Name: "scale_downs", Value: float64(st.ScaleDowns), Informational: true})
+	if st.ScaleUps == 0 || st.ScaleDowns == 0 {
+		// The walk is the scenario's reason to exist, but it depends on the
+		// machine sustaining the burst rate in real time — warn loudly
+		// (visible in the CI log, and as zeroed scale_ups/scale_downs in
+		// the JSON artifact) rather than failing a possibly-throttled run.
+		// The deterministic walk assertion is TestStressAutoscaleUnderFire.
+		fmt.Fprintf(os.Stderr, "autoscale: WARNING: controller never walked S (ups=%d downs=%d) — throttled machine, or a real control-loop regression\n",
+			st.ScaleUps, st.ScaleDowns)
+	}
 }
 
 // quantilesError: Section 6.2 validation — the relaxed PAC bound ε_r holds

@@ -21,7 +21,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"fastsketches/internal/autoscale"
 	"fastsketches/internal/core"
 	"fastsketches/internal/shard"
 )
@@ -97,6 +99,14 @@ type StressReport struct {
 	// resize completed; those were checked against the tighter steady-state
 	// bound S_final·r instead of the transitional bound.
 	PostResizeQueries int64
+	// ScaleUps / ScaleDowns split Resizes by direction, and FinalShards is
+	// S once the run quiesced (autoscale-under-fire scenarios only).
+	ScaleUps, ScaleDowns int64
+	FinalShards          int
+	// CapViolations counts controller-initiated transitions whose
+	// (S_old+S_new)·r exceeded the policy's MaxTransitionalRelaxation — the
+	// staleness cap the controller must never breach.
+	CapViolations int64
 }
 
 // ResizeStressConfig parameterises a resize-under-fire stress run: the
@@ -348,6 +358,206 @@ func StressResizeThetaDistinct(cfg ResizeStressConfig) (StressReport, error) {
 			}
 		},
 	})
+}
+
+// AutoscaleStressConfig parameterises an autoscale-under-fire stress run:
+// the base workload of StressConfig, driven not by a fixed resize schedule
+// but by a live autoscale.Controller whose decisions emerge from the
+// measured pressure of the run itself.
+type AutoscaleStressConfig struct {
+	StressConfig
+	// MinShards / MaxShards bound the controller's policy. Defaults 1 and
+	// 4·Shards.
+	MinShards, MaxShards int
+}
+
+func (c *AutoscaleStressConfig) normalise() {
+	c.StressConfig.normalise()
+	if c.MinShards == 0 {
+		c.MinShards = 1
+	}
+	if c.MaxShards == 0 {
+		c.MaxShards = 4 * c.Shards
+	}
+}
+
+// capCheckTarget wraps the sketch the controller drives, recording any
+// transition whose combined window (S_old+S_new)·r would exceed the
+// policy's staleness cap — which a correct controller never requests.
+type capCheckTarget struct {
+	*shard.CountMin
+	budget     int
+	violations *atomic.Int64
+}
+
+func (t capCheckTarget) Resize(s int) error {
+	if from := t.Shards(); t.budget > 0 && (from+s)*t.ShardRelaxation() > t.budget {
+		t.violations.Add(1)
+	}
+	return t.CountMin.Resize(s)
+}
+
+// StressAutoscaleUnderFire is the closed-loop counterpart of
+// StressResizeCountTotals: writers hammer a sharded Count-Min while a live
+// autoscale.Controller — sampling the sketch's real pressure counters,
+// paced deterministically through a ManualClock by a conductor goroutine —
+// walks S up under the write burst and back down to MinShards once the
+// writers quiesce. Queriers race merged reads throughout and check every
+// answer against the per-epoch staleness envelope:
+//
+//	c1 − bound ≤ answer ≤ c2
+//
+// with bound = 2·MaxShards·r (every controller transition keeps both
+// epochs within MaxShards, and the policy cap is set to exactly that
+// window) while the controller may still be resizing, tightening to the
+// steady-state MinShards·r once the loop has settled. The run also asserts
+// the control loop itself: at least one scale-up and one scale-down must
+// emerge from the measured load, no transition may breach the staleness
+// cap, and the run must settle at MinShards.
+func StressAutoscaleUnderFire(cfg AutoscaleStressConfig) (StressReport, error) {
+	cfg.normalise()
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   1.0, // lazy path throughout, as in the resize stress
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+
+	perShard := int64(2 * cfg.Writers * cfg.BufferSize) // r = 2·N·b
+	transitional := 2 * int64(cfg.MaxShards) * perShard
+	final := int64(cfg.MinShards) * perShard
+	rep := StressReport{Bound: int(transitional)}
+
+	// The controller: one qualifying sample per decision (the conductor
+	// paces ticks, so sustained windows would only slow the walk), near-zero
+	// cooldown in manual time, and the staleness cap at exactly the
+	// envelope the queriers enforce. HighWater is tiny relative to the real
+	// deltas a 1ms manual-time sample sees, so any observed ingest is
+	// up-pressure; LowWater keeps the mandatory hysteresis gap.
+	mc := autoscale.NewManualClock(time.Unix(1<<20, 0))
+	var capViolations atomic.Int64
+	ctl, err := autoscale.New(
+		capCheckTarget{CountMin: sk, budget: int(transitional), violations: &capViolations},
+		autoscale.Policy{
+			MinShards: cfg.MinShards, MaxShards: cfg.MaxShards,
+			HighWater: 500, LowWater: 100,
+			SustainedUp: 1, SustainedDown: 2,
+			SampleEvery: time.Millisecond, Cooldown: time.Nanosecond,
+			MaxTransitionalRelaxation: int(transitional),
+			Clock:                     mc,
+		})
+	if err != nil {
+		return StressReport{}, err
+	}
+
+	var completed, started atomic.Int64
+	var doneResizing atomic.Bool
+	var worst atomic.Int64
+	stop := make(chan struct{})
+	writersDone := make(chan struct{})
+	var wg, qwg sync.WaitGroup
+
+	for q := 0; q < cfg.Queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			acc := sk.NewAccumulator()
+			i := 0
+			query := func() int64 {
+				i++
+				if i%2 == 0 {
+					return int64(sk.N())
+				}
+				sk.QueryInto(acc)
+				return int64(acc.N())
+			}
+			resizeQuerier(&rep, stop, &completed, &started, &doneResizing,
+				transitional, final, &worst, query)
+		}()
+	}
+
+	// Warmup baseline before any writer starts, so every later tick's
+	// ingest delta is real load.
+	ctl.Tick()
+
+	const hotKeys = 64
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				started.Add(1)
+				sk.Update(w, uint64((w*cfg.UpdatesPerWriter+i)%hotKeys))
+				completed.Add(1)
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+
+	// Conductor phase 1 — the burst: tick the controller against the live
+	// pressure until S reaches MaxShards, or the writers have finished and
+	// two consecutive ticks saw no new ingest (every update is by then
+	// counted, so at least one tick observed a positive delta and scaled
+	// up).
+	tick := func() {
+		mc.Advance(time.Millisecond)
+		ctl.Tick()
+	}
+	writersFinished := func() bool {
+		select {
+		case <-writersDone:
+			return true
+		default:
+			return false
+		}
+	}
+	zeroTicks := 0
+	for sk.Shards() < cfg.MaxShards && zeroTicks < 2 {
+		before := sk.Pressure().Ingested
+		tick()
+		if writersFinished() && sk.Pressure().Ingested == before {
+			zeroTicks++
+		} else {
+			zeroTicks = 0
+		}
+		runtime.Gosched() // single-core friendliness: let writers run
+	}
+
+	// Conductor phase 2 — the lull: wait out the writers, then keep ticking
+	// with zero load until the backlog drains and the controller walks S
+	// back down to MinShards. Bounded in case the loop is broken — that
+	// surfaces as FinalShards ≠ MinShards, not a hang.
+	<-writersDone
+	for i := 0; i < 100_000 && sk.Shards() > cfg.MinShards; i++ {
+		tick()
+		runtime.Gosched()
+	}
+
+	// Settle: the load is gone and S is pinned, so no further resizes can
+	// fire. Flag the steady phase and let the queriers take a few answers
+	// against the tight MinShards·r bound before stopping them.
+	doneResizing.Store(true)
+	for deadline := time.Now().Add(30 * time.Second); atomic.LoadInt64(&rep.PostResizeQueries) < int64(cfg.Queriers) &&
+		time.Now().Before(deadline); {
+		runtime.Gosched()
+	}
+	close(stop)
+	qwg.Wait()
+
+	st := ctl.Stats()
+	rep.ScaleUps, rep.ScaleDowns = st.ScaleUps, st.ScaleDowns
+	rep.Resizes = st.ScaleUps + st.ScaleDowns
+	rep.FinalShards = sk.Shards()
+	rep.CapViolations = capViolations.Load()
+	rep.WorstDeficit = worst.Load()
+	return rep, nil
 }
 
 // StressCountTotals drives a sharded Count-Min and checks its cross-shard

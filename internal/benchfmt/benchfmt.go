@@ -1,0 +1,166 @@
+// Package benchfmt defines the machine-readable benchmark artifact format
+// shared by cmd/benchrunner (which emits it) and cmd/benchdiff (which
+// compares a fresh run against the committed baseline and fails CI on
+// regressions). One Report holds the metrics of one benchrunner invocation;
+// the committed BENCH_baseline.json at the repository root is the perf
+// trajectory's anchor point.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Metric is one measured quantity of one scenario. Exactly which fields are
+// populated depends on the kind of measurement:
+//
+//   - throughput metrics carry OpsPerSec;
+//   - latency/allocation metrics carry NsPerOp and usually AllocsPerOp /
+//     BytesPerOp (pointers, because 0 allocs/op is a meaningful — indeed
+//     the pinned — value and must survive JSON round-trips);
+//   - informational metrics (drain times, controller decision counts,
+//     machine-dependent curiosities) carry whatever fits and are never
+//     gated by Compare.
+type Metric struct {
+	Scenario string `json:"scenario"`
+	Name     string `json:"name"`
+	// OpsPerSec is gated against relative regression by Compare.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// NsPerOp is gated against relative regression by Compare.
+	NsPerOp float64 `json:"ns_op,omitempty"`
+	// AllocsPerOp/BytesPerOp are per-operation allocation counts.
+	AllocsPerOp *int64 `json:"allocs_op,omitempty"`
+	BytesPerOp  *int64 `json:"bytes_op,omitempty"`
+	// PinnedZeroAlloc marks a path whose allocs/op must never rise above
+	// the baseline (the zero-alloc merge-on-query contract): Compare fails
+	// on ANY increase, regardless of threshold.
+	PinnedZeroAlloc bool `json:"pinned_zero_alloc,omitempty"`
+	// Informational metrics are recorded for the trajectory but never
+	// compared (wall-clock drain times, decision counts, …).
+	Informational bool `json:"informational,omitempty"`
+	// Value holds unitless informational quantities (counts, ratios).
+	Value float64 `json:"value,omitempty"`
+}
+
+// Key identifies a metric across reports.
+func (m Metric) Key() string { return m.Scenario + "/" + m.Name }
+
+// Report is one benchrunner invocation's artifact.
+type Report struct {
+	Tool       string   `json:"tool"`
+	Scale      string   `json:"scale"` // quick | default | full
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	CreatedAt  string   `json:"created_at,omitempty"` // RFC3339; ignored by Compare
+	Metrics    []Metric `json:"metrics"`
+}
+
+// New returns an empty report for the given tool and scale label.
+func New(tool, scale string) *Report { return &Report{Tool: tool, Scale: scale} }
+
+// Add appends one metric.
+func (r *Report) Add(m Metric) { r.Metrics = append(r.Metrics, m) }
+
+// Int64 returns a pointer to v, for the AllocsPerOp/BytesPerOp fields.
+func Int64(v int64) *int64 { return &v }
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one gated metric that got worse.
+type Regression struct {
+	Key    string
+	Reason string
+}
+
+func (r Regression) String() string { return r.Key + ": " + r.Reason }
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// ThroughputThreshold is the tolerated relative slowdown of OpsPerSec
+	// and NsPerOp metrics (0.20 = fail beyond 20%). Zero means exactly
+	// that: any slowdown fails — pass an explicit tolerance.
+	ThroughputThreshold float64
+	// SkipThroughput gates only the machine-independent allocation
+	// contracts, for comparisons across unlike hardware.
+	SkipThroughput bool
+	// AllowMissing tolerates baseline metrics absent from the fresh report
+	// (e.g. a scenario subset run).
+	AllowMissing bool
+}
+
+// Compare checks fresh against baseline and returns every regression, in a
+// stable order. Gates per baseline metric (informational ones are skipped):
+//
+//   - missing from fresh → regression (unless AllowMissing);
+//   - OpsPerSec below baseline·(1−threshold) → regression;
+//   - NsPerOp above baseline·(1+threshold) → regression;
+//   - on PinnedZeroAlloc paths, any allocs/op increase → regression.
+//
+// Metrics present only in fresh are ignored: new coverage is not a
+// regression.
+func Compare(baseline, fresh *Report, opt CompareOptions) []Regression {
+	byKey := make(map[string]Metric, len(fresh.Metrics))
+	for _, m := range fresh.Metrics {
+		byKey[m.Key()] = m
+	}
+	var regs []Regression
+	for _, base := range baseline.Metrics {
+		if base.Informational {
+			continue
+		}
+		cur, ok := byKey[base.Key()]
+		if !ok {
+			if !opt.AllowMissing {
+				regs = append(regs, Regression{base.Key(), "metric missing from fresh report"})
+			}
+			continue
+		}
+		if !opt.SkipThroughput && base.OpsPerSec > 0 {
+			if floor := base.OpsPerSec * (1 - opt.ThroughputThreshold); cur.OpsPerSec < floor {
+				regs = append(regs, Regression{base.Key(), fmt.Sprintf(
+					"throughput regressed %.1f%%: %.0f → %.0f ops/sec (floor %.0f)",
+					100*(1-cur.OpsPerSec/base.OpsPerSec), base.OpsPerSec, cur.OpsPerSec, floor)})
+			}
+		}
+		if !opt.SkipThroughput && base.NsPerOp > 0 {
+			if ceil := base.NsPerOp * (1 + opt.ThroughputThreshold); cur.NsPerOp > ceil {
+				regs = append(regs, Regression{base.Key(), fmt.Sprintf(
+					"latency regressed %.1f%%: %.0f → %.0f ns/op (ceiling %.0f)",
+					100*(cur.NsPerOp/base.NsPerOp-1), base.NsPerOp, cur.NsPerOp, ceil)})
+			}
+		}
+		if base.PinnedZeroAlloc && base.AllocsPerOp != nil {
+			switch {
+			case cur.AllocsPerOp == nil:
+				regs = append(regs, Regression{base.Key(), "pinned zero-alloc path lost its allocs/op measurement"})
+			case *cur.AllocsPerOp > *base.AllocsPerOp:
+				regs = append(regs, Regression{base.Key(), fmt.Sprintf(
+					"allocs/op increased on pinned zero-alloc path: %d → %d",
+					*base.AllocsPerOp, *cur.AllocsPerOp)})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Key < regs[j].Key })
+	return regs
+}

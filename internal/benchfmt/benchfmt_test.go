@@ -1,0 +1,122 @@
+package benchfmt_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastsketches/internal/benchfmt"
+)
+
+func report(metrics ...benchfmt.Metric) *benchfmt.Report {
+	r := benchfmt.New("benchrunner", "quick")
+	for _, m := range metrics {
+		r.Add(m)
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := report(
+		benchfmt.Metric{Scenario: "sharded", Name: "theta/S=4/ingest", OpsPerSec: 1.5e6},
+		benchfmt.Metric{Scenario: "mergedquery", Name: "theta/S=4/pooled",
+			NsPerOp: 1200, AllocsPerOp: benchfmt.Int64(0), BytesPerOp: benchfmt.Int64(0),
+			PinnedZeroAlloc: true},
+		benchfmt.Metric{Scenario: "autoscale", Name: "scale_ups", Value: 2, Informational: true},
+	)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchfmt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != 3 || got.Tool != "benchrunner" || got.Scale != "quick" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// The zero allocs/op of the pinned path must survive the trip — it is
+	// the whole contract.
+	m := got.Metrics[1]
+	if m.AllocsPerOp == nil || *m.AllocsPerOp != 0 || !m.PinnedZeroAlloc {
+		t.Fatalf("pinned zero-alloc metric mangled: %+v", m)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := report(
+		benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1000},
+		benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000,
+			AllocsPerOp: benchfmt.Int64(0), PinnedZeroAlloc: true},
+		benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000,
+			AllocsPerOp: benchfmt.Int64(10)}, // not pinned
+		benchfmt.Metric{Scenario: "reshard", Name: "drain", NsPerOp: 5e6, Informational: true},
+	)
+	opt := benchfmt.CompareOptions{ThroughputThreshold: 0.20}
+
+	cases := []struct {
+		name  string
+		fresh *benchfmt.Report
+		opt   benchfmt.CompareOptions
+		want  []string // substrings of expected regression reasons, one per regression
+	}{
+		{"identical", base, opt, nil},
+		{"within threshold", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 850},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1150, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1100, AllocsPerOp: benchfmt.Int64(10)},
+		), opt, nil},
+		{"throughput regression", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 700},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+		), opt, []string{"throughput regressed"}},
+		{"latency regression", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1000},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1300, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+		), opt, []string{"latency regressed"}},
+		{"pinned alloc increase fails regardless of threshold", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1000},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(1)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+		), opt, []string{"allocs/op increased"}},
+		{"unpinned alloc increase tolerated", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1000},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(64)},
+		), opt, nil},
+		{"informational drift ignored", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1000},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+			benchfmt.Metric{Scenario: "reshard", Name: "drain", NsPerOp: 9e9, Informational: true},
+		), opt, nil},
+		{"missing metric", report(
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+		), opt, []string{"missing"}},
+		{"missing metric allowed", report(
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(0)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+		), benchfmt.CompareOptions{ThroughputThreshold: 0.20, AllowMissing: true}, nil},
+		{"skip throughput still gates pinned allocs", report(
+			benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1},
+			benchfmt.Metric{Scenario: "mq", Name: "theta/pooled", NsPerOp: 9e9, AllocsPerOp: benchfmt.Int64(3)},
+			benchfmt.Metric{Scenario: "mq", Name: "countmin/fresh", NsPerOp: 1000, AllocsPerOp: benchfmt.Int64(10)},
+		), benchfmt.CompareOptions{SkipThroughput: true}, []string{"allocs/op increased"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := benchfmt.Compare(base, tc.fresh, tc.opt)
+			if len(regs) != len(tc.want) {
+				t.Fatalf("got %d regressions %v, want %d", len(regs), regs, len(tc.want))
+			}
+			for i, want := range tc.want {
+				if !strings.Contains(regs[i].Reason, want) {
+					t.Errorf("regression %d = %q, want reason containing %q", i, regs[i], want)
+				}
+			}
+		})
+	}
+}

@@ -199,6 +199,44 @@ type writer[T any] struct {
 	_        cacheLinePad
 }
 
+// PressureSample is a wait-free snapshot of a framework's ingest-pressure
+// counters, the signal plane autoscaling policies sample. Both counters are
+// cumulative and monotonically non-decreasing over the framework's lifetime:
+//
+//   - Ingested counts items handed to the propagation plane — buffered items
+//     at the instant their buffer is published (counted once per publication,
+//     so the writer hot path pays one extra atomic add per b items, on the
+//     step that already pays a fence) plus eager-phase direct updates.
+//   - Merged counts items the propagator (or the Close drain) has folded
+//     into the global sketch.
+//
+// Items discarded by pre-filtering (ShouldAdd false) appear in neither
+// counter: they never reach the propagator, so they exert no propagation
+// pressure — which is exactly the pressure sharding parallelises.
+//
+// The two counters are read separately, so a sample is not an atomic pair;
+// Merged is read first, which keeps Backlog non-negative up to the clamp.
+type PressureSample struct {
+	Ingested int64
+	Merged   int64
+}
+
+// Backlog returns the published-but-not-yet-merged item count of the sample:
+// how far the propagator is behind the writers. Clamped at zero (the two
+// counters are sampled separately, so tiny transient skews are possible).
+func (p PressureSample) Backlog() int64 {
+	if b := p.Ingested - p.Merged; b > 0 {
+		return b
+	}
+	return 0
+}
+
+// Add returns the element-wise sum of two samples, for aggregating pressure
+// across the frameworks of a shard group.
+func (p PressureSample) Add(q PressureSample) PressureSample {
+	return PressureSample{Ingested: p.Ingested + q.Ingested, Merged: p.Merged + q.Merged}
+}
+
 // Framework is the generic concurrent sketch: the paper's OptParSketch /
 // ParSketch object. Create with New, then Start the propagator, have each
 // writer goroutine call Update on its own lane, and Close when ingestion is
@@ -209,6 +247,13 @@ type Framework[T any] struct {
 	cfg     Config
 	b       int
 	writers []*writer[T]
+
+	// ingested/merged are the PressureSample counters. They live on the
+	// framework, not the writer, because they are amortised: writers touch
+	// ingested once per buffer publication, the propagator touches merged
+	// once per merge — never once per update on the lazy path.
+	ingested atomic.Int64
+	merged   atomic.Int64
 
 	// Eager phase (Section 5.3): guarded by a spin-free mutex-like CAS on
 	// eagerState. lazy flips exactly once, eager→lazy.
@@ -338,6 +383,7 @@ func (f *Framework[T]) Update(wid int, item T) {
 	if f.cfg.Mode == ModeUnoptimised {
 		// ParSketch, lines 124-125: publish, then block until the
 		// propagator has merged the (single) buffer and returned a hint.
+		f.ingested.Add(int64(len(w.buf[w.cur])))
 		w.prop.Store(0)
 		w.hint = f.awaitHint(w)
 		f.adapt(w)
@@ -348,6 +394,7 @@ func (f *Framework[T]) Update(wid int, item T) {
 	// publish the filled one.
 	w.hint = f.awaitHint(w)
 	w.cur = 1 - w.cur
+	f.ingested.Add(int64(len(w.buf[1-w.cur])))
 	w.prop.Store(0)
 	f.adapt(w)
 }
@@ -395,6 +442,11 @@ func (f *Framework[T]) eagerUpdate(w *writer[T], item T) bool {
 	}
 	f.global.DirectUpdate(item)
 	w.updates++
+	// An eager update is visible immediately: it enters and leaves the
+	// propagation plane in one step (both adds happen under the eager lock,
+	// whose contention the paper already accepts for small streams).
+	f.ingested.Add(1)
+	f.merged.Add(1)
 	f.eagerCount++
 	if f.eagerCount >= f.eagerLimit {
 		f.lazy.Store(true)
@@ -427,6 +479,7 @@ func (f *Framework[T]) propagate() {
 			}
 			if buf := w.buf[idx]; len(buf) > 0 {
 				f.global.MergeBuffer(buf)
+				f.merged.Add(int64(len(buf)))
 				w.buf[idx] = buf[:0]
 			}
 			w.prop.Store(f.global.CalcHint())
@@ -456,6 +509,8 @@ func (f *Framework[T]) Close() {
 	}
 	for _, w := range f.writers {
 		// If a publication was in flight, merge the published buffer first.
+		// Its items were counted as Ingested when published, so only Merged
+		// advances here.
 		if w.prop.Load() == 0 {
 			idx := w.cur
 			if f.cfg.Mode == ModeOptimised {
@@ -463,16 +518,31 @@ func (f *Framework[T]) Close() {
 			}
 			if buf := w.buf[idx]; len(buf) > 0 {
 				f.global.MergeBuffer(buf)
+				f.merged.Add(int64(len(buf)))
 				w.buf[idx] = buf[:0]
 			}
 			w.prop.Store(f.global.CalcHint())
 		}
-		// Then the partially-filled current buffer.
+		// Then the partially-filled current buffer, which was never
+		// published: it enters and leaves the propagation plane here.
 		if buf := w.buf[w.cur]; len(buf) > 0 {
 			f.global.MergeBuffer(buf)
+			f.ingested.Add(int64(len(buf)))
+			f.merged.Add(int64(len(buf)))
 			w.buf[w.cur] = buf[:0]
 		}
 	}
+}
+
+// Pressure returns the framework's cumulative ingest-pressure counters.
+// Wait-free and safe to call concurrently with updates, propagation, and
+// queries — the sampling hook autoscaling controllers poll. After Close the
+// sample is exact: Ingested == Merged == the post-filter stream length.
+func (f *Framework[T]) Pressure() PressureSample {
+	// Merged first: each item's Merged add happens after its Ingested add,
+	// so this read order keeps the sampled backlog from going negative.
+	m := f.merged.Load()
+	return PressureSample{Ingested: f.ingested.Load(), Merged: m}
 }
 
 // Lazy reports whether the framework has left the eager phase.

@@ -128,16 +128,3 @@ func (c *CountMin) Merged() *countmin.Sketch {
 	c.MergeInto(acc)
 	return acc
 }
-
-// ShardRelaxation returns the bound governing per-key Estimate queries:
-// the single-shard relaxation r in steady state, transiently r_old + r_new
-// while a Resize transition is draining (the estimate reads one owning
-// shard per live epoch; legacy state is exact and adds no staleness).
-func (c *CountMin) ShardRelaxation() int {
-	st := c.st.Load()
-	r := st.g.fws[0].Relaxation()
-	if st.old != nil {
-		r += st.old.g.fws[0].Relaxation()
-	}
-	return r
-}

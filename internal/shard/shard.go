@@ -198,6 +198,26 @@ func (g *group[T]) relaxation() int {
 	return total
 }
 
+// pressure sums the per-framework ingest-pressure counters across the group
+// — the sampling hook the autoscale controller polls. Wait-free.
+func (g *group[T]) pressure() core.PressureSample {
+	var p core.PressureSample
+	for _, fw := range g.fws {
+		p = p.Add(fw.Pressure())
+	}
+	return p
+}
+
+// shardRelaxation returns the per-shard relaxation r = 2·N·b (N·b for
+// ParSketch). Every framework in the group shares one configuration, so the
+// first one speaks for all.
+func (g *group[T]) shardRelaxation() int {
+	if len(g.fws) == 0 {
+		return 0
+	}
+	return g.fws[0].Relaxation()
+}
+
 // eager reports whether every shard is still in its exact eager phase; while
 // true, merged queries reflect every completed update.
 func (g *group[T]) eager() bool {

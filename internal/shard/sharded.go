@@ -61,6 +61,13 @@ type epochState[T any, A Accumulator[A], C Mergeable[T, A]] struct {
 	// compared against nil).
 	legacy    A
 	hasLegacy bool
+	// basePressure is the final pressure sample of every retired epoch,
+	// summed — the counterpart of legacy for the pressure counters. Folding
+	// it into each Pressure() sample keeps the sketch-level counters
+	// monotonic across resizes: a reader sees a retired epoch's counts
+	// either live (walking old's frameworks) or in basePressure, never both,
+	// because both travel on the same immutable epoch pointer.
+	basePressure core.PressureSample
 }
 
 // lanePad keeps each lane's seqlock word on its own cache line so writer
@@ -222,7 +229,10 @@ func (s *Sharded[T, A, C]) Resize(shards int) error {
 		return nil
 	}
 
-	next := &epochState[T, A, C]{old: old, legacy: old.legacy, hasLegacy: old.hasLegacy}
+	next := &epochState[T, A, C]{
+		old: old, legacy: old.legacy, hasLegacy: old.hasLegacy,
+		basePressure: old.basePressure,
+	}
 	built := s.newEpoch(shards)
 	next.comps, next.g = built.comps, built.g
 	s.st.Store(next) // writers route to the new shards from here on
@@ -242,6 +252,10 @@ func (s *Sharded[T, A, C]) Resize(shards int) error {
 	retired := &epochState[T, A, C]{
 		comps: next.comps, g: next.g,
 		legacy: legacy, hasLegacy: true,
+		// The old epoch is fully drained (Ingested == Merged), so its final
+		// counters move into the base exactly once, on the same atomic store
+		// that retires its live frameworks.
+		basePressure: old.basePressure.Add(old.g.pressure()),
 	}
 	s.st.Store(retired) // retire the old epoch atomically
 	return nil
@@ -322,6 +336,37 @@ func (s *Sharded[T, A, C]) Relaxation() int {
 // Shards returns the current S. During a Resize transition this is already
 // the new epoch's shard count.
 func (s *Sharded[T, A, C]) Shards() int { return len(s.st.Load().comps) }
+
+// Pressure returns the sketch's cumulative ingest-pressure sample, summed
+// over every shard of the current epoch, the draining epoch while a Resize
+// transition is in flight, and the final counters of all retired epochs —
+// so both counters are monotonic across resizes, which is what lets an
+// autoscaling controller turn successive samples into rates. Wait-free: one
+// epoch load plus two atomic loads per live shard.
+func (s *Sharded[T, A, C]) Pressure() core.PressureSample {
+	st := s.st.Load()
+	p := st.basePressure
+	if st.old != nil {
+		p = p.Add(st.old.g.pressure())
+	}
+	return p.Add(st.g.pressure())
+}
+
+// ShardRelaxation returns the single-shard staleness bound: the per-shard
+// relaxation r = 2·N·b in steady state, transiently r_old + r_new while a
+// Resize transition is draining (single-shard reads touch one owning shard
+// per live epoch; legacy state is exact and adds no staleness). It is the
+// bound governing per-key queries such as CountMin.Estimate, and the r an
+// autoscaling policy multiplies by S_old + S_new to cap a transition's
+// combined staleness window.
+func (s *Sharded[T, A, C]) ShardRelaxation() int {
+	st := s.st.Load()
+	r := st.g.shardRelaxation()
+	if st.old != nil {
+		r += st.old.g.shardRelaxation()
+	}
+	return r
+}
 
 // Eager reports whether merged queries currently reflect every completed
 // update: every current shard is still in its exact eager phase, and, if a

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"fastsketches/internal/autoscale"
 	"fastsketches/internal/countmin"
 	"fastsketches/internal/hll"
 	"fastsketches/internal/quantiles"
@@ -150,6 +151,10 @@ type Registry struct {
 	hlls   map[string]*shard.HLL
 	quants map[string]*shard.Quantiles
 	cms    map[string]*shard.CountMin
+	// controllers are the autoscaling loops attached via Autoscale /
+	// AutoscaleAll; Close stops them before stopping any propagator, so a
+	// controller can never resize a closing sketch.
+	controllers []*autoscale.Controller
 }
 
 // NewRegistry validates the configuration and returns an empty registry.
@@ -312,6 +317,78 @@ func (r *Registry) CountMinQueryInto(name string, acc *countmin.Sketch) {
 	r.CountMin(name).QueryInto(acc)
 }
 
+// Autoscale attaches an autoscaling controller to every sketch currently
+// registered under name, across all four families, and starts their
+// sampling loops: each controller polls its sketch's ingest pressure every
+// Policy.SampleEvery and walks the shard count through Resize under the
+// policy's hysteresis rules — the closed control loop over the relaxation
+// parameter (see the autoscale package). The returned controllers expose
+// live Stats; the registry owns their lifecycle and stops them on Close.
+//
+// Only sketches that already exist are covered (touch a family accessor
+// first to create one); sketches registered under the name later are not
+// picked up retroactively. Each call attaches fresh controllers — attach a
+// policy once per sketch unless two competing loops are genuinely wanted.
+func (r *Registry) Autoscale(name string, p autoscale.Policy) ([]*autoscale.Controller, error) {
+	return r.autoscale(p, func(n string) bool { return n == name })
+}
+
+// AutoscaleAll is Autoscale over every sketch currently registered, any
+// name, all families — one controller per sketch, all under the same
+// policy.
+func (r *Registry) AutoscaleAll(p autoscale.Policy) ([]*autoscale.Controller, error) {
+	return r.autoscale(p, func(string) bool { return true })
+}
+
+// autoscale collects the matching sketches as resize targets, builds one
+// started controller per target, and records them for Close.
+func (r *Registry) autoscale(p autoscale.Policy, match func(name string) bool) ([]*autoscale.Controller, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		panic("fastsketches: Registry used after Close")
+	}
+	var targets []autoscale.Target
+	for n, sk := range r.thetas {
+		if match(n) {
+			targets = append(targets, sk)
+		}
+	}
+	for n, sk := range r.hlls {
+		if match(n) {
+			targets = append(targets, sk)
+		}
+	}
+	for n, sk := range r.quants {
+		if match(n) {
+			targets = append(targets, sk)
+		}
+	}
+	for n, sk := range r.cms {
+		if match(n) {
+			targets = append(targets, sk)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%w: no registered sketches to autoscale", ErrConfig)
+	}
+	ctls := make([]*autoscale.Controller, 0, len(targets))
+	for _, tgt := range targets {
+		ctl, err := autoscale.New(tgt, p)
+		if err != nil {
+			return nil, err
+		}
+		ctls = append(ctls, ctl)
+	}
+	// Start only after every policy validated, so a bad policy attaches
+	// nothing rather than half a fleet.
+	for _, ctl := range ctls {
+		ctl.Start()
+	}
+	r.controllers = append(r.controllers, ctls...)
+	return ctls, nil
+}
+
 // Names lists every registered sketch, sorted, as "family/name".
 func (r *Registry) Names() []string {
 	r.mu.RLock()
@@ -343,6 +420,11 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
+	// Controllers first: a stopped controller issues no further resizes, so
+	// no propagator can be asked to drain mid-shutdown.
+	for _, ctl := range r.controllers {
+		ctl.Stop()
+	}
 	for _, sk := range r.thetas {
 		sk.Close()
 	}
