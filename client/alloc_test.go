@@ -1,0 +1,93 @@
+//go:build !race
+
+package client_test
+
+// TestServedQueryZeroAlloc extends the repository's zero-allocation
+// merged-query contract across the wire: with server and client in one
+// process over a real loopback TCP connection, a steady-state scalar query
+// — client encode, server decode, QueryInto through the connection's
+// reusable accumulator, response encode, client decode — must allocate
+// (essentially) nothing end to end. testing.AllocsPerRun counts mallocs
+// process-wide, so this covers the server's read/serve/write path and the
+// client's pooled-call pipeline together. Excluded under -race for the
+// same reason as the in-process contract tests: the race-mode sync.Pool
+// drops puts at random, making pool misses expected.
+
+import (
+	"testing"
+
+	"fastsketches"
+	"fastsketches/client"
+)
+
+func TestServedQueryZeroAlloc(t *testing.T) {
+	addr, _ := startServer(t, fastsketches.RegistryConfig{Shards: 4, Writers: 2})
+	cl, err := client.Dial(addr, client.Options{Conns: 1, BatchSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	b := cl.NewBatch(client.Theta, "alloc")
+	cb := cl.NewBatch(client.CountMin, "alloc")
+	for i := 0; i < 10_000; i++ {
+		if err := b.Add(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Add(uint64(i % 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm every reusable piece: connection accumulators server-side, call
+	// handles and frame buffers client-side, map buckets on both.
+	for i := 0; i < 64; i++ {
+		if _, err := cl.ThetaEstimate("alloc"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Count("alloc", uint64(i%64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The tolerance absorbs rare runtime-internal allocations (netpoll,
+	// scheduler); the contract being pinned is "no per-query allocation on
+	// the serving path", which would show up as ≥ 1 alloc/op.
+	const runs = 200
+	if allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := cl.ThetaEstimate("alloc"); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0.5 {
+		t.Errorf("served theta estimate allocates %.2f/op end to end, want ~0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := cl.Count("alloc", 7); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0.5 {
+		t.Errorf("served count-min lookup allocates %.2f/op end to end, want ~0", allocs)
+	}
+
+	// Batched ingest: steady-state Add+Flush reuses the batch buffer, the
+	// write path and the ack path.
+	ib := cl.NewBatch(client.CountMin, "alloc")
+	if allocs := testing.AllocsPerRun(runs, func() {
+		for i := 0; i < 512; i++ {
+			if err := ib.Add(uint64(i % 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ib.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 2 {
+		t.Errorf("batched ingest allocates %.2f/flush end to end, want ≤ 2 (lane fan-in WaitGroup)", allocs)
+	}
+}

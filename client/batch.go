@@ -1,0 +1,82 @@
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fastsketches/internal/wire"
+)
+
+// Batch is the buffered ingestion path: items accumulate client-side and
+// ship as one OpBatch frame when the buffer reaches Options.BatchSize (or
+// on Flush), which the server fans into the sketch's writer lanes. A
+// successful Flush means every item's Update completed server-side — the
+// batch is covered by the merged-query staleness bound from that point on.
+//
+// A Batch is NOT safe for concurrent use: make one per ingesting
+// goroutine. Each flush travels over one pooled connection, so several
+// goroutines with their own batches drive the server's lanes from several
+// connections concurrently. On error the buffered items are dropped (the
+// error reports how many).
+type Batch struct {
+	c     *Client
+	fam   Family
+	name  string
+	items []uint64
+	limit int
+}
+
+// NewBatch returns an empty batch buffer for the named sketch.
+func (c *Client) NewBatch(fam Family, name string) *Batch {
+	return &Batch{
+		c: c, fam: fam, name: name,
+		items: make([]uint64, 0, c.opts.BatchSize),
+		limit: c.opts.BatchSize,
+	}
+}
+
+// Add buffers one uint64 key (Θ, HLL and Count-Min families), flushing if
+// the buffer is full.
+func (b *Batch) Add(key uint64) error {
+	b.items = append(b.items, key)
+	if len(b.items) >= b.limit {
+		return b.Flush()
+	}
+	return nil
+}
+
+// AddFloat buffers one float64 value (quantiles family), flushing if the
+// buffer is full.
+func (b *Batch) AddFloat(v float64) error {
+	return b.Add(math.Float64bits(v))
+}
+
+// Len returns the number of buffered, unflushed items.
+func (b *Batch) Len() int { return len(b.items) }
+
+// Flush ships the buffered items as one batch frame and waits for the ack.
+// No-op on an empty buffer. On error the buffer is cleared: the dropped
+// items are reported in the error and must be re-Added to retry.
+func (b *Batch) Flush() error {
+	if len(b.items) == 0 {
+		return nil
+	}
+	n := len(b.items)
+	ca, err := b.c.do(&reqSpec{op: wire.OpBatch, fam: b.fam, name: b.name, items: b.items})
+	b.items = b.items[:0]
+	if err != nil {
+		return fmt.Errorf("client: batch of %d items dropped: %w", n, err)
+	}
+	body := ca.body()
+	if len(body) != 4 {
+		ca.release()
+		return fmt.Errorf("client: %d-byte batch ack, want 4", len(body))
+	}
+	acked := binary.LittleEndian.Uint32(body)
+	ca.release()
+	if int(acked) != n {
+		return fmt.Errorf("client: server acked %d of %d items", acked, n)
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package client_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"slices"
+	"sync"
+	"testing"
+
+	"fastsketches"
+	"fastsketches/client"
+)
+
+// TestE2E is the end-to-end serving smoke CI's e2e job runs against a real
+// sketchd binary (SKETCHD_ADDR set); without the variable it boots an
+// in-process server so the same coverage rides every `go test ./...`.
+//
+// It drives the full serving story: batched ingest from N concurrent
+// connections, pipelined merged queries, a live resize under write fire,
+// admin enumeration and drop — and the acceptance core: after a quiesce
+// (resize-drain, which folds every completed update exactly into legacy
+// state), served query results must MATCH in-process QueryInto results on
+// the same stream. HLL registers (max) and Count-Min counters (sums) are
+// deterministic functions of the ingested key multiset, so a mirror
+// registry with identical geometry replaying the same keys must agree
+// bit-for-bit — as must a Θ sketch still in its exact eager regime. A
+// sampled-regime Θ sketch's retained set depends on prune timing (and so
+// on the concurrent interleaving), and quantiles compaction is randomised
+// per interleaving: those agree within the families' error bounds.
+func TestE2E(t *testing.T) {
+	addr := os.Getenv("SKETCHD_ADDR")
+	if addr == "" {
+		addr, _ = startServer(t, fastsketches.RegistryConfig{Shards: 2, Writers: 2})
+	}
+	cl, err := client.Dial(addr, client.Options{Conns: 4, BatchSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Make reruns against a long-lived external server idempotent.
+	names := map[client.Family]string{
+		client.Theta:     "e2e.theta",
+		client.HLL:       "e2e.hll",
+		client.CountMin:  "e2e.cm",
+		client.Quantiles: "e2e.q",
+	}
+	for fam, name := range names {
+		_ = cl.Drop(fam, name)
+	}
+	_ = cl.Drop(client.CountMin, "e2e.fire")
+	_ = cl.Drop(client.Theta, "e2e.theta.exact")
+
+	// Discover the served geometry and build the in-process mirror with
+	// the same one (family accuracy parameters are the shared library
+	// defaults on both sides; CI starts sketchd without overrides).
+	if err := cl.Create(client.Theta, names[client.Theta]); err != nil {
+		t.Fatal(err)
+	}
+	inf, err := cl.Info(client.Theta, names[client.Theta])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: inf.Shards, Writers: inf.Writers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mirror.Close()
+
+	// ---- Phase 1: batched ingest + pipelined queries + resize under fire.
+	t.Run("resize-under-fire", func(t *testing.T) {
+		const writers = 4
+		const perWriter = 20_000
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		fireDone := make(chan struct{})
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				b := cl.NewBatch(client.CountMin, "e2e.fire")
+				for i := 0; i < perWriter; i++ {
+					if err := b.Add(uint64(g)<<32 | uint64(i)); err != nil {
+						errs <- err
+						return
+					}
+					if i%4999 == 0 { // pipelined queries riding the ingest
+						if _, err := cl.CountMinN("e2e.fire"); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				errs <- b.Flush()
+			}(g)
+		}
+		// Walk the shard count while the writers hammer.
+		go func() {
+			defer close(fireDone)
+			for _, s := range []int{inf.Shards + 2, 1, inf.Shards} {
+				if err := cl.Resize(client.CountMin, "e2e.fire", s); err != nil {
+					t.Errorf("resize under fire: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		<-fireDone
+		for g := 0; g < writers; g++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Quiesce: one more resize drains everything into legacy; the total
+		// weight is then exact and must cover every acked item.
+		if err := cl.Resize(client.CountMin, "e2e.fire", inf.Shards+1); err != nil {
+			t.Fatal(err)
+		}
+		n, err := cl.CountMinN("e2e.fire")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != writers*perWriter {
+			t.Fatalf("after quiesce N = %d, want exactly %d (acked batches lost or duplicated)",
+				n, writers*perWriter)
+		}
+	})
+
+	// ---- Phase 2: served results match in-process QueryInto on the same
+	// stream.
+	t.Run("consistency", func(t *testing.T) {
+		const writers = 4
+		const perWriter = 25_000
+		const cmKeySpace = 1000
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				bt := cl.NewBatch(client.Theta, names[client.Theta])
+				bh := cl.NewBatch(client.HLL, names[client.HLL])
+				bc := cl.NewBatch(client.CountMin, names[client.CountMin])
+				bq := cl.NewBatch(client.Quantiles, names[client.Quantiles])
+				for i := 0; i < perWriter; i++ {
+					k := uint64(g)*perWriter + uint64(i)
+					if err := errors.Join(
+						bt.Add(k), bh.Add(k), bc.Add(k%cmKeySpace),
+						bq.AddFloat(float64(k%4096)),
+					); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- errors.Join(bt.Flush(), bh.Flush(), bc.Flush(), bq.Flush())
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < writers; g++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Mirror the identical stream in-process (order-independent for
+		// Θ/HLL/Count-Min, so a single sequential lane suffices).
+		mt, mh := mirror.Theta(names[client.Theta]), mirror.HLL(names[client.HLL])
+		mc, mq := mirror.CountMin(names[client.CountMin]), mirror.Quantiles(names[client.Quantiles])
+		for g := 0; g < writers; g++ {
+			for i := 0; i < perWriter; i++ {
+				k := uint64(g)*perWriter + uint64(i)
+				mt.Update(0, k)
+				mh.Update(0, k)
+				mc.Update(0, k%cmKeySpace)
+				mq.Update(0, float64(k%4096))
+			}
+		}
+
+		// Quiesce both sides identically: a resize is an exact drain — all
+		// completed updates fold into legacy state, new shards start empty —
+		// so the merged state on both sides is the same deterministic
+		// function of the key multiset and the epoch history.
+		quiesceTo := inf.Shards + 1
+		for fam, sk := range map[client.Family]interface{ Resize(int) error }{
+			client.Theta:     mt,
+			client.HLL:       mh,
+			client.CountMin:  mc,
+			client.Quantiles: mq,
+		} {
+			if err := cl.Resize(fam, names[fam], quiesceTo); err != nil {
+				t.Fatal(err)
+			}
+			if err := sk.Resize(quiesceTo); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Θ, sampled regime (100k keys ≫ the eager window): the retained
+		// sample depends on prune timing and thus on the interleaving, so
+		// served and in-process agree within the estimator's accuracy
+		// bound, both sides centred on the same truth.
+		served, err := cl.ThetaEstimate(names[client.Theta])
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := mirror.ThetaQueryInto(names[client.Theta], mt.NewAccumulator())
+		truth := float64(writers * perWriter)
+		if math.Abs(served/local-1) > 0.05 ||
+			math.Abs(served/truth-1) > 0.05 || math.Abs(local/truth-1) > 0.05 {
+			t.Errorf("theta: served %v vs in-process %v (truth %v) beyond the accuracy bound",
+				served, local, truth)
+		}
+
+		// Θ, exact regime: a stream inside the eager window drains to a
+		// state that IS order-independent, so served and in-process must
+		// agree bit-for-bit.
+		const exactKeys = 1000
+		be := cl.NewBatch(client.Theta, "e2e.theta.exact")
+		for i := 0; i < exactKeys; i++ {
+			if err := be.Add(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := be.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		me := mirror.Theta("e2e.theta.exact")
+		for i := 0; i < exactKeys; i++ {
+			me.Update(0, uint64(i))
+		}
+		if err := cl.Resize(client.Theta, "e2e.theta.exact", quiesceTo); err != nil {
+			t.Fatal(err)
+		}
+		if err := me.Resize(quiesceTo); err != nil {
+			t.Fatal(err)
+		}
+		servedExact, err := cl.ThetaEstimate("e2e.theta.exact")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if localExact := mirror.ThetaQueryInto("e2e.theta.exact", me.NewAccumulator()); servedExact != localExact {
+			t.Errorf("theta exact regime: served %v != in-process QueryInto %v", servedExact, localExact)
+		} else if servedExact != exactKeys {
+			t.Errorf("theta exact regime: estimate %v, want exactly %d", servedExact, exactKeys)
+		}
+
+		// HLL: bit-identical estimates.
+		served, err = cl.HLLEstimate(names[client.HLL])
+		if err != nil {
+			t.Fatal(err)
+		}
+		local = mirror.HLLQueryInto(names[client.HLL], mh.NewAccumulator())
+		if served != local {
+			t.Errorf("hll: served %v != in-process QueryInto %v", served, local)
+		}
+
+		// Count-Min: exact total weight and identical per-key estimates.
+		n, err := cl.CountMinN(names[client.CountMin])
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := mc.NewAccumulator()
+		mirror.CountMinQueryInto(names[client.CountMin], acc)
+		if n != acc.N() || n != writers*perWriter {
+			t.Errorf("countmin: served N %d, in-process %d, ingested %d", n, acc.N(), writers*perWriter)
+		}
+		for probe := uint64(0); probe < 20; probe++ {
+			key := probe * 47 % cmKeySpace
+			servedCnt, err := cl.Count(names[client.CountMin], key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if localCnt := mc.Estimate(key); servedCnt != localCnt {
+				t.Errorf("countmin key %d: served %d != in-process %d", key, servedCnt, localCnt)
+			}
+		}
+
+		// Quantiles: compaction randomisation depends on the concurrent
+		// interleaving, so served and mirror ranks agree within a generous
+		// multiple of the family's rank-error bound rather than exactly.
+		qn, err := cl.QuantilesN(names[client.Quantiles])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qn != writers*perWriter {
+			t.Errorf("quantiles: served N %d, want %d", qn, writers*perWriter)
+		}
+		qacc := mq.NewAccumulator()
+		for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+			v, err := cl.Quantile(names[client.Quantiles], phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror.QuantilesQueryInto(names[client.Quantiles], qacc)
+			localRank := qacc.Rank(v)
+			if math.Abs(localRank-phi) > 0.05 {
+				t.Errorf("quantiles: served q(%v)=%v has in-process rank %v", phi, v, localRank)
+			}
+		}
+	})
+
+	// ---- Phase 3: enumeration and drop.
+	t.Run("admin", func(t *testing.T) {
+		got, err := cl.Names()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fam, name := range names {
+			if !slices.Contains(got, fmt.Sprintf("%s/%s", fam, name)) {
+				t.Errorf("Names() = %v missing %s/%s", got, fam, name)
+			}
+		}
+		if err := cl.Drop(client.CountMin, "e2e.fire"); err != nil {
+			t.Fatal(err)
+		}
+		got, err = cl.Names()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slices.Contains(got, "countmin/e2e.fire") {
+			t.Error("dropped sketch still enumerated")
+		}
+	})
+}

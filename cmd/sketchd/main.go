@@ -1,0 +1,88 @@
+// Sketchd is the network front-end daemon: a fastsketches.Registry served
+// over TCP with the internal/wire protocol — batched ingest fanned into
+// writer lanes, pipelined merged queries through per-connection reusable
+// accumulators, and remote admin ops (create / live resize / autoscale /
+// drop / names / info). Use the fastsketches/client library to talk to it:
+//
+//	sketchd -addr 127.0.0.1:7600 -shards 4 -writers 4
+//
+// Every flag mirrors a RegistryConfig field, so a sketchd instance is
+// exactly an in-process registry lifted onto the network: served queries
+// carry the same S·r staleness bound as in-process merged queries, and an
+// acked ingest batch is a set of completed updates under that bound.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener closes,
+// in-flight batches complete and are acked, received pipeline frames are
+// served, lane workers exit, and the registry drains every sketch buffer
+// exactly before the process reports the drain and exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fastsketches"
+	"fastsketches/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7600", "TCP listen address")
+	shards := flag.Int("shards", 0, "initial shards S per sketch (0 = library default)")
+	writers := flag.Int("writers", 0, "writer lanes per sketch (0 = library default)")
+	maxError := flag.Float64("max-error", 0, "per-shard eager-phase error budget e (0 = default)")
+	bufferSize := flag.Int("buffer", 0, "per-writer buffer b override (0 = derive per family)")
+	thetaLgK := flag.Int("theta-lgk", 0, "log2 Θ sample count per shard (0 = default)")
+	hllP := flag.Int("hll-p", 0, "HLL precision per shard (0 = default)")
+	quantK := flag.Int("quantiles-k", 0, "quantiles summary parameter per shard (0 = default)")
+	cmEps := flag.Float64("cm-eps", 0, "Count-Min epsilon (0 = default)")
+	cmDelta := flag.Float64("cm-delta", 0, "Count-Min delta (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: sketchd [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: *shards, Writers: *writers,
+		MaxError: *maxError, BufferSize: *bufferSize,
+		ThetaLgK: *thetaLgK, HLLPrecision: *hllP, QuantilesK: *quantK,
+		CountMinEpsilon: *cmEps, CountMinDelta: *cmDelta,
+	})
+	if err != nil {
+		log.Fatalf("sketchd: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sketchd: %v", err)
+	}
+	cfg := reg.Config()
+	log.Printf("sketchd: serving on %s (S=%d, W=%d per sketch)",
+		ln.Addr(), cfg.Shards, cfg.Writers)
+
+	srv := server.New(reg)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigC:
+		log.Printf("sketchd: %v — draining", sig)
+	case err := <-serveErr:
+		// A fatal accept error: still drain gracefully — handlers finish
+		// and ack in-flight work before the registry closes.
+		srv.Shutdown()
+		reg.Close()
+		log.Fatalf("sketchd: serve: %v", err)
+	}
+
+	srv.Shutdown() // in-flight batches complete and are acked before this returns
+	reg.Close()    // exact drain of every sketch buffer
+	log.Printf("sketchd: drained in-flight batches, registry closed; bye")
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync"
+
+	"fastsketches/internal/wire"
+)
+
+// laneSet is one sketch's ingest plane: W long-lived lane workers, one per
+// writer lane, each the sole driver of its lane across every shard — the
+// core framework's one-goroutine-per-lane discipline enforced structurally.
+// A batch frame is split into contiguous per-lane chunks and dispatched to
+// the workers, which ingest concurrently; the dispatcher waits for every
+// chunk, so by the time a batch is acked each of its Updates has returned
+// (the updates are *completed*, and the S·r staleness bound covers them).
+type laneSet struct {
+	apply func(lane int, items []byte)
+	chans []chan chunk
+	wg    sync.WaitGroup
+
+	// mu guards closed against the dispatch path: ingest sends hold the
+	// read side, close flips the flag and closes the channels under the
+	// write side, so a send can never race a close.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// chunk is one lane's slice of a batch. items aliases the connection's read
+// buffer; the dispatcher waits on done before the buffer can be reused.
+type chunk struct {
+	items []byte
+	done  *sync.WaitGroup
+}
+
+func newLaneSet(writers int, apply func(lane int, items []byte)) *laneSet {
+	ls := &laneSet{apply: apply, chans: make([]chan chunk, writers)}
+	for l := range ls.chans {
+		ch := make(chan chunk, 1)
+		ls.chans[l] = ch
+		ls.wg.Add(1)
+		go func(lane int, ch chan chunk) {
+			defer ls.wg.Done()
+			for ck := range ch {
+				apply(lane, ck.items)
+				ck.done.Done()
+			}
+		}(l, ch)
+	}
+	return ls
+}
+
+// ingest fans one batch's packed items across the lane workers and waits
+// until every item's Update has returned. Items are split into contiguous
+// chunks so each worker walks a dense byte range; batches smaller than the
+// lane count use fewer lanes. Returns false when the lane set has been
+// closed (a concurrent Drop or shutdown) without touching the sketch.
+func (ls *laneSet) ingest(items []byte) bool {
+	n := len(items) / wire.ItemSize
+	if n == 0 {
+		return true
+	}
+	lanes := len(ls.chans)
+	if lanes > n {
+		lanes = n
+	}
+	var done sync.WaitGroup
+	done.Add(lanes)
+	ls.mu.RLock()
+	if ls.closed {
+		ls.mu.RUnlock()
+		return false
+	}
+	per, rem := n/lanes, n%lanes
+	lo := 0
+	for l := 0; l < lanes; l++ {
+		hi := lo + per
+		if l < rem {
+			hi++
+		}
+		ls.chans[l] <- chunk{items[lo*wire.ItemSize : hi*wire.ItemSize], &done}
+		lo = hi
+	}
+	ls.mu.RUnlock()
+	done.Wait()
+	return true
+}
+
+// close drains and stops the lane workers: in-flight chunks are consumed
+// (their dispatchers' waits complete), then the workers exit. Idempotent.
+func (ls *laneSet) close() {
+	ls.mu.Lock()
+	if !ls.closed {
+		ls.closed = true
+		for _, ch := range ls.chans {
+			close(ch)
+		}
+	}
+	ls.mu.Unlock()
+	ls.wg.Wait()
+}

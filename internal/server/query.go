@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"fastsketches/internal/autoscale"
+	"fastsketches/internal/wire"
+)
+
+// query serves one OpQuery through the zero-alloc QueryInto plane: the
+// connection's per-family accumulator is reset and every shard snapshot
+// (plus any legacy resharding state) folded into it, then the scalar is
+// read off. The served result is exactly what an in-process caller of
+// QueryInto would read at the same instant, including the staleness
+// contract: all but at most S·r completed updates are reflected
+// (transiently S_old·r + S_new·r while a resize drains), and a Count-Min
+// per-key Count keeps the tighter single-shard bound r.
+func (cs *connState) query(req *wire.Request, out []byte) []byte {
+	switch req.Family {
+	case wire.FamilyTheta:
+		if req.Query == wire.QueryEstimate {
+			sk := cs.theta(req.Name)
+			if cs.accTheta == nil {
+				cs.accTheta = sk.NewAccumulator()
+			}
+			sk.QueryInto(cs.accTheta)
+			return wire.AppendOKU64(out, req.ID, math.Float64bits(cs.accTheta.Estimate()))
+		}
+
+	case wire.FamilyHLL:
+		if req.Query == wire.QueryEstimate {
+			sk := cs.hll(req.Name)
+			if cs.accHLL == nil {
+				cs.accHLL = sk.NewAccumulator()
+			}
+			sk.QueryInto(cs.accHLL)
+			return wire.AppendOKU64(out, req.ID, math.Float64bits(cs.accHLL.Estimate()))
+		}
+
+	case wire.FamilyQuantiles:
+		switch req.Query {
+		case wire.QueryQuantile, wire.QueryRank, wire.QueryN:
+			sk := cs.quantiles(req.Name)
+			if cs.accQuant == nil {
+				cs.accQuant = sk.NewAccumulator()
+			}
+			sk.QueryInto(cs.accQuant)
+			switch req.Query {
+			case wire.QueryQuantile:
+				v := cs.accQuant.Quantile(math.Float64frombits(req.Arg))
+				return wire.AppendOKU64(out, req.ID, math.Float64bits(v))
+			case wire.QueryRank:
+				r := cs.accQuant.Rank(math.Float64frombits(req.Arg))
+				return wire.AppendOKU64(out, req.ID, math.Float64bits(r))
+			default:
+				return wire.AppendOKU64(out, req.ID, cs.accQuant.N())
+			}
+		}
+
+	case wire.FamilyCountMin:
+		switch req.Query {
+		case wire.QueryCount:
+			// Per-key frequency reads the owning shard directly — no
+			// accumulator, single-shard staleness bound r.
+			return wire.AppendOKU64(out, req.ID, cs.countmin(req.Name).Estimate(req.Arg))
+		case wire.QueryN:
+			sk := cs.countmin(req.Name)
+			if cs.accCM == nil {
+				cs.accCM = sk.NewAccumulator()
+			}
+			sk.QueryInto(cs.accCM)
+			return wire.AppendOKU64(out, req.ID, cs.accCM.N())
+		}
+	}
+	return wire.AppendError(out, req.ID,
+		fmt.Sprintf("query kind %d unsupported for family %s", req.Query, req.Family))
+}
+
+// autoscalePolicy maps the wire knobs onto an autoscale.Policy; sampling
+// cadence, streaks, cooldown and step factor take the package's production
+// defaults (see autoscale.Policy).
+func autoscalePolicy(req *wire.Request) autoscale.Policy {
+	return autoscale.Policy{
+		MinShards: int(req.MinShards),
+		MaxShards: int(req.MaxShards),
+		HighWater: req.High,
+		LowWater:  req.Low,
+	}
+}

@@ -1,0 +1,542 @@
+// Package server implements sketchd's TCP front-end over a
+// fastsketches.Registry: the serving layer that turns the in-process
+// concurrent-sketch library into a network daemon carrying many clients'
+// traffic. It speaks the internal/wire protocol — length-prefixed binary
+// frames — and is built so the paper's concurrency actually gets exercised
+// per connection:
+//
+//   - Batched ingest. One OpBatch frame carries many updates; the server
+//     fans each batch into the sketch's W writer lanes (one long-lived lane
+//     worker goroutine per lane per sketch, respecting the framework's
+//     one-goroutine-per-lane discipline) and acks after every item's Update
+//     has returned. An acked batch is therefore a set of *completed* updates
+//     in the paper's sense: the merged-query staleness bound S·r applies to
+//     it exactly as it would to in-process writers.
+//
+//   - Pipelined queries. Requests are answered in order per connection, so
+//     clients may keep many frames in flight. Every query is served through
+//     the zero-allocation QueryInto plane with per-connection reusable
+//     accumulators: one accumulator per family per connection (accumulator
+//     dimensions depend only on the registry's family parameters, never on
+//     the sketch or its shard count), reset and refolded per query — the
+//     serving path inherits the library's zero-alloc merged-query contract.
+//
+//   - Admin ops. Create, live Resize, Autoscale attachment, Drop, and
+//     Names/Info enumeration map 1:1 onto the registry's facades, so a
+//     remote operator can walk the throughput/staleness trade-off of a live
+//     sketch exactly as in-process code can.
+//
+// Shutdown is graceful by construction: the listener closes, in-flight
+// requests (including long batch dispatches) run to completion and are
+// acked, buffered pipeline frames already received are served, and only
+// then do the lane workers exit. The caller closes the registry afterwards,
+// which drains every sketch buffer exactly.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fastsketches"
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/shard"
+	"fastsketches/internal/theta"
+	"fastsketches/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+var errShuttingDown = errors.New("server: shutting down")
+
+// Server is one sketchd instance: a TCP acceptor over a caller-owned
+// Registry. Create with New, drive with Serve, stop with Shutdown; the
+// caller closes the Registry after Shutdown returns.
+type Server struct {
+	reg     *fastsketches.Registry
+	writers int
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	lanes map[laneKey]*laneSet
+	// dropping holds a tombstone per name being dropped: laneSetFor waits
+	// on the channel instead of binding new lane workers to the sketch the
+	// drop is about to close, and drop's slow work (lane drain, registry
+	// drain) runs without holding mu — a drop never stalls the control
+	// plane of unrelated sketches.
+	dropping     map[laneKey]chan struct{}
+	shuttingDown bool
+
+	connWG sync.WaitGroup
+	// gen invalidates per-connection handle caches; bumped by Drop so a
+	// connection never ingests into (or queries) a sketch retired under it.
+	gen atomic.Uint64
+}
+
+type laneKey struct {
+	fam  wire.Family
+	name string
+}
+
+// New returns a server over reg. The registry stays caller-owned: the
+// caller closes it after Shutdown, at which point every sketch buffer is
+// drained exactly.
+func New(reg *fastsketches.Registry) *Server {
+	return &Server{
+		reg:      reg,
+		writers:  reg.Config().Writers,
+		conns:    make(map[net.Conn]struct{}),
+		lanes:    make(map[laneKey]*laneSet),
+		dropping: make(map[laneKey]chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown, serving each on its own
+// goroutine. It returns ErrServerClosed after Shutdown, or the first
+// accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shuttingDown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	var acceptDelay time.Duration
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining() {
+				return ErrServerClosed
+			}
+			// Transient accept failures (fd exhaustion under a connection
+			// burst, aborted handshakes, signals) must not kill a daemon
+			// holding live connections: back off and retry, net/http style.
+			if isTemporaryAccept(err) {
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				time.Sleep(acceptDelay)
+				continue
+			}
+			return err
+		}
+		acceptDelay = 0
+		s.mu.Lock()
+		if s.shuttingDown {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(nc)
+	}
+}
+
+// isTemporaryAccept reports whether an Accept error is worth retrying
+// after a backoff. Spelled out against the concrete errnos rather than the
+// deprecated net.Error.Temporary.
+func isTemporaryAccept(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EINTR)
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shuttingDown
+}
+
+// Shutdown stops the server gracefully: the listener closes, every
+// connection's pending read is unblocked (a read deadline in the past), and
+// Shutdown waits for all connection handlers to finish — each serves any
+// frames it has already received, completing and acking in-flight batches —
+// before the per-sketch lane workers exit. Idempotent; concurrent calls all
+// block until the drain completes. The caller closes the Registry
+// afterwards.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	first := !s.shuttingDown
+	s.shuttingDown = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if first && ln != nil {
+		ln.Close()
+	}
+	deadline := time.Now()
+	for _, c := range conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.connWG.Wait()
+
+	s.mu.Lock()
+	lanes := s.lanes
+	s.lanes = make(map[laneKey]*laneSet)
+	s.mu.Unlock()
+	for _, ls := range lanes {
+		ls.close()
+	}
+}
+
+// laneSetFor returns the ingest lane workers of the named sketch, creating
+// sketch and workers on first use. Creation is rejected while shutting
+// down, so no worker can be born after Shutdown started collecting them;
+// while the name is mid-Drop, creation waits for the drop to finish and
+// then binds to the recreated (fresh) sketch — never to the dying one.
+func (s *Server) laneSetFor(fam wire.Family, name []byte) (*laneSet, error) {
+	key := laneKey{fam, string(name)}
+	s.mu.Lock()
+	for {
+		if ls, ok := s.lanes[key]; ok {
+			s.mu.Unlock()
+			return ls, nil
+		}
+		ch, isDropping := s.dropping[key]
+		if !isDropping {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	defer s.mu.Unlock()
+	if s.shuttingDown {
+		return nil, errShuttingDown
+	}
+	var update func(lane int, word uint64)
+	switch fam {
+	case wire.FamilyTheta:
+		update = s.reg.Theta(key.name).Update
+	case wire.FamilyHLL:
+		update = s.reg.HLL(key.name).Update
+	case wire.FamilyQuantiles:
+		sk := s.reg.Quantiles(key.name)
+		update = func(lane int, word uint64) { sk.Update(lane, math.Float64frombits(word)) }
+	case wire.FamilyCountMin:
+		update = s.reg.CountMin(key.name).Update
+	default:
+		return nil, wire.ErrBadFamily
+	}
+	ls := newLaneSet(s.writers, func(lane int, items []byte) {
+		for i := 0; i+wire.ItemSize <= len(items); i += wire.ItemSize {
+			update(lane, binary.LittleEndian.Uint64(items[i:]))
+		}
+	})
+	s.lanes[key] = ls
+	return ls, nil
+}
+
+// drop retires the named sketch: the lane workers drain and exit first
+// (close waits out in-flight chunks, whose Updates still land on the open
+// sketch), then the registry closes and unregisters it, then every
+// connection's handle cache is invalidated. A tombstone in s.dropping
+// makes the sequence atomic against laneSetFor without holding s.mu over
+// the slow drains: a concurrent batch either found the old lane set (its
+// items drain before the sketch closes) or waits on the tombstone until
+// the name maps to a fresh, empty sketch — it can never bind new lane
+// workers to the dying sketch, which would wedge them forever on a closed
+// sketch's Update. Same-name drops serialise on the tombstone; unrelated
+// sketches and connection setup are never stalled.
+func (s *Server) drop(fam wire.Family, name []byte) bool {
+	key := laneKey{fam, string(name)}
+	s.mu.Lock()
+	for {
+		ch, isDropping := s.dropping[key]
+		if !isDropping {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	ls := s.lanes[key]
+	delete(s.lanes, key)
+	done := make(chan struct{})
+	s.dropping[key] = done
+	s.mu.Unlock()
+
+	if ls != nil {
+		ls.close()
+	}
+	ok := s.reg.Drop(fam.String(), key.name)
+	s.gen.Add(1)
+
+	s.mu.Lock()
+	delete(s.dropping, key)
+	close(done)
+	s.mu.Unlock()
+	return ok
+}
+
+// handleConn serves one connection: a strict request/response loop over
+// length-prefixed frames, responses written in request order. Writes are
+// buffered and flushed only when the read side has no more buffered frames,
+// so a pipelining client pays one syscall per burst, not per request.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(nc, 1<<16)
+	bw := bufio.NewWriterSize(nc, 1<<16)
+	cs := newConnState(s)
+	var in []byte
+	out := make([]byte, 0, 512)
+	for {
+		// Under shutdown the past read deadline fails only actual socket
+		// reads: frames already buffered by br are still decoded and served,
+		// so a pipeline burst received before the deadline is fully drained.
+		payload, err := wire.ReadFrame(br, &in)
+		if err != nil {
+			bw.Flush()
+			return
+		}
+		req, perr := wire.ParseRequest(payload)
+		out = out[:0]
+		if perr != nil {
+			// Protocol-level garbage: framing may be unrecoverable, so
+			// answer (with the request id when the header was readable) and
+			// drop the connection.
+			out = wire.AppendError(out, req.ID, perr.Error())
+			bw.Write(out)
+			bw.Flush()
+			return
+		}
+		out = cs.serve(&req, out)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// connState is one connection's reusable serving state: cached sketch
+// handles (keyed by name, so the per-request lookup is an allocation-free
+// map hit) and one reusable query accumulator per family. Accumulator
+// dimensions depend only on the registry's family parameters — never on the
+// sketch name or its shard count — so a single accumulator per family
+// serves every sketch this connection queries, across any number of
+// resizes, and the served query path inherits the library's zero-alloc
+// QueryInto contract.
+type connState struct {
+	s   *Server
+	gen uint64
+
+	thetas map[string]*shard.Theta
+	hlls   map[string]*shard.HLL
+	quants map[string]*shard.Quantiles
+	cms    map[string]*shard.CountMin
+	lanes  map[laneKey]*laneSet
+
+	accTheta *theta.Union
+	accHLL   *hll.Sketch
+	accQuant *quantiles.Accumulator
+	accCM    *countmin.Sketch
+}
+
+func newConnState(s *Server) *connState {
+	return &connState{
+		s:      s,
+		gen:    s.gen.Load(),
+		thetas: make(map[string]*shard.Theta),
+		hlls:   make(map[string]*shard.HLL),
+		quants: make(map[string]*shard.Quantiles),
+		cms:    make(map[string]*shard.CountMin),
+		lanes:  make(map[laneKey]*laneSet),
+	}
+}
+
+func (cs *connState) resetCaches() {
+	clear(cs.thetas)
+	clear(cs.hlls)
+	clear(cs.quants)
+	clear(cs.cms)
+	clear(cs.lanes)
+}
+
+func (cs *connState) theta(name []byte) *shard.Theta {
+	if sk, ok := cs.thetas[string(name)]; ok {
+		return sk
+	}
+	sk := cs.s.reg.Theta(string(name))
+	cs.thetas[string(name)] = sk
+	return sk
+}
+
+func (cs *connState) hll(name []byte) *shard.HLL {
+	if sk, ok := cs.hlls[string(name)]; ok {
+		return sk
+	}
+	sk := cs.s.reg.HLL(string(name))
+	cs.hlls[string(name)] = sk
+	return sk
+}
+
+func (cs *connState) quantiles(name []byte) *shard.Quantiles {
+	if sk, ok := cs.quants[string(name)]; ok {
+		return sk
+	}
+	sk := cs.s.reg.Quantiles(string(name))
+	cs.quants[string(name)] = sk
+	return sk
+}
+
+func (cs *connState) countmin(name []byte) *shard.CountMin {
+	if sk, ok := cs.cms[string(name)]; ok {
+		return sk
+	}
+	sk := cs.s.reg.CountMin(string(name))
+	cs.cms[string(name)] = sk
+	return sk
+}
+
+func (cs *connState) laneSet(fam wire.Family, name []byte) (*laneSet, error) {
+	if ls, ok := cs.lanes[laneKey{fam, string(name)}]; ok {
+		return ls, nil
+	}
+	ls, err := cs.s.laneSetFor(fam, name)
+	if err != nil {
+		return nil, err
+	}
+	cs.lanes[laneKey{fam, string(name)}] = ls
+	return ls, nil
+}
+
+// serve answers one parsed request, appending the response frame to out.
+func (cs *connState) serve(req *wire.Request, out []byte) []byte {
+	if g := cs.s.gen.Load(); g != cs.gen {
+		cs.resetCaches()
+		cs.gen = g
+	}
+	switch req.Op {
+	case wire.OpPing:
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpBatch:
+		ls, err := cs.laneSet(req.Family, req.Name)
+		if err != nil {
+			return wire.AppendError(out, req.ID, err.Error())
+		}
+		if !ls.ingest(req.Items) {
+			// The lane set closed under us (a concurrent Drop). Refresh the
+			// cache and retry once onto the recreated sketch.
+			cs.resetCaches()
+			cs.gen = cs.s.gen.Load()
+			ls, err = cs.laneSet(req.Family, req.Name)
+			if err == nil && !ls.ingest(req.Items) {
+				err = errShuttingDown
+			}
+			if err != nil {
+				return wire.AppendError(out, req.ID, err.Error())
+			}
+		}
+		return wire.AppendOKU32(out, req.ID, uint32(req.NumItems()))
+
+	case wire.OpQuery:
+		return cs.query(req, out)
+
+	case wire.OpCreate:
+		switch req.Family {
+		case wire.FamilyTheta:
+			cs.theta(req.Name)
+		case wire.FamilyHLL:
+			cs.hll(req.Name)
+		case wire.FamilyQuantiles:
+			cs.quantiles(req.Name)
+		case wire.FamilyCountMin:
+			cs.countmin(req.Name)
+		}
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpResize:
+		if req.Arg < 1 || req.Arg > wire.MaxShards {
+			return wire.AppendError(out, req.ID,
+				fmt.Sprintf("resize to %d shards outside [1,%d]", req.Arg, wire.MaxShards))
+		}
+		var err error
+		switch req.Family {
+		case wire.FamilyTheta:
+			err = cs.theta(req.Name).Resize(int(req.Arg))
+		case wire.FamilyHLL:
+			err = cs.hll(req.Name).Resize(int(req.Arg))
+		case wire.FamilyQuantiles:
+			err = cs.quantiles(req.Name).Resize(int(req.Arg))
+		case wire.FamilyCountMin:
+			err = cs.countmin(req.Name).Resize(int(req.Arg))
+		}
+		if err != nil {
+			return wire.AppendError(out, req.ID, err.Error())
+		}
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpAutoscale:
+		if req.MaxShards > wire.MaxShards || req.MinShards > wire.MaxShards {
+			return wire.AppendError(out, req.ID,
+				fmt.Sprintf("autoscale shard bounds exceed %d", wire.MaxShards))
+		}
+		// Atomic replace semantics: any controllers already attached under
+		// the name are swapped out in the same registry lock acquisition
+		// that attaches the new policy, so a retried or concurrent admin
+		// request can never leave two retained hysteresis loops driving
+		// one sketch's shard count.
+		if _, err := cs.s.reg.ReplaceAutoscale(string(req.Name), autoscalePolicy(req)); err != nil {
+			return wire.AppendError(out, req.ID, err.Error())
+		}
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpDrop:
+		if !cs.s.drop(req.Family, req.Name) {
+			return wire.AppendError(out, req.ID, fmt.Sprintf("no %s sketch %q", req.Family, req.Name))
+		}
+		cs.resetCaches()
+		cs.gen = cs.s.gen.Load()
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpNames:
+		return wire.AppendOKNames(out, req.ID, cs.s.reg.Names())
+
+	case wire.OpInfo:
+		inf, ok := cs.s.reg.Info(req.Family.String(), string(req.Name))
+		if !ok {
+			return wire.AppendError(out, req.ID, fmt.Sprintf("no %s sketch %q", req.Family, req.Name))
+		}
+		return wire.AppendOKInfo(out, req.ID, wire.Info{
+			Shards: inf.Shards, Writers: inf.Writers,
+			Relaxation:      uint64(inf.Relaxation),
+			ShardRelaxation: uint64(inf.ShardRelaxation),
+			Eager:           inf.Eager,
+		})
+	}
+	return wire.AppendError(out, req.ID, wire.ErrBadOp.Error())
+}

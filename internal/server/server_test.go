@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastsketches"
+	"fastsketches/internal/wire"
+)
+
+// startServer boots a server over a fresh registry on a loopback listener
+// and tears both down with the test.
+func startServer(t *testing.T, cfg fastsketches.RegistryConfig) (*Server, *fastsketches.Registry, string) {
+	t.Helper()
+	reg, err := fastsketches.NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		reg.Close()
+	})
+	return srv, reg, ln.Addr().String()
+}
+
+// testConn is a raw wire-level client for protocol tests.
+type testConn struct {
+	t   *testing.T
+	nc  net.Conn
+	br  *bufio.Reader
+	buf []byte
+	id  uint32
+}
+
+func dialT(t *testing.T, addr string) *testConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &testConn{t: t, nc: nc, br: bufio.NewReader(nc)}
+}
+
+// roundTrip writes one pre-encoded request frame and reads one response.
+func (c *testConn) roundTrip(frame []byte) (status byte, body []byte) {
+	c.t.Helper()
+	if _, err := c.nc.Write(frame); err != nil {
+		c.t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(c.br, &c.buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	status, _, body, err = wire.ParseResponse(payload)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return status, body
+}
+
+func (c *testConn) mustOK(frame []byte) []byte {
+	c.t.Helper()
+	status, body := c.roundTrip(frame)
+	if status != wire.StatusOK {
+		c.t.Fatalf("request failed: %s", body)
+	}
+	return body
+}
+
+func (c *testConn) nextID() uint32 { c.id++; return c.id }
+
+func TestServeBasicOps(t *testing.T) {
+	_, _, addr := startServer(t, fastsketches.RegistryConfig{Shards: 2, Writers: 2})
+	c := dialT(t, addr)
+
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+	c.mustOK(wire.AppendCreate(nil, c.nextID(), wire.FamilyTheta, "users"))
+
+	// Batched ingest: 10k distinct keys, acked in full.
+	keys := make([]uint64, 10_000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	body := c.mustOK(wire.AppendBatch(nil, c.nextID(), wire.FamilyTheta, "users", keys))
+	if got := binary.LittleEndian.Uint32(body); got != uint32(len(keys)) {
+		t.Fatalf("ack = %d, want %d", got, len(keys))
+	}
+
+	// Merged estimate over the served sketch (eager-exactness not assumed;
+	// the S·r window bounds what a live query may miss).
+	body = c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyTheta, wire.QueryEstimate, "users", 0))
+	est := math.Float64frombits(binary.LittleEndian.Uint64(body))
+	if est < 0.5*float64(len(keys)) || est > 1.5*float64(len(keys)) {
+		t.Fatalf("estimate %.0f wildly off %d", est, len(keys))
+	}
+
+	// Count-Min ingest + per-key count + total weight.
+	cm := make([]uint64, 3000)
+	for i := range cm {
+		cm[i] = uint64(i % 3)
+	}
+	c.mustOK(wire.AppendBatch(nil, c.nextID(), wire.FamilyCountMin, "api", cm))
+	body = c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyCountMin, wire.QueryN, "api", 0))
+	if got := binary.LittleEndian.Uint64(body); got > 3000 {
+		t.Fatalf("countmin N = %d > ingested 3000", got)
+	}
+	c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyCountMin, wire.QueryCount, "api", 1))
+
+	// Quantiles ingest + quantile/rank/n.
+	vals := make([]uint64, 4000)
+	for i := range vals {
+		vals[i] = math.Float64bits(float64(i))
+	}
+	c.mustOK(wire.AppendBatch(nil, c.nextID(), wire.FamilyQuantiles, "lat", vals))
+	c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyQuantiles, wire.QueryQuantile, "lat", math.Float64bits(0.5)))
+	c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyQuantiles, wire.QueryRank, "lat", math.Float64bits(2000)))
+	c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyQuantiles, wire.QueryN, "lat", 0))
+
+	// Enumeration + metadata.
+	names, err := wire.ParseNames(c.mustOK(wire.AppendNamesReq(nil, c.nextID())))
+	if err != nil || len(names) != 3 {
+		t.Fatalf("names = %v (err %v), want 3 entries", names, err)
+	}
+	inf, err := wire.ParseInfo(c.mustOK(wire.AppendInfo(nil, c.nextID(), wire.FamilyTheta, "users")))
+	if err != nil || inf.Shards != 2 || inf.Writers != 2 {
+		t.Fatalf("info = %+v (err %v), want S=2 W=2", inf, err)
+	}
+
+	// Live resize via admin op, visible in Info.
+	c.mustOK(wire.AppendResize(nil, c.nextID(), wire.FamilyTheta, "users", 4))
+	inf, err = wire.ParseInfo(c.mustOK(wire.AppendInfo(nil, c.nextID(), wire.FamilyTheta, "users")))
+	if err != nil || inf.Shards != 4 {
+		t.Fatalf("info after resize = %+v (err %v), want S=4", inf, err)
+	}
+
+	// Autoscale attaches to the named sketches.
+	c.mustOK(wire.AppendAutoscale(nil, c.nextID(), "users", 2, 8, 1e6, 1e3))
+
+	// Errors: unsupported query kind, unknown sketch metadata, drop of an
+	// absent sketch — all answered, connection stays usable.
+	if status, _ := c.roundTrip(wire.AppendQuery(nil, c.nextID(), wire.FamilyTheta, wire.QueryQuantile, "users", 1)); status != wire.StatusError {
+		t.Fatal("quantile on theta should fail")
+	}
+	if status, _ := c.roundTrip(wire.AppendInfo(nil, c.nextID(), wire.FamilyHLL, "absent")); status != wire.StatusError {
+		t.Fatal("info on absent sketch should fail")
+	}
+	if status, _ := c.roundTrip(wire.AppendDrop(nil, c.nextID(), wire.FamilyHLL, "absent")); status != wire.StatusError {
+		t.Fatal("drop of absent sketch should fail")
+	}
+
+	// Drop frees the name; the recreated sketch starts empty.
+	c.mustOK(wire.AppendDrop(nil, c.nextID(), wire.FamilyCountMin, "api"))
+	body = c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyCountMin, wire.QueryN, "api", 0))
+	if got := binary.LittleEndian.Uint64(body); got != 0 {
+		t.Fatalf("recreated countmin N = %d, want 0", got)
+	}
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+}
+
+// TestPipelinedRequests sends a burst of frames before reading any
+// response and checks all come back in order — the per-connection
+// pipelining contract.
+func TestPipelinedRequests(t *testing.T) {
+	_, _, addr := startServer(t, fastsketches.RegistryConfig{Shards: 1, Writers: 1})
+	c := dialT(t, addr)
+
+	const burst = 64
+	var frames []byte
+	for i := 0; i < burst; i++ {
+		if i%2 == 0 {
+			frames = wire.AppendBatch(frames, uint32(i), wire.FamilyTheta, "p", []uint64{uint64(i)})
+		} else {
+			frames = wire.AppendQuery(frames, uint32(i), wire.FamilyTheta, wire.QueryEstimate, "p", 0)
+		}
+	}
+	if _, err := c.nc.Write(frames); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < burst; i++ {
+		payload, err := wire.ReadFrame(c.br, &c.buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, id, _, err := wire.ParseResponse(payload)
+		if err != nil || status != wire.StatusOK {
+			t.Fatalf("response %d: status=%d err=%v", i, status, err)
+		}
+		if id != uint32(i) {
+			t.Fatalf("response order broken: got id %d at position %d", id, i)
+		}
+	}
+}
+
+// TestMalformedFramesNoPanic drives protocol garbage at a live server:
+// every case must produce an error response or a closed connection — never
+// a panic — and the server must keep serving fresh connections.
+func TestMalformedFramesNoPanic(t *testing.T) {
+	_, _, addr := startServer(t, fastsketches.RegistryConfig{Shards: 1, Writers: 1})
+
+	cases := [][]byte{
+		// Oversized length prefix.
+		binary.LittleEndian.AppendUint32(nil, wire.MaxFrame+1),
+		// Unknown op.
+		append(binary.LittleEndian.AppendUint32(nil, 5), 0xEE, 1, 0, 0, 0),
+		// Truncated batch body.
+		func() []byte {
+			f := wire.AppendBatch(nil, 1, wire.FamilyTheta, "x", []uint64{1, 2, 3})
+			f = f[:len(f)-5]
+			binary.LittleEndian.PutUint32(f, uint32(len(f)-4))
+			return f
+		}(),
+		// Bad family.
+		append(binary.LittleEndian.AppendUint32(nil, 8), byte(wire.OpCreate), 1, 0, 0, 0, 0x7F, 1, 'x'),
+		// Zero-length payload.
+		binary.LittleEndian.AppendUint32(nil, 0),
+	}
+	for i, raw := range cases {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(raw); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// The server either answers with an error frame or just closes;
+		// both are fine, panicking or hanging is not.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var buf []byte
+		br := bufio.NewReader(nc)
+		if payload, err := wire.ReadFrame(br, &buf); err == nil {
+			if status, _, _, perr := wire.ParseResponse(payload); perr != nil || status != wire.StatusError {
+				t.Fatalf("case %d: got status %d (perr %v), want error response", i, status, perr)
+			}
+		}
+		nc.Close()
+	}
+
+	// The server survived: a fresh connection serves normally.
+	c := dialT(t, addr)
+	c.mustOK(wire.AppendPing(nil, 1))
+}
+
+// TestResizeUnderFire keeps batched ingest running from several
+// connections while another connection walks the shard count up and down —
+// the live-resharding path driven over the wire. Every batch must ack in
+// full and the final total weight must cover every acked item (Count-Min
+// is exact on N once drained by Close in cleanup; here we bound with the
+// live staleness window).
+func TestResizeUnderFire(t *testing.T) {
+	_, reg, addr := startServer(t, fastsketches.RegistryConfig{Shards: 2, Writers: 2})
+
+	const conns = 3
+	const batches = 40
+	const batchItems = 500
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	stopResize := make(chan struct{})
+
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReader(nc)
+			var buf, frame []byte
+			items := make([]uint64, batchItems)
+			for b := 0; b < batches; b++ {
+				for i := range items {
+					items[i] = uint64(g)<<40 | uint64(b*batchItems+i)
+				}
+				frame = wire.AppendBatch(frame[:0], uint32(b), wire.FamilyCountMin, "fire", items)
+				if _, err := nc.Write(frame); err != nil {
+					t.Error(err)
+					return
+				}
+				payload, err := wire.ReadFrame(br, &buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				status, _, body, err := wire.ParseResponse(payload)
+				if err != nil || status != wire.StatusOK {
+					t.Errorf("batch failed: %s (err %v)", body, err)
+					return
+				}
+				acked.Add(int64(binary.LittleEndian.Uint32(body)))
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := dialT(t, addr)
+		// Touch the sketch so resize has a target even if ingest lags.
+		c.mustOK(wire.AppendCreate(nil, 1, wire.FamilyCountMin, "fire"))
+		sizes := []int{4, 1, 3, 2}
+		for i := 0; ; i++ {
+			select {
+			case <-stopResize:
+				return
+			default:
+			}
+			c.mustOK(wire.AppendResize(nil, uint32(i+2), wire.FamilyCountMin, "fire", sizes[i%len(sizes)]))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Wait for the ingest goroutines, then stop the resizer.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		defer close(stopResize)
+		deadline := time.After(60 * time.Second)
+		for {
+			select {
+			case <-done:
+				return
+			case <-deadline:
+				t.Error("resize-under-fire timed out")
+				return
+			default:
+				if acked.Load() >= conns*batches*batchItems {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	<-done
+	<-stopResize
+
+	want := int64(conns * batches * batchItems)
+	if got := acked.Load(); got != want {
+		t.Fatalf("acked %d items, want %d", got, want)
+	}
+	// Every acked update completed; the live N may trail by at most the
+	// current relaxation bound and never exceed the ingested total.
+	sk := reg.CountMin("fire")
+	if n := sk.N(); int64(n) > want || int64(n) < want-int64(sk.Relaxation()) {
+		t.Fatalf("N = %d outside [%d - S·r, %d] (S·r=%d)", n, want, want, sk.Relaxation())
+	}
+}
+
+// TestShutdownDrainsInflight pins the graceful-drain contract: batches
+// acked before Shutdown returns are fully ingested — after the registry
+// closes (exact drain), the sketch's total weight covers every acked item.
+func TestShutdownDrainsInflight(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	// Hammer batches until the connection dies under Shutdown, counting
+	// what was acked.
+	var acked int64
+	ingestDone := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		var buf, frame []byte
+		items := make([]uint64, 5000)
+		for b := uint32(0); ; b++ {
+			for i := range items {
+				items[i] = uint64(b)<<20 | uint64(i)
+			}
+			frame = wire.AppendBatch(frame[:0], b, wire.FamilyCountMin, "drain", items)
+			if _, err := nc.Write(frame); err != nil {
+				return
+			}
+			payload, err := wire.ReadFrame(br, &buf)
+			if err != nil {
+				return
+			}
+			status, _, body, err := wire.ParseResponse(payload)
+			if err != nil || status != wire.StatusOK {
+				return
+			}
+			acked += int64(binary.LittleEndian.Uint32(body))
+			if b == 0 {
+				close(started)
+			}
+		}
+	}()
+
+	<-started // at least one batch acked: the drain has something to prove
+	sk := reg.CountMin("drain")
+	srv.Shutdown()
+	<-ingestDone // conn failed under the shutdown deadline; `acked` is final
+	if err := <-serveDone; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	reg.Close() // exact drain
+
+	if acked == 0 {
+		t.Fatal("no batch acked before shutdown")
+	}
+	if n := sk.N(); int64(n) < acked {
+		t.Fatalf("drained N = %d < acked %d: an acked batch was lost", n, acked)
+	}
+}
+
+// TestDropUnderBatchFire races Drop against concurrent batches to the same
+// name, repeatedly. The drop sequence is atomic against lane-set creation:
+// a racing batch must either land on the pre-drop sketch (and drain before
+// it closes), error out, or land on the recreated sketch — and nothing may
+// ever wedge a lane worker on a closed sketch (which would hang both the
+// batch ack and Shutdown; the test completing at all is the assertion).
+func TestDropUnderBatchFire(t *testing.T) {
+	_, _, addr := startServer(t, fastsketches.RegistryConfig{Shards: 1, Writers: 2})
+
+	const ingesters = 2
+	const rounds = 60
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReader(nc)
+			var buf, frame []byte
+			items := make([]uint64, 256)
+			for b := uint32(0); ; b++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range items {
+					items[i] = uint64(g)<<32 | uint64(i)
+				}
+				frame = wire.AppendBatch(frame[:0], b, wire.FamilyCountMin, "churn", items)
+				if _, err := nc.Write(frame); err != nil {
+					return
+				}
+				payload, err := wire.ReadFrame(br, &buf)
+				if err != nil {
+					return
+				}
+				// OK acks and racing-drop errors are both legitimate; only
+				// a hang (caught by the test timeout) is a bug.
+				if _, _, _, err := wire.ParseResponse(payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	admin := dialT(t, addr)
+	for r := 0; r < rounds; r++ {
+		// Drop whether or not the sketch currently exists (an ingester may
+		// not have recreated it yet); the error case is fine.
+		admin.roundTrip(wire.AppendDrop(nil, uint32(r), wire.FamilyCountMin, "churn"))
+	}
+	close(stop)
+	wg.Wait()
+	// The server must still be fully responsive (no wedged lane worker
+	// blocking Shutdown — cleanup would hang otherwise).
+	admin.mustOK(wire.AppendPing(nil, 1<<20))
+}

@@ -1,0 +1,616 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// sketchd (internal/server over a fastsketches.Registry) and the client
+// library (fastsketches/client) — the serving layer's wire format.
+//
+// # Framing
+//
+// Every message, in both directions, is one frame:
+//
+//	uint32 LE payload length | payload          (length ≤ MaxFrame)
+//
+// A request payload is
+//
+//	uint8 op | uint32 LE request id | op-specific body
+//
+// and a response payload is
+//
+//	uint8 status | uint32 LE request id | body
+//
+// where status is StatusOK (body is op-specific) or StatusError (body is a
+// UTF-8 error message). The request id is chosen by the client and echoed
+// verbatim, which is what makes pipelining work: a client may have many
+// requests in flight on one connection and match responses by id. The
+// server answers requests of one connection in order, so ids are a
+// convenience for the client, not a reordering license.
+//
+// # Ops
+//
+//	OpPing       liveness probe                          → empty
+//	OpBatch      batched ingest: many items, one frame   → uint32 ack count
+//	OpQuery      merged query (see Query kinds)          → 8-byte result
+//	OpCreate     create the named sketch                 → empty
+//	OpResize     live-reshard the named sketch           → empty
+//	OpAutoscale  attach an autoscaling controller        → empty
+//	OpDrop       close and remove the named sketch       → empty
+//	OpNames      enumerate registered sketches           → name list
+//	OpInfo       metadata for the named sketch           → Info
+//
+// Batch items are fixed 8-byte words: uint64 keys for Θ/HLL/Count-Min,
+// IEEE-754 bits (math.Float64bits) for quantiles values. Fixed-size items
+// keep encode/decode allocation-free and let the server fan a batch into
+// writer-lane chunks without reparsing.
+//
+// # Allocation discipline
+//
+// Encoders are append-style (Append* returns the extended buffer) and
+// parsers return views into the input payload (Request.Name and
+// Request.Items alias the parse buffer and are valid only until its next
+// reuse), so both sides can run their steady-state hot paths — batched
+// ingest and pipelined scalar queries — with zero allocations per frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	// MaxFrame caps one frame's payload. Frames announcing a larger length
+	// are rejected before any allocation, so a malicious or corrupt length
+	// prefix cannot balloon server memory.
+	MaxFrame = 1 << 20
+	// MaxName is the longest sketch name on the wire (uint8 length prefix).
+	MaxName = 255
+	// ItemSize is the wire size of one batch item: a uint64 key or the
+	// IEEE-754 bits of a float64 value.
+	ItemSize = 8
+	// headerLen is op/status (1) + request id (4).
+	headerLen = 5
+	// MaxBatchItems is the largest item count one OpBatch frame can carry
+	// within MaxFrame (header, family, name, count prefix accounted).
+	MaxBatchItems = (MaxFrame - headerLen - 2 - MaxName - 4) / ItemSize
+	// MaxShards bounds any shard count travelling on the wire (OpResize,
+	// OpAutoscale bounds). Far above any sane deployment, low enough that
+	// one malicious frame cannot make the server build billions of shard
+	// frameworks; receivers reject values outside [1, MaxShards].
+	MaxShards = 4096
+)
+
+// Op identifies a request's operation.
+type Op uint8
+
+// The request operations.
+const (
+	OpPing Op = iota + 1
+	OpBatch
+	OpQuery
+	OpCreate
+	OpResize
+	OpAutoscale
+	OpDrop
+	OpNames
+	OpInfo
+	opMax
+)
+
+// Family identifies a sketch family on the wire. The string forms (used by
+// the registry's enumeration hooks) are produced by Family.String.
+type Family uint8
+
+// The sketch families.
+const (
+	FamilyTheta Family = iota + 1
+	FamilyHLL
+	FamilyQuantiles
+	FamilyCountMin
+	familyMax
+)
+
+// String returns the registry-facing family name.
+func (f Family) String() string {
+	switch f {
+	case FamilyTheta:
+		return "theta"
+	case FamilyHLL:
+		return "hll"
+	case FamilyQuantiles:
+		return "quantiles"
+	case FamilyCountMin:
+		return "countmin"
+	}
+	return fmt.Sprintf("family(%d)", uint8(f))
+}
+
+// Query identifies a merged-query kind within OpQuery.
+type Query uint8
+
+// The query kinds. Estimate serves Θ/HLL distinct counts; Quantile, Rank
+// and N serve the quantiles family (N also serves Count-Min total weight);
+// Count is the Count-Min per-key frequency (single-shard staleness bound).
+const (
+	QueryEstimate Query = iota + 1
+	QueryQuantile
+	QueryRank
+	QueryN
+	QueryCount
+	queryMax
+)
+
+// NeedsArg reports whether the query kind carries an 8-byte argument
+// (Quantile: phi bits, Rank: value bits, Count: key).
+func NeedsArg(q Query) bool {
+	return q == QueryQuantile || q == QueryRank || q == QueryCount
+}
+
+// Response statuses.
+const (
+	StatusOK    = 0
+	StatusError = 1
+)
+
+// The protocol's parse errors. ParseRequest/ParseResponse return one of
+// these (possibly wrapped with context); they never panic on any input.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("wire: truncated payload")
+	ErrTrailing      = errors.New("wire: trailing bytes after payload")
+	ErrBadOp         = errors.New("wire: unknown op")
+	ErrBadFamily     = errors.New("wire: unknown family")
+	ErrBadQuery      = errors.New("wire: unknown query kind")
+	ErrBadName       = errors.New("wire: bad sketch name")
+	ErrBadCount      = errors.New("wire: item count does not match payload")
+	ErrBadStatus     = errors.New("wire: unknown response status")
+)
+
+// ValidName reports whether a sketch name fits the wire format (1..MaxName
+// bytes).
+func ValidName(name string) error {
+	if len(name) == 0 || len(name) > MaxName {
+		return fmt.Errorf("%w: length %d outside [1,%d]", ErrBadName, len(name), MaxName)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r into *buf (grown as
+// needed, reused across calls) and returns the payload view. A length
+// prefix beyond MaxFrame fails before any read or allocation.
+func ReadFrame(r io.Reader, buf *[]byte) ([]byte, error) {
+	// The length prefix is read through the reusable buffer too: a local
+	// array would escape through the io.ReadFull interface call and cost
+	// one allocation per frame.
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 64)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// beginFrame reserves the 4-byte length prefix; endFrame backfills it.
+func beginFrame(dst []byte) ([]byte, int) {
+	return append(dst, 0, 0, 0, 0), len(dst)
+}
+
+func endFrame(dst []byte, mark int) []byte {
+	binary.LittleEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+	return dst
+}
+
+func appendHeader(dst []byte, first byte, id uint32) []byte {
+	dst = append(dst, first)
+	return binary.LittleEndian.AppendUint32(dst, id)
+}
+
+func appendName(dst []byte, name string) []byte {
+	dst = append(dst, byte(len(name)))
+	return append(dst, name...)
+}
+
+// AppendPing appends an OpPing request frame.
+func AppendPing(dst []byte, id uint32) []byte {
+	dst, m := beginFrame(dst)
+	return endFrame(appendHeader(dst, byte(OpPing), id), m)
+}
+
+// AppendNamesReq appends an OpNames request frame.
+func AppendNamesReq(dst []byte, id uint32) []byte {
+	dst, m := beginFrame(dst)
+	return endFrame(appendHeader(dst, byte(OpNames), id), m)
+}
+
+// appendFamName appends a request frame of shape op|id|family|name.
+func appendFamName(dst []byte, op Op, id uint32, fam Family, name string) ([]byte, int) {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(op), id)
+	dst = append(dst, byte(fam))
+	return appendName(dst, name), m
+}
+
+// AppendCreate appends an OpCreate request frame.
+func AppendCreate(dst []byte, id uint32, fam Family, name string) []byte {
+	dst, m := appendFamName(dst, OpCreate, id, fam, name)
+	return endFrame(dst, m)
+}
+
+// AppendDrop appends an OpDrop request frame.
+func AppendDrop(dst []byte, id uint32, fam Family, name string) []byte {
+	dst, m := appendFamName(dst, OpDrop, id, fam, name)
+	return endFrame(dst, m)
+}
+
+// AppendInfo appends an OpInfo request frame.
+func AppendInfo(dst []byte, id uint32, fam Family, name string) []byte {
+	dst, m := appendFamName(dst, OpInfo, id, fam, name)
+	return endFrame(dst, m)
+}
+
+// AppendResize appends an OpResize request frame.
+func AppendResize(dst []byte, id uint32, fam Family, name string, shards int) []byte {
+	dst, m := appendFamName(dst, OpResize, id, fam, name)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(shards))
+	return endFrame(dst, m)
+}
+
+// AppendAutoscale appends an OpAutoscale request frame. The policy travels
+// as its four load-bearing knobs (shard bounds and water marks); the server
+// fills the remaining policy fields with production defaults.
+func AppendAutoscale(dst []byte, id uint32, name string, minShards, maxShards int, high, low float64) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(OpAutoscale), id)
+	dst = appendName(dst, name)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(minShards))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(maxShards))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(high))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(low))
+	return endFrame(dst, m)
+}
+
+// AppendBatch appends an OpBatch request frame carrying len(items) 8-byte
+// items. Callers cap len(items) at MaxBatchItems (the client's Batch
+// splits); items beyond that would exceed MaxFrame and be rejected by the
+// receiver.
+func AppendBatch(dst []byte, id uint32, fam Family, name string, items []uint64) []byte {
+	dst, m := appendFamName(dst, OpBatch, id, fam, name)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(items)))
+	for _, it := range items {
+		dst = binary.LittleEndian.AppendUint64(dst, it)
+	}
+	return endFrame(dst, m)
+}
+
+// AppendQuery appends an OpQuery request frame. arg is consumed only for
+// kinds with NeedsArg (phi/value bits, or the Count-Min key).
+func AppendQuery(dst []byte, id uint32, fam Family, q Query, name string, arg uint64) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(OpQuery), id)
+	dst = append(dst, byte(fam), byte(q))
+	dst = appendName(dst, name)
+	if NeedsArg(q) {
+		dst = binary.LittleEndian.AppendUint64(dst, arg)
+	}
+	return endFrame(dst, m)
+}
+
+// AppendOK appends an empty-body success response frame.
+func AppendOK(dst []byte, id uint32) []byte {
+	dst, m := beginFrame(dst)
+	return endFrame(appendHeader(dst, StatusOK, id), m)
+}
+
+// AppendOKU32 appends a success response with a uint32 body (batch acks).
+func AppendOKU32(dst []byte, id uint32, v uint32) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusOK, id)
+	dst = binary.LittleEndian.AppendUint32(dst, v)
+	return endFrame(dst, m)
+}
+
+// AppendOKU64 appends a success response with a uint64 body (counts, or
+// float64 bits for estimates/quantiles/ranks).
+func AppendOKU64(dst []byte, id uint32, v uint64) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusOK, id)
+	dst = binary.LittleEndian.AppendUint64(dst, v)
+	return endFrame(dst, m)
+}
+
+// AppendError appends an error response. Messages are truncated to fit
+// MaxFrame.
+func AppendError(dst []byte, id uint32, msg string) []byte {
+	const maxMsg = 1 << 10
+	if len(msg) > maxMsg {
+		msg = msg[:maxMsg]
+	}
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusError, id)
+	dst = append(dst, msg...)
+	return endFrame(dst, m)
+}
+
+// AppendOKNames appends the OpNames response: uint32 count, then uint16
+// length + bytes per name. The list is truncated to whatever fits MaxFrame
+// (tens of thousands of names) — the server must never emit a frame its
+// own protocol forbids, which would poison the client connection.
+func AppendOKNames(dst []byte, id uint32, names []string) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusOK, id)
+	countAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	count := uint32(0)
+	budget := MaxFrame - headerLen - 4
+	for _, n := range names {
+		if budget -= 2 + len(n); budget < 0 {
+			break
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(n)))
+		dst = append(dst, n...)
+		count++
+	}
+	binary.LittleEndian.PutUint32(dst[countAt:], count)
+	return endFrame(dst, m)
+}
+
+// Info is the OpInfo response: the served sketch's shard/lane geometry and
+// its live staleness bounds, mirroring the registry's SketchInfo. A served
+// merged query's staleness is exactly the in-process bound — Relaxation =
+// S·r — because the server answers through the same QueryInto plane.
+type Info struct {
+	Shards          int
+	Writers         int
+	Relaxation      uint64
+	ShardRelaxation uint64
+	Eager           bool
+}
+
+const infoLen = 4 + 4 + 8 + 8 + 1
+
+// AppendOKInfo appends the OpInfo success response.
+func AppendOKInfo(dst []byte, id uint32, inf Info) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusOK, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(inf.Shards))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(inf.Writers))
+	dst = binary.LittleEndian.AppendUint64(dst, inf.Relaxation)
+	dst = binary.LittleEndian.AppendUint64(dst, inf.ShardRelaxation)
+	var eager byte
+	if inf.Eager {
+		eager = 1
+	}
+	dst = append(dst, eager)
+	return endFrame(dst, m)
+}
+
+// Request is one parsed request. Name and Items are views into the parse
+// buffer and are valid only until the buffer's next reuse; Items holds
+// NumItems() packed 8-byte words.
+type Request struct {
+	Op     Op
+	ID     uint32
+	Family Family
+	Query  Query
+	Name   []byte
+	// Arg is the op-specific scalar: the resize shard count, or the query
+	// argument (float bits / key) for kinds with NeedsArg.
+	Arg uint64
+	// MinShards/MaxShards/High/Low are the OpAutoscale policy knobs.
+	MinShards, MaxShards uint32
+	High, Low            float64
+	Items                []byte
+}
+
+// NumItems returns the batch item count.
+func (r *Request) NumItems() int { return len(r.Items) / ItemSize }
+
+// Item returns batch item i as its 8-byte word.
+func (r *Request) Item(i int) uint64 {
+	return binary.LittleEndian.Uint64(r.Items[i*ItemSize:])
+}
+
+// cursor is a bounds-checked sequential reader over a payload body.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) u8() byte {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 1 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 4 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 8 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *cursor) name() []byte {
+	n := int(c.u8())
+	if c.err != nil {
+		return nil
+	}
+	if n == 0 {
+		c.err = ErrBadName
+		return nil
+	}
+	if len(c.b) < n {
+		c.err = ErrTruncated
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) family() Family {
+	f := Family(c.u8())
+	if c.err == nil && (f < FamilyTheta || f >= familyMax) {
+		c.err = ErrBadFamily
+	}
+	return f
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// ParseRequest parses one request payload. The returned Request's ID is
+// populated whenever the header was readable, even on error, so servers can
+// address their error response. Never panics on any input.
+func ParseRequest(p []byte) (Request, error) {
+	var req Request
+	if len(p) < headerLen {
+		return req, ErrTruncated
+	}
+	req.Op = Op(p[0])
+	req.ID = binary.LittleEndian.Uint32(p[1:5])
+	if req.Op < OpPing || req.Op >= opMax {
+		return req, ErrBadOp
+	}
+	c := cursor{b: p[headerLen:]}
+	switch req.Op {
+	case OpPing, OpNames:
+		// empty body
+	case OpCreate, OpDrop, OpInfo:
+		req.Family = c.family()
+		req.Name = c.name()
+	case OpResize:
+		req.Family = c.family()
+		req.Name = c.name()
+		req.Arg = uint64(c.u32())
+	case OpAutoscale:
+		req.Name = c.name()
+		req.MinShards = c.u32()
+		req.MaxShards = c.u32()
+		req.High = math.Float64frombits(c.u64())
+		req.Low = math.Float64frombits(c.u64())
+	case OpBatch:
+		req.Family = c.family()
+		req.Name = c.name()
+		n := c.u32()
+		if c.err == nil {
+			if n > MaxBatchItems || int(n)*ItemSize != len(c.b) {
+				return req, ErrBadCount
+			}
+			req.Items = c.b
+			c.b = nil
+		}
+	case OpQuery:
+		req.Family = c.family()
+		req.Query = Query(c.u8())
+		if c.err == nil && (req.Query < QueryEstimate || req.Query >= queryMax) {
+			return req, ErrBadQuery
+		}
+		req.Name = c.name()
+		if NeedsArg(req.Query) {
+			req.Arg = c.u64()
+		}
+	}
+	return req, c.done()
+}
+
+// ParseResponse splits one response payload into status, id and body view.
+func ParseResponse(p []byte) (status byte, id uint32, body []byte, err error) {
+	if len(p) < headerLen {
+		return 0, 0, nil, ErrTruncated
+	}
+	status = p[0]
+	if status != StatusOK && status != StatusError {
+		return 0, 0, nil, ErrBadStatus
+	}
+	return status, binary.LittleEndian.Uint32(p[1:5]), p[headerLen:], nil
+}
+
+// ParseNames decodes an OpNames response body.
+func ParseNames(body []byte) ([]string, error) {
+	c := cursor{b: body}
+	n := c.u32()
+	if c.err != nil {
+		return nil, c.err
+	}
+	names := make([]string, 0, min(int(n), 1024))
+	for i := 0; i < int(n); i++ {
+		if c.err != nil {
+			return nil, c.err
+		}
+		if len(c.b) < 2 {
+			return nil, ErrTruncated
+		}
+		l := int(binary.LittleEndian.Uint16(c.b))
+		c.b = c.b[2:]
+		if len(c.b) < l {
+			return nil, ErrTruncated
+		}
+		names = append(names, string(c.b[:l]))
+		c.b = c.b[l:]
+	}
+	return names, c.done()
+}
+
+// ParseInfo decodes an OpInfo response body.
+func ParseInfo(body []byte) (Info, error) {
+	if len(body) != infoLen {
+		return Info{}, ErrTruncated
+	}
+	c := cursor{b: body}
+	inf := Info{
+		Shards:          int(c.u32()),
+		Writers:         int(c.u32()),
+		Relaxation:      c.u64(),
+		ShardRelaxation: c.u64(),
+		Eager:           c.u8() == 1,
+	}
+	return inf, c.done()
+}

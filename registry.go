@@ -152,9 +152,17 @@ type Registry struct {
 	quants map[string]*shard.Quantiles
 	cms    map[string]*shard.CountMin
 	// controllers are the autoscaling loops attached via Autoscale /
-	// AutoscaleAll; Close stops them before stopping any propagator, so a
-	// controller can never resize a closing sketch.
-	controllers []*autoscale.Controller
+	// AutoscaleAll, each remembered with its resize target so Drop can stop
+	// the loops of a dropped sketch; Close stops them before stopping any
+	// propagator, so a controller can never resize a closing sketch.
+	controllers []registryController
+}
+
+// registryController pairs an attached controller with the sketch it
+// drives.
+type registryController struct {
+	ctl    *autoscale.Controller
+	target autoscale.Target
 }
 
 // NewRegistry validates the configuration and returns an empty registry.
@@ -340,6 +348,76 @@ func (r *Registry) AutoscaleAll(p autoscale.Policy) ([]*autoscale.Controller, er
 	return r.autoscale(p, func(string) bool { return true })
 }
 
+// detachControllersLocked removes from r.controllers every entry whose
+// target is registered under name (any family) and returns the detached
+// controllers. Caller holds r.mu; the caller owns stopping them.
+func (r *Registry) detachControllersLocked(name string) []registryController {
+	targets := make(map[any]bool, 4)
+	for _, fam := range []string{"theta", "hll", "quantiles", "countmin"} {
+		if sk, ok := r.lookup(fam, name); ok {
+			targets[any(sk)] = true
+		}
+	}
+	var detached []registryController
+	kept := r.controllers[:0]
+	for _, rc := range r.controllers {
+		if targets[any(rc.target)] {
+			detached = append(detached, rc)
+		} else {
+			kept = append(kept, rc)
+		}
+	}
+	r.controllers = kept
+	return detached
+}
+
+// StopAutoscale stops and detaches every autoscaling controller attached
+// to sketches currently registered under name, across all families, and
+// reports how many were stopped.
+func (r *Registry) StopAutoscale(name string) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	stop := r.detachControllersLocked(name)
+	r.mu.Unlock()
+	for _, rc := range stop {
+		rc.ctl.Stop()
+	}
+	return len(stop)
+}
+
+// ReplaceAutoscale atomically swaps the autoscaling of name: under one
+// registry lock acquisition it detaches every controller attached to the
+// named sketches and attaches (and starts) fresh ones under the new
+// policy, so concurrent or retried calls can never leave two retained
+// controllers driving one sketch — the idempotent attach remote admin
+// planes need. The detached controllers are stopped after the swap; their
+// loops may overlap the new ones for that stop latency (harmless under the
+// policies' cooldowns), but exactly one controller per sketch remains. On
+// a policy validation error the previous controllers stay attached.
+func (r *Registry) ReplaceAutoscale(name string, p autoscale.Policy) ([]*autoscale.Controller, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	detached := r.detachControllersLocked(name)
+	ctls, err := r.autoscaleLocked(p, func(n string) bool { return n == name })
+	if err != nil {
+		// Nothing was stopped yet: restore the detached controllers.
+		r.controllers = append(r.controllers, detached...)
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Unlock()
+	for _, rc := range detached {
+		rc.ctl.Stop()
+	}
+	return ctls, nil
+}
+
 // autoscale collects the matching sketches as resize targets, builds one
 // started controller per target, and records them for Close.
 func (r *Registry) autoscale(p autoscale.Policy, match func(name string) bool) ([]*autoscale.Controller, error) {
@@ -348,6 +426,11 @@ func (r *Registry) autoscale(p autoscale.Policy, match func(name string) bool) (
 	if r.closed {
 		panic("fastsketches: Registry used after Close")
 	}
+	return r.autoscaleLocked(p, match)
+}
+
+// autoscaleLocked is autoscale's body; the caller holds r.mu.
+func (r *Registry) autoscaleLocked(p autoscale.Policy, match func(name string) bool) ([]*autoscale.Controller, error) {
 	var targets []autoscale.Target
 	for n, sk := range r.thetas {
 		if match(n) {
@@ -379,14 +462,166 @@ func (r *Registry) autoscale(p autoscale.Policy, match func(name string) bool) (
 			return nil, err
 		}
 		ctls = append(ctls, ctl)
+		r.controllers = append(r.controllers, registryController{ctl, tgt})
 	}
 	// Start only after every policy validated, so a bad policy attaches
-	// nothing rather than half a fleet.
+	// nothing rather than half a fleet. (A partial validation failure above
+	// leaves the recorded-but-never-started entries harmless: Stop on a
+	// never-started controller is a no-op.)
 	for _, ctl := range ctls {
 		ctl.Start()
 	}
-	r.controllers = append(r.controllers, ctls...)
 	return ctls, nil
+}
+
+// Config returns a copy of the registry's normalised configuration — the
+// geometry (shard and writer-lane counts) and family accuracy parameters
+// every sketch it creates inherits. Serving layers use it to dimension
+// per-connection state: all sketches of one family share accumulator
+// dimensions, because those depend only on this configuration.
+func (r *Registry) Config() RegistryConfig { return r.cfg }
+
+// SketchInfo is one registered sketch's metadata: its identity, its current
+// shard/lane geometry, and its live staleness bounds. Relaxation is the
+// merged-query bound S·r (transiently S_old·r + S_new·r while a resize
+// drains); ShardRelaxation is the single-shard bound r governing per-key
+// queries.
+type SketchInfo struct {
+	Family          string
+	Name            string
+	Shards          int
+	Writers         int
+	Relaxation      int
+	ShardRelaxation int
+	Eager           bool
+}
+
+// shardedIntrospect is the slice of the generic Sharded layer the metadata
+// hooks read; all four family wrappers satisfy it.
+type shardedIntrospect interface {
+	Shards() int
+	Relaxation() int
+	ShardRelaxation() int
+	Eager() bool
+}
+
+func (r *Registry) info(family, name string, sk shardedIntrospect) SketchInfo {
+	return SketchInfo{
+		Family: family, Name: name,
+		Shards: sk.Shards(), Writers: r.cfg.Writers,
+		Relaxation:      sk.Relaxation(),
+		ShardRelaxation: sk.ShardRelaxation(),
+		Eager:           sk.Eager(),
+	}
+}
+
+// lookup returns the named sketch of the given family without creating it.
+// The caller must hold r.mu (any mode).
+func (r *Registry) lookup(family, name string) (shardedIntrospect, bool) {
+	switch family {
+	case "theta":
+		sk, ok := r.thetas[name]
+		return sk, ok
+	case "hll":
+		sk, ok := r.hlls[name]
+		return sk, ok
+	case "quantiles":
+		sk, ok := r.quants[name]
+		return sk, ok
+	case "countmin":
+		sk, ok := r.cms[name]
+		return sk, ok
+	}
+	return nil, false
+}
+
+// Info returns the named sketch's metadata without creating it. Family is
+// one of "theta", "hll", "quantiles", "countmin" (the prefixes Names uses).
+func (r *Registry) Info(family, name string) (SketchInfo, bool) {
+	r.mu.RLock()
+	sk, ok := r.lookup(family, name)
+	r.mu.RUnlock()
+	if !ok {
+		return SketchInfo{}, false
+	}
+	return r.info(family, name, sk), true
+}
+
+// Infos returns every registered sketch's metadata, sorted by family then
+// name — the enumeration hook serving layers expose as their admin listing.
+func (r *Registry) Infos() []SketchInfo {
+	r.mu.RLock()
+	out := make([]SketchInfo, 0, len(r.thetas)+len(r.hlls)+len(r.quants)+len(r.cms))
+	for n, sk := range r.thetas {
+		out = append(out, r.info("theta", n, sk))
+	}
+	for n, sk := range r.hlls {
+		out = append(out, r.info("hll", n, sk))
+	}
+	for n, sk := range r.quants {
+		out = append(out, r.info("quantiles", n, sk))
+	}
+	for n, sk := range r.cms {
+		out = append(out, r.info("countmin", n, sk))
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Drop closes and removes the named sketch of the given family, reporting
+// whether it existed: its propagators stop (after an exact drain of every
+// buffer), any autoscaling controllers attached to it are stopped first,
+// and the name becomes free — the next accessor call under it creates a
+// fresh, empty sketch. Handles retained by callers stay queryable (merged
+// queries are wait-free and summarise the final drained state) but must not
+// be updated: an Update on a dropped sketch blocks forever, the same
+// contract as Close. Like every registry accessor it panics after Close.
+func (r *Registry) Drop(family, name string) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	sk, ok := r.lookup(family, name)
+	if !ok {
+		r.mu.Unlock()
+		return false
+	}
+	switch family {
+	case "theta":
+		delete(r.thetas, name)
+	case "hll":
+		delete(r.hlls, name)
+	case "quantiles":
+		delete(r.quants, name)
+	case "countmin":
+		delete(r.cms, name)
+	}
+	// Stop this sketch's controllers before its propagators: a live
+	// controller mid-Tick could otherwise ask a closing sketch to resize.
+	var stop []*autoscale.Controller
+	kept := r.controllers[:0]
+	for _, rc := range r.controllers {
+		if any(rc.target) == any(sk) {
+			stop = append(stop, rc.ctl)
+		} else {
+			kept = append(kept, rc)
+		}
+	}
+	r.controllers = kept
+	r.mu.Unlock()
+	for _, ctl := range stop {
+		ctl.Stop()
+	}
+	type closer interface{ Close() }
+	sk.(closer).Close()
+	return true
 }
 
 // Names lists every registered sketch, sorted, as "family/name".
@@ -422,8 +657,8 @@ func (r *Registry) Close() {
 	r.closed = true
 	// Controllers first: a stopped controller issues no further resizes, so
 	// no propagator can be asked to drain mid-shutdown.
-	for _, ctl := range r.controllers {
-		ctl.Stop()
+	for _, rc := range r.controllers {
+		rc.ctl.Stop()
 	}
 	for _, sk := range r.thetas {
 		sk.Close()

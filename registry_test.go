@@ -4,8 +4,10 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"fastsketches"
+	"fastsketches/internal/autoscale"
 )
 
 func TestRegistryConfigValidation(t *testing.T) {
@@ -306,5 +308,161 @@ func TestRegistryResizeFacades(t *testing.T) {
 	}
 	if got := reg.CountMin("a").N(); got < uint64(2*n-reg.CountMin("a").Relaxation()) || got > 2*n {
 		t.Errorf("countmin/a N %d outside staleness window of %d", got, 2*n)
+	}
+}
+
+// TestRegistryInfoAndInfos covers the serving layer's metadata hooks:
+// Info must not create sketches, must report the live geometry, and Infos
+// must enumerate every family sorted.
+func TestRegistryInfoAndInfos(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if _, ok := reg.Info("theta", "absent"); ok {
+		t.Fatal("Info invented a sketch")
+	}
+	if _, ok := reg.Info("bogusfamily", "absent"); ok {
+		t.Fatal("Info accepted an unknown family")
+	}
+	if got := len(reg.Infos()); got != 0 {
+		t.Fatalf("Infos on empty registry returned %d entries", got)
+	}
+
+	reg.Theta("users")
+	reg.CountMin("api")
+	reg.HLL("users")
+	if err := reg.ResizeTheta("users", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	inf, ok := reg.Info("theta", "users")
+	if !ok {
+		t.Fatal("Info missed a registered sketch")
+	}
+	if inf.Family != "theta" || inf.Name != "users" || inf.Shards != 5 || inf.Writers != 3 {
+		t.Fatalf("Info = %+v, want theta/users S=5 W=3", inf)
+	}
+	if inf.Relaxation != reg.Theta("users").Relaxation() ||
+		inf.ShardRelaxation != reg.Theta("users").ShardRelaxation() {
+		t.Fatalf("Info staleness bounds %+v disagree with the sketch", inf)
+	}
+	if !inf.Eager {
+		t.Fatal("fresh sketch should still be eager")
+	}
+
+	infos := reg.Infos()
+	want := []string{"countmin/api", "hll/users", "theta/users"}
+	if len(infos) != len(want) {
+		t.Fatalf("Infos returned %d entries, want %d", len(infos), len(want))
+	}
+	for i, w := range want {
+		if got := infos[i].Family + "/" + infos[i].Name; got != w {
+			t.Fatalf("Infos[%d] = %s, want %s (sorted)", i, got, w)
+		}
+	}
+}
+
+// TestRegistryDrop covers the per-sketch teardown hook: the sketch drains
+// and unregisters, attached controllers stop with it, and the name becomes
+// free for a fresh sketch.
+func TestRegistryDrop(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if reg.Drop("theta", "absent") {
+		t.Fatal("Drop invented a sketch")
+	}
+
+	sk := reg.CountMin("api")
+	for i := 0; i < 1000; i++ {
+		sk.Update(0, uint64(i%10))
+	}
+	ctls, err := reg.Autoscale("api", autoscale.Policy{HighWater: 1e6, SampleEvery: time.Millisecond})
+	if err != nil || len(ctls) != 1 {
+		t.Fatalf("Autoscale: ctls=%d err=%v", len(ctls), err)
+	}
+
+	if !reg.Drop("countmin", "api") {
+		t.Fatal("Drop missed a registered sketch")
+	}
+	if _, ok := reg.Info("countmin", "api"); ok {
+		t.Fatal("dropped sketch still enumerable")
+	}
+	// The retained handle stays queryable and, being closed (drained), is
+	// exact: every pre-drop update is visible.
+	if got := sk.N(); got != 1000 {
+		t.Fatalf("drained dropped sketch N = %d, want 1000", got)
+	}
+	// The name is free: the next accessor gets a fresh, empty sketch.
+	if got := reg.CountMin("api").N(); got != 0 {
+		t.Fatalf("recreated sketch N = %d, want 0", got)
+	}
+	// Close (deferred) must not double-stop the dropped sketch's
+	// controller; reaching the end of the test green is the assertion.
+}
+
+// TestRegistryConfigAccessor pins that Config returns the normalised
+// configuration (defaults applied), which serving layers rely on to
+// dimension per-connection state.
+func TestRegistryConfigAccessor(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	cfg := reg.Config()
+	if cfg.Writers != 2 || cfg.Shards == 0 || cfg.ThetaLgK == 0 {
+		t.Fatalf("Config not normalised: %+v", cfg)
+	}
+}
+
+// TestRegistryStopAutoscale pins the attach-replace primitive: stopping by
+// name detaches exactly the named sketches' controllers, and a repeated
+// stop+attach cycle (the remote admin path) never accumulates loops.
+func TestRegistryStopAutoscale(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	reg.Theta("a")
+	reg.CountMin("a")
+	reg.Theta("b")
+	pol := autoscale.Policy{HighWater: 1e9, SampleEvery: time.Millisecond}
+	if _, err := reg.Autoscale("a", pol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Autoscale("b", pol); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := reg.StopAutoscale("a"); n != 2 {
+		t.Fatalf("StopAutoscale(a) stopped %d controllers, want 2 (theta+countmin)", n)
+	}
+	if n := reg.StopAutoscale("a"); n != 0 {
+		t.Fatalf("second StopAutoscale(a) stopped %d, want 0", n)
+	}
+	// b's controller is untouched; atomic replace cycles keep exactly one.
+	for i := 0; i < 3; i++ {
+		if _, err := reg.ReplaceAutoscale("b", pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An invalid policy must leave the previous controller attached.
+	if _, err := reg.ReplaceAutoscale("b", autoscale.Policy{}); err == nil {
+		t.Fatal("ReplaceAutoscale accepted an invalid policy")
+	}
+	if n := reg.StopAutoscale("b"); n != 1 {
+		t.Fatalf("after replace cycles, StopAutoscale(b) stopped %d, want 1", n)
+	}
+	if n := reg.StopAutoscale("absent"); n != 0 {
+		t.Fatalf("StopAutoscale(absent) stopped %d, want 0", n)
 	}
 }
