@@ -2,6 +2,7 @@ package client
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -17,8 +18,17 @@ import (
 // A Batch is NOT safe for concurrent use: make one per ingesting
 // goroutine. Each flush travels over one pooled connection, so several
 // goroutines with their own batches drive the server's lanes from several
-// connections concurrently. On error the buffered items are dropped (the
-// error reports how many).
+// connections concurrently.
+//
+// A failed Flush never silently loses items. On a transport failure (dead
+// connection, failed redial, mid-pipeline reset) the buffer is RETAINED:
+// the returned error says so, and calling Flush again retries the same
+// items over a freshly dialed connection. Only a deterministic rejection —
+// a server-reported *Error, an invalid name, a closed client — DROPS the
+// buffer, since retrying could never succeed; the error reports how many
+// items were dropped. Retained items past the configured batch size are
+// shipped in wire-legal chunks, so a retry after accumulation never builds
+// an oversized frame.
 type Batch struct {
 	c     *Client
 	fam   Family
@@ -37,7 +47,9 @@ func (c *Client) NewBatch(fam Family, name string) *Batch {
 }
 
 // Add buffers one uint64 key (Θ, HLL and Count-Min families), flushing if
-// the buffer is full.
+// the buffer is full. On a transport error the buffer (including this item)
+// is retained for the next Flush; a caller that keeps Adding past failures
+// grows the buffer without bound, so either stop on error or Reset.
 func (b *Batch) Add(key uint64) error {
 	b.items = append(b.items, key)
 	if len(b.items) >= b.limit {
@@ -55,28 +67,51 @@ func (b *Batch) AddFloat(v float64) error {
 // Len returns the number of buffered, unflushed items.
 func (b *Batch) Len() int { return len(b.items) }
 
-// Flush ships the buffered items as one batch frame and waits for the ack.
-// No-op on an empty buffer. On error the buffer is cleared: the dropped
-// items are reported in the error and must be re-Added to retry.
+// Reset discards the buffered items without sending them.
+func (b *Batch) Reset() { b.items = b.items[:0] }
+
+// dropsBatch reports whether a Flush failure is deterministic — the request
+// itself was rejected, so retrying the same items can never succeed — as
+// opposed to a transport failure that a retry over a redialed connection
+// may clear.
+func dropsBatch(err error) bool {
+	var se *Error
+	return errors.As(err, &se) || errors.Is(err, wire.ErrBadName) || errors.Is(err, ErrClosed)
+}
+
+// Flush ships the buffered items in batch frames of at most
+// Options.BatchSize and waits for each ack. No-op on an empty buffer. On a
+// transport error the unacked items stay buffered for a retry; on a
+// deterministic rejection they are dropped (the error reports which).
 func (b *Batch) Flush() error {
-	if len(b.items) == 0 {
-		return nil
-	}
-	n := len(b.items)
-	ca, err := b.c.do(&reqSpec{op: wire.OpBatch, fam: b.fam, name: b.name, items: b.items})
-	b.items = b.items[:0]
-	if err != nil {
-		return fmt.Errorf("client: batch of %d items dropped: %w", n, err)
-	}
-	body := ca.body()
-	if len(body) != 4 {
+	for len(b.items) > 0 {
+		n := len(b.items)
+		if n > b.limit {
+			n = b.limit
+		}
+		ca, err := b.c.do(&reqSpec{op: wire.OpBatch, fam: b.fam, name: b.name, items: b.items[:n]})
+		if err != nil {
+			if dropsBatch(err) {
+				dropped := len(b.items)
+				b.items = b.items[:0]
+				return fmt.Errorf("client: batch of %d items dropped: %w", dropped, err)
+			}
+			return fmt.Errorf("client: batch flush failed, %d items retained for retry: %w",
+				len(b.items), err)
+		}
+		body := ca.body()
+		if len(body) != 4 {
+			ca.release()
+			b.items = b.items[:0]
+			return fmt.Errorf("client: %d-byte batch ack, want 4", len(body))
+		}
+		acked := binary.LittleEndian.Uint32(body)
 		ca.release()
-		return fmt.Errorf("client: %d-byte batch ack, want 4", len(body))
-	}
-	acked := binary.LittleEndian.Uint32(body)
-	ca.release()
-	if int(acked) != n {
-		return fmt.Errorf("client: server acked %d of %d items", acked, n)
+		// The chunk is acked: drop it and slide any retained tail down.
+		b.items = b.items[:copy(b.items, b.items[n:])]
+		if int(acked) != n {
+			return fmt.Errorf("client: server acked %d of %d items", acked, n)
+		}
 	}
 	return nil
 }

@@ -265,6 +265,28 @@ func (c *Client) Autoscale(name string, minShards, maxShards int, high, low floa
 		minS: uint32(minShards), maxS: uint32(maxShards), high: high, low: low})
 }
 
+// EnableView materializes the merged view of every sketch registered under
+// name, across all families: the server re-folds each sketch's shards every
+// refreshEvery and publishes the result atomically, after which served
+// aggregate queries read the single published view — O(1) in the shard
+// count — under a staleness bound of S·r plus one refresh interval. maxAge
+// caps how stale a served view may be before queries transparently fall
+// back to the live fold; zero derives it from refreshEvery, negative means
+// never expire. Idempotent: re-issuing re-arms the views under the new
+// intervals. Count-Min per-key counts keep reading their owning shard
+// directly and are unaffected.
+func (c *Client) EnableView(name string, refreshEvery, maxAge time.Duration) error {
+	return c.doEmpty(&reqSpec{op: wire.OpEnableView, name: name,
+		arg: uint64(refreshEvery.Nanoseconds()), arg2: uint64(maxAge.Nanoseconds())})
+}
+
+// DisableView stops the materialized views of every sketch registered under
+// name; served aggregate queries fold live shard snapshots again (bound
+// back to S·r).
+func (c *Client) DisableView(name string) error {
+	return c.doEmpty(&reqSpec{op: wire.OpDisableView, name: name})
+}
+
 // Drop closes and removes the named sketch server-side; the name becomes
 // free for a fresh sketch.
 func (c *Client) Drop(fam Family, name string) error {
@@ -348,6 +370,7 @@ type reqSpec struct {
 	q          wire.Query
 	name       string
 	arg        uint64
+	arg2       uint64
 	minS, maxS uint32
 	high, low  float64
 	items      []uint64
@@ -513,6 +536,10 @@ func (cn *conn) roundTrip(sp *reqSpec) (*call, error) {
 		b = wire.AppendResize(b, id, sp.fam, sp.name, int(sp.arg))
 	case wire.OpAutoscale:
 		b = wire.AppendAutoscale(b, id, sp.name, int(sp.minS), int(sp.maxS), sp.high, sp.low)
+	case wire.OpEnableView:
+		b = wire.AppendEnableView(b, id, sp.name, sp.arg, sp.arg2)
+	case wire.OpDisableView:
+		b = wire.AppendDisableView(b, id, sp.name)
 	case wire.OpBatch:
 		b = wire.AppendBatch(b, id, sp.fam, sp.name, sp.items)
 	case wire.OpQuery:

@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	"fastsketches"
 	"fastsketches/client"
@@ -18,8 +19,9 @@ import (
 // in-process server so the same coverage rides every `go test ./...`.
 //
 // It drives the full serving story: batched ingest from N concurrent
-// connections, pipelined merged queries, a live resize under write fire,
-// admin enumeration and drop — and the acceptance core: after a quiesce
+// connections, pipelined merged queries, a live resize under write fire, a
+// materialized-view enable/serve/disable cycle, admin enumeration and drop —
+// and the acceptance core: after a quiesce
 // (resize-drain, which folds every completed update exactly into legacy
 // state), served query results must MATCH in-process QueryInto results on
 // the same stream. HLL registers (max) and Count-Min counters (sums) are
@@ -306,7 +308,87 @@ func TestE2E(t *testing.T) {
 		}
 	})
 
-	// ---- Phase 3: enumeration and drop.
+	// ---- Phase 3: materialized views over the wire. Enable a fast-refresh
+	// view on the Θ sketch phase 2 populated, check Info reports it, check
+	// the served estimate (now a single view-accumulator fold server-side)
+	// still answers correctly and tracks fresh ingest within the view's
+	// staleness bound, then disable and confirm the sketch serves live again.
+	t.Run("views", func(t *testing.T) {
+		name := names[client.Theta]
+		const refreshEvery = 5 * time.Millisecond
+		if err := cl.EnableView(name, refreshEvery, -1); err != nil {
+			t.Fatal(err)
+		}
+		vinf, err := cl.Info(client.Theta, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vinf.ViewEnabled {
+			t.Fatalf("Info after EnableView = %+v, want ViewEnabled", vinf)
+		}
+		// Phase 2 ingested 100k distinct keys; the viewed estimate must sit
+		// inside the same accuracy envelope the live fold honoured.
+		ingested := 4 * 25_000.0
+		est, err := cl.ThetaEstimate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est/ingested-1) > 0.05 {
+			t.Fatalf("viewed estimate %v beyond the accuracy bound around %v", est, ingested)
+		}
+		// Fresh ingest becomes visible within S·r + one refresh interval:
+		// poll past one refresh rather than assuming scheduler timing.
+		const extra = 50_000
+		bv := cl.NewBatch(client.Theta, name)
+		for i := 0; i < extra; i++ {
+			if err := bv.Add(1<<40 | uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			est, err = cl.ThetaEstimate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est/(ingested+extra)-1) <= 0.05 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("viewed estimate %v never converged to %v: refresher not folding new state",
+					est, ingested+extra)
+			}
+			time.Sleep(refreshEvery)
+		}
+		if err := cl.DisableView(name); err != nil {
+			t.Fatal(err)
+		}
+		vinf, err = cl.Info(client.Theta, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vinf.ViewEnabled {
+			t.Fatal("ViewEnabled still set after DisableView")
+		}
+		// Disabling a viewless sketch is a typed server error on a healthy
+		// connection, not a hangup.
+		if err := cl.DisableView(name); err == nil {
+			t.Error("second DisableView did not error")
+		} else {
+			var se *client.Error
+			if !errors.As(err, &se) {
+				t.Errorf("second DisableView error %v is not a server-typed *client.Error", err)
+			}
+		}
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("connection unhealthy after typed error: %v", err)
+		}
+	})
+
+	// ---- Phase 4: enumeration and drop.
 	t.Run("admin", func(t *testing.T) {
 		got, err := cl.Names()
 		if err != nil {

@@ -17,6 +17,13 @@
 // allocation contracts — the right mode when baseline and fresh come from
 // unlike hardware. The default threshold of 0.20 is the repository's
 // regression budget: a >20% throughput drop on like hardware fails CI.
+//
+// Artifacts from a benchrunner -cpus sweep carry one row per (metric,
+// GOMAXPROCS) pair, keyed "scenario/name@cpus=N": the single-core and
+// multi-core rows of the same path are distinct metrics here and gate
+// independently, so baseline and fresh must be produced with the same
+// -cpus list (a width present only in the baseline fails as missing
+// unless -allow-missing).
 package main
 
 import (

@@ -107,6 +107,9 @@ type StressReport struct {
 	// (S_old+S_new)·r exceeded the policy's MaxTransitionalRelaxation — the
 	// staleness cap the controller must never breach.
 	CapViolations int64
+	// Refreshes counts materialized-view refresh publications completed
+	// during the run (view-under-fire scenarios only).
+	Refreshes int64
 }
 
 // ResizeStressConfig parameterises a resize-under-fire stress run: the
@@ -761,4 +764,200 @@ func StressThetaDistinct(cfg StressConfig) (StressReport, error) {
 	qwg.Wait()
 	rep.WorstDeficit = worst.Load()
 	return rep, nil
+}
+
+// ViewStressConfig parameterises a view-under-fire stress run: the base
+// workload of StressConfig served through a materialized merged view, with
+// an optional live-resize schedule racing the refresher.
+type ViewStressConfig struct {
+	StressConfig
+	// Schedule is the successive shard counts Resize moves through while the
+	// view keeps refreshing; empty means no resizes (pure view stress).
+	Schedule []int
+}
+
+func (c *ViewStressConfig) normalise() { c.StressConfig.normalise() }
+
+// StressViewUnderFire plays the adversary against the materialized-view
+// serving plane: writers hammer a sharded Count-Min whose merged queries are
+// answered from a published view, a conductor goroutine paces refreshes
+// explicitly (RefreshViewNow over a manual clock, so the view NEVER
+// refreshes behind the checker's back), and a resizer walks the schedule
+// underneath both. The checked envelope is the documented view bound — the
+// live fold's staleness plus one refresh interval — expressed against
+// ground truth:
+//
+//	floor − bound ≤ answer ≤ c2
+//
+// where floor is the completed-update count read immediately BEFORE the
+// most recently published refresh began its fold (so floor is exactly the
+// "one refresh interval ago" ground truth: everything completed by then is
+// either folded into the published view or inside the fold's own S·r
+// window), bound is S·r — widened to the transitional (S_old+S_new)·r while
+// resizes may be in flight, tightened to S_final·r once the last resize has
+// drained AND a fresh refresh has published — and c2 is the started count
+// read after the query (a view must never invent weight). A lower breach
+// means a refresh published a fold that lost committed state (e.g. dropped
+// the draining epoch's legacy); an upper breach means a fold double-counted
+// (e.g. folded one buffer into both halves of the double buffer).
+func StressViewUnderFire(cfg ViewStressConfig) (StressReport, error) {
+	cfg.normalise()
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   1.0, // lazy path throughout, as in the resize stress
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+
+	// Manual clock never advanced: the background ticker never fires and
+	// MaxAge −1 never expires the view, so every query below is genuinely
+	// served from the published buffer and every publication is the
+	// conductor's doing.
+	clk := autoscale.NewManualClock(time.Unix(1<<20, 0))
+	if err := sk.EnableView(shard.ViewConfig{
+		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
+	}); err != nil {
+		return StressReport{}, err
+	}
+
+	rcfg := ResizeStressConfig{StressConfig: cfg.StressConfig, Schedule: cfg.Schedule}
+	var transitional, final int64
+	if len(cfg.Schedule) == 0 {
+		final = int64(cfg.Shards) * int64(2*cfg.Writers*cfg.BufferSize)
+		transitional = final
+	} else {
+		transitional, final = rcfg.bounds()
+	}
+	rep := StressReport{Bound: int(transitional)}
+
+	var completed, started atomic.Int64
+	// publishedFloor is the ground-truth completed count read just before
+	// the latest published refresh started folding. Stored AFTER the
+	// publication, so a querier that observes floor F is guaranteed the view
+	// it subsequently acquires folded at least the state of that refresh.
+	var publishedFloor atomic.Int64
+	var resizesDone, doneResizing atomic.Bool
+	var worst atomic.Int64
+	stop := make(chan struct{})
+	writersDone := make(chan struct{})
+	var wg, qwg sync.WaitGroup
+
+	for q := 0; q < cfg.Queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			acc := sk.NewAccumulator()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				bound := transitional
+				post := doneResizing.Load()
+				if post {
+					bound = final
+				}
+				floor := publishedFloor.Load()
+				var got int64
+				i++
+				if i%2 == 0 {
+					got = int64(sk.N()) // pooled plane, through the view
+				} else {
+					sk.QueryInto(acc) // caller-owned plane, through the view
+					got = int64(acc.N())
+				}
+				c2 := started.Load()
+				atomic.AddInt64(&rep.Queries, 1)
+				if post {
+					atomic.AddInt64(&rep.PostResizeQueries, 1)
+				}
+				raiseMax(&worst, floor-bound-got)
+				if got < floor-bound {
+					atomic.AddInt64(&rep.LowerViolations, 1)
+				}
+				if got > c2 {
+					atomic.AddInt64(&rep.UpperViolations, 1)
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	// The conductor: refresh, then publish the pre-fold ground truth as the
+	// queriers' floor. The very first EnableView refresh published an empty
+	// (pre-ingest) view, floor 0 — consistent.
+	conductorDone := make(chan struct{})
+	go func() {
+		defer close(conductorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rd := resizesDone.Load()
+			c := completed.Load()
+			if !sk.RefreshViewNow() {
+				return
+			}
+			publishedFloor.Store(c)
+			atomic.AddInt64(&rep.Refreshes, 1)
+			if rd {
+				// This refresh began after the final resize had fully
+				// drained: from here on the published fold owes nothing to
+				// transitional epochs and the tight S_final·r bound applies.
+				doneResizing.Store(true)
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	const hotKeys = 64
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				started.Add(1)
+				sk.Update(w, uint64((w*cfg.UpdatesPerWriter+i)%hotKeys))
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if len(cfg.Schedule) == 0 {
+			resizesDone.Store(true)
+			errc <- nil
+			return
+		}
+		err := resizer(rcfg, sk.Resize, &completed, writersDone, &resizesDone, &rep.Resizes)
+		errc <- err
+	}()
+
+	wg.Wait()
+	close(writersDone)
+	err = <-errc
+
+	// Let the settled phase produce checked queries: wait until the
+	// conductor has published a post-resize refresh and the queriers have
+	// taken answers against the tight bound. Bounded; a wedged refresher
+	// surfaces as PostResizeQueries == 0, not a hang.
+	for deadline := time.Now().Add(30 * time.Second); err == nil &&
+		atomic.LoadInt64(&rep.PostResizeQueries) < int64(cfg.Queriers) &&
+		time.Now().Before(deadline); {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-conductorDone
+	qwg.Wait()
+	rep.WorstDeficit = worst.Load()
+	return rep, err
 }

@@ -22,6 +22,12 @@
 //     stayed below LowWater with an empty backlog for SustainedDown samples;
 //   - otherwise hold.
 //
+// An optional query-side signal joins the loop when the target serves
+// merged queries from a materialized view (ViewLagger): refresh lag above
+// Policy.ViewLagHighWater vetoes scale-ups and counts as down-pressure,
+// since the view fold's cost — and therefore the query staleness — grows
+// with S.
+//
 // # Why it cannot flap
 //
 // Three mechanisms damp oscillation. The water marks are separated: policy
@@ -74,6 +80,14 @@ type Target interface {
 	ShardRelaxation() int
 }
 
+// ViewLagger is the optional query-side pressure signal: targets whose
+// merged queries are served from a materialized view report the age of the
+// latest published refresh. The shard package's family wrappers satisfy it;
+// a controller consults it only when Policy.ViewLagHighWater is set.
+type ViewLagger interface {
+	ViewLag() time.Duration
+}
+
 // Policy parameterises a Controller. The zero value is not valid: HighWater
 // must be set (it anchors the whole loop); everything else has documented
 // defaults applied by New.
@@ -108,6 +122,17 @@ type Policy struct {
 	// (S_old+S_new)·r of any transition the controller initiates, clamping
 	// or skipping steps that would exceed it. 0 = uncapped.
 	MaxTransitionalRelaxation int
+	// ViewLagHighWater is the query-side pressure signal: when the target
+	// serves merged queries from a materialized view (it implements
+	// ViewLagger) and the view's refresh lag exceeds this mark, the query
+	// plane is provably not keeping up with the S-shard fold. Since the
+	// refresh cost grows with S, lag above the mark vetoes scale-ups (the
+	// suppression is counted in Stats.HeldViewLag) and qualifies the sample
+	// as down-pressure — shrinking S makes refreshes cheaper and queries
+	// fresher. A lag-driven scale-down still requires an empty propagator
+	// backlog: when both planes are behind, ingest wins and the controller
+	// holds. 0 disables the signal.
+	ViewLagHighWater time.Duration
 	// Clock supplies all controller timing. Default SystemClock.
 	Clock Clock
 }
@@ -170,6 +195,9 @@ func (p *Policy) normalise() error {
 	}
 	if p.MaxTransitionalRelaxation < 0 {
 		return fmt.Errorf("autoscale: negative MaxTransitionalRelaxation")
+	}
+	if p.ViewLagHighWater < 0 {
+		return fmt.Errorf("autoscale: negative ViewLagHighWater")
 	}
 	if p.Clock == nil {
 		p.Clock = SystemClock{}
@@ -238,9 +266,15 @@ type Stats struct {
 	// CappedByStaleness counts steps the transitional cap clamped or
 	// skipped.
 	CappedByStaleness int64
+	// HeldViewLag counts up-qualifying samples vetoed because the target's
+	// materialized-view refresh lag exceeded ViewLagHighWater.
+	HeldViewLag int64
 	// LastPerShardRate / LastBacklogPerShard are the most recent pressure
 	// readings (items/sec and items, per shard).
 	LastPerShardRate, LastBacklogPerShard float64
+	// LastViewLag is the most recent view-refresh lag reading; zero when the
+	// signal is disabled or the target serves no view.
+	LastViewLag time.Duration
 	// Shards is the target's S at the last tick; LastDecision the tick's
 	// outcome; LastErr the most recent Resize error, if any.
 	Shards       int
@@ -324,11 +358,34 @@ func (c *Controller) Tick() Decision {
 	c.st.LastPerShardRate, c.st.LastBacklogPerShard = rate, backlog
 	c.st.Shards = shards
 
-	up := rate > c.p.HighWater ||
+	// Query-side pressure: a materialized view whose refresh lag exceeds the
+	// water mark means the merged fold is too expensive at the current S.
+	var lagHigh bool
+	if c.p.ViewLagHighWater > 0 {
+		if vl, ok := c.t.(ViewLagger); ok {
+			lag := vl.ViewLag()
+			c.st.LastViewLag = lag
+			lagHigh = lag > c.p.ViewLagHighWater
+		}
+	}
+
+	rawUp := rate > c.p.HighWater ||
 		(c.p.BacklogHighWater > 0 && backlog >= c.p.BacklogHighWater)
+	up := rawUp
+	if up && lagHigh {
+		// Growing S would make view refreshes costlier still; hold the
+		// ingest-driven growth while the query plane is behind. The sample
+		// does not become down-pressure either — with both planes loaded,
+		// shrinking would hurt ingest, so the controller sits still.
+		c.st.HeldViewLag++
+		up = false
+	}
 	// A scale-down must see a drained propagation plane: a quiet rate with
 	// a standing backlog means the propagators are behind, not the load low.
-	down := !up && rate < c.p.LowWater && pr.Backlog() == 0
+	// Sustained view lag with ingest pressure absent and a drained backlog
+	// also qualifies: fewer shards make each refresh cheaper and merged
+	// reads fresher.
+	down := !rawUp && (rate < c.p.LowWater || lagHigh) && pr.Backlog() == 0
 	switch {
 	case up:
 		c.upStreak, c.downStreak = c.upStreak+1, 0

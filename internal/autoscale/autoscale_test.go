@@ -441,3 +441,127 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(100 * time.Microsecond)
 	}
 }
+
+// lagTarget is a fakeTarget that also reports a scripted materialized-view
+// refresh lag — the query-side pressure signal.
+type lagTarget struct {
+	*fakeTarget
+	lag time.Duration
+}
+
+func (t *lagTarget) ViewLag() time.Duration { return t.lag }
+
+func TestViewLagVetoesScaleUp(t *testing.T) {
+	tg := &lagTarget{fakeTarget: &fakeTarget{shards: 4, r: 8}}
+	p := policy()
+	p.ViewLagHighWater = 500 * time.Millisecond
+	h := newHarness(t, tg.fakeTarget, p)
+	// Rebind the controller to the lag-aware target, on the harness clock.
+	p.Clock = h.mc
+	ctl, err := autoscale.New(tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	h.ctl.Tick() // warmup baseline
+
+	tg.lag = time.Second // above the water mark
+	for i := 0; i < 6; i++ {
+		if d := h.tick(5000, 0); d == autoscale.DecisionUp {
+			t.Fatalf("tick %d scaled up despite view lag above the water mark", i)
+		}
+	}
+	if len(tg.resizes) != 0 {
+		t.Fatalf("resizes issued under high view lag: %v", tg.resizes)
+	}
+	st := h.ctl.Stats()
+	if st.HeldViewLag == 0 {
+		t.Error("HeldViewLag not counted for vetoed up-pressure")
+	}
+	if st.LastViewLag != time.Second {
+		t.Errorf("LastViewLag = %v, want 1s", st.LastViewLag)
+	}
+	// Lag clears: the same load now completes an up streak and resizes.
+	tg.lag = 0
+	for i := 0; i < p.SustainedUp; i++ {
+		h.tick(5000, 0)
+	}
+	if tg.shards != 8 {
+		t.Fatalf("shards after lag cleared = %d, want 8", tg.shards)
+	}
+}
+
+func TestViewLagQualifiesScaleDown(t *testing.T) {
+	tg := &lagTarget{fakeTarget: &fakeTarget{shards: 8, r: 8}}
+	p := policy()
+	p.ViewLagHighWater = 500 * time.Millisecond
+	h := newHarness(t, tg.fakeTarget, p)
+	p.Clock = h.mc
+	ctl, err := autoscale.New(tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	h.ctl.Tick() // warmup
+
+	// Mid-band rate (between the water marks) would normally hold; a lagging
+	// view with a drained backlog qualifies the sample as down-pressure.
+	tg.lag = time.Second
+	for i := 0; i < p.SustainedDown; i++ {
+		h.tick(500, 0)
+	}
+	if tg.shards != 4 {
+		t.Fatalf("shards = %d, want 4 (lag-driven scale-down)", tg.shards)
+	}
+}
+
+func TestViewLagDownStillRequiresEmptyBacklog(t *testing.T) {
+	tg := &lagTarget{fakeTarget: &fakeTarget{shards: 8, r: 8}}
+	p := policy()
+	p.ViewLagHighWater = 500 * time.Millisecond
+	h := newHarness(t, tg.fakeTarget, p)
+	p.Clock = h.mc
+	ctl, err := autoscale.New(tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	h.ctl.Tick() // warmup
+
+	// Both planes behind: lag high AND a standing backlog — ingest wins, the
+	// controller holds rather than shrinking an overloaded sketch.
+	tg.lag = time.Second
+	for i := 0; i < 4*p.SustainedDown; i++ {
+		if d := h.tick(500, 64); d == autoscale.DecisionDown {
+			t.Fatal("scaled down with a standing propagator backlog")
+		}
+	}
+	if len(tg.resizes) != 0 {
+		t.Fatalf("resizes issued: %v", tg.resizes)
+	}
+}
+
+func TestViewLagSignalIgnoredForPlainTargets(t *testing.T) {
+	// ViewLagHighWater set, but the target implements no ViewLag: the signal
+	// is absent and ingest pressure alone drives the loop.
+	tg := &fakeTarget{shards: 4, r: 8}
+	p := policy()
+	p.ViewLagHighWater = time.Millisecond
+	h := newHarness(t, tg, p)
+	for i := 0; i < p.SustainedUp; i++ {
+		h.tick(5000, 0)
+	}
+	if tg.shards != 8 {
+		t.Fatalf("shards = %d, want 8 (plain target must scale on rate)", tg.shards)
+	}
+	if st := h.ctl.Stats(); st.LastViewLag != 0 || st.HeldViewLag != 0 {
+		t.Errorf("view-lag stats moved for a plain target: %+v", st)
+	}
+}
+
+func TestNegativeViewLagHighWaterRejected(t *testing.T) {
+	if _, err := autoscale.New(&fakeTarget{shards: 4, r: 8},
+		autoscale.Policy{HighWater: 100, ViewLagHighWater: -time.Second}); err == nil {
+		t.Fatal("New accepted a negative ViewLagHighWater")
+	}
+}

@@ -42,10 +42,22 @@ type Metric struct {
 	Informational bool `json:"informational,omitempty"`
 	// Value holds unitless informational quantities (counts, ratios).
 	Value float64 `json:"value,omitempty"`
+	// Cpus records the GOMAXPROCS the metric was measured under, when the
+	// run sweeps several values (benchrunner -cpus). Zero means the run's
+	// single ambient GOMAXPROCS (the Report-level field). Part of Key, so
+	// the same scenario/name measured at different widths are distinct
+	// metrics and gate independently.
+	Cpus int `json:"cpus,omitempty"`
 }
 
 // Key identifies a metric across reports.
-func (m Metric) Key() string { return m.Scenario + "/" + m.Name }
+func (m Metric) Key() string {
+	k := m.Scenario + "/" + m.Name
+	if m.Cpus > 0 {
+		k += fmt.Sprintf("@cpus=%d", m.Cpus)
+	}
+	return k
+}
 
 // Report is one benchrunner invocation's artifact.
 type Report struct {

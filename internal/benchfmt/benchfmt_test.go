@@ -43,6 +43,40 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCpusKeying: metrics measured under different GOMAXPROCS are distinct
+// keys — a -cpus sweep's rows never collide, and each gates independently.
+func TestCpusKeying(t *testing.T) {
+	m1 := benchfmt.Metric{Scenario: "view", Name: "theta/S=8/query", Cpus: 1, OpsPerSec: 1000}
+	m4 := benchfmt.Metric{Scenario: "view", Name: "theta/S=8/query", Cpus: 4, OpsPerSec: 4000}
+	m0 := benchfmt.Metric{Scenario: "view", Name: "theta/S=8/query", OpsPerSec: 900}
+	if m1.Key() == m4.Key() || m1.Key() == m0.Key() {
+		t.Fatalf("cpus rows collide: %q / %q / %q", m1.Key(), m4.Key(), m0.Key())
+	}
+	if m0.Key() != "view/theta/S=8/query" {
+		t.Fatalf("cpus-less key changed shape: %q", m0.Key())
+	}
+
+	// Round trip keeps the field; only the cpus=4 row regresses, and the
+	// gate reports it under its cpus-qualified key.
+	path := filepath.Join(t.TempDir(), "cpus.json")
+	base := report(m1, m4)
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := benchfmt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := report(
+		benchfmt.Metric{Scenario: "view", Name: "theta/S=8/query", Cpus: 1, OpsPerSec: 1000},
+		benchfmt.Metric{Scenario: "view", Name: "theta/S=8/query", Cpus: 4, OpsPerSec: 1000},
+	)
+	regs := benchfmt.Compare(base, fresh, benchfmt.CompareOptions{ThroughputThreshold: 0.20})
+	if len(regs) != 1 || !strings.Contains(regs[0].Key, "@cpus=4") {
+		t.Fatalf("want exactly the cpus=4 row to regress, got %v", regs)
+	}
+}
+
 func TestCompareGates(t *testing.T) {
 	base := report(
 		benchfmt.Metric{Scenario: "sharded", Name: "ingest", OpsPerSec: 1000},

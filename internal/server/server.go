@@ -321,13 +321,29 @@ func (s *Server) handleConn(nc net.Conn) {
 		req, perr := wire.ParseRequest(payload)
 		out = out[:0]
 		if perr != nil {
-			// Protocol-level garbage: framing may be unrecoverable, so
-			// answer (with the request id when the header was readable) and
-			// drop the connection.
+			// A malformed request never endangers framing: the length prefix
+			// already delimited this payload, so the stream stays aligned on
+			// frame boundaries regardless of what the body held. When the
+			// 5-byte header was intact the request is addressable — reply with
+			// a typed error carrying its id and keep serving the connection
+			// (one bad request in a pipeline must not kill its neighbours).
+			// Only a runt frame too short to carry a request id is
+			// unanswerable; that alone hangs up.
 			out = wire.AppendError(out, req.ID, perr.Error())
-			bw.Write(out)
-			bw.Flush()
-			return
+			if len(payload) < wire.HeaderLen {
+				bw.Write(out)
+				bw.Flush()
+				return
+			}
+			if _, err := bw.Write(out); err != nil {
+				return
+			}
+			if br.Buffered() == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+			continue
 		}
 		out = cs.serve(&req, out)
 		if _, err := bw.Write(out); err != nil {
@@ -515,6 +531,22 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 		}
 		return wire.AppendOK(out, req.ID)
 
+	case wire.OpEnableView:
+		cfg := fastsketches.ViewConfig{
+			RefreshEvery: time.Duration(int64(req.Arg)),
+			MaxAge:       time.Duration(int64(req.Arg2)),
+		}
+		if _, err := cs.s.reg.EnableView(string(req.Name), cfg); err != nil {
+			return wire.AppendError(out, req.ID, err.Error())
+		}
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpDisableView:
+		if cs.s.reg.DisableView(string(req.Name)) == 0 {
+			return wire.AppendError(out, req.ID, fmt.Sprintf("no view enabled on %q", req.Name))
+		}
+		return wire.AppendOK(out, req.ID)
+
 	case wire.OpDrop:
 		if !cs.s.drop(req.Family, req.Name) {
 			return wire.AppendError(out, req.ID, fmt.Sprintf("no %s sketch %q", req.Family, req.Name))
@@ -536,6 +568,8 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 			Relaxation:      uint64(inf.Relaxation),
 			ShardRelaxation: uint64(inf.ShardRelaxation),
 			Eager:           inf.Eager,
+			ViewEnabled:     inf.ViewEnabled,
+			ViewLagNs:       uint64(inf.ViewLag.Nanoseconds()),
 		})
 	}
 	return wire.AppendError(out, req.ID, wire.ErrBadOp.Error())

@@ -501,3 +501,183 @@ func TestDropUnderBatchFire(t *testing.T) {
 	// blocking Shutdown — cleanup would hang otherwise).
 	admin.mustOK(wire.AppendPing(nil, 1<<20))
 }
+
+// TestServeViewOps drives the materialized-view admin ops over the wire:
+// enable covers the named sketches, Info reports the view, queries keep
+// answering (through the view), disable reverts, and both ops reject
+// absent names with typed errors on a connection that stays usable.
+func TestServeViewOps(t *testing.T) {
+	_, reg, addr := startServer(t, fastsketches.RegistryConfig{Shards: 2, Writers: 2})
+	c := dialT(t, addr)
+
+	// Enabling a view on a name with no sketches is a typed error.
+	if status, _ := c.roundTrip(wire.AppendEnableView(nil, c.nextID(), "absent", 0, 0)); status != wire.StatusError {
+		t.Fatal("enable-view on absent name should fail")
+	}
+	if status, _ := c.roundTrip(wire.AppendDisableView(nil, c.nextID(), "absent")); status != wire.StatusError {
+		t.Fatal("disable-view on absent name should fail")
+	}
+
+	c.mustOK(wire.AppendCreate(nil, c.nextID(), wire.FamilyCountMin, "viewed"))
+	items := make([]uint64, 2000)
+	for i := range items {
+		items[i] = uint64(i % 5)
+	}
+	c.mustOK(wire.AppendBatch(nil, c.nextID(), wire.FamilyCountMin, "viewed", items))
+
+	// Enable with an hour-long refresh: the synchronous initial refresh is
+	// the only fold, so the served totals below come from the published view.
+	c.mustOK(wire.AppendEnableView(nil, c.nextID(), "viewed", uint64(time.Hour), ^uint64(0)))
+	inf, err := wire.ParseInfo(c.mustOK(wire.AppendInfo(nil, c.nextID(), wire.FamilyCountMin, "viewed")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.ViewEnabled {
+		t.Fatalf("Info.ViewEnabled false after enable: %+v", inf)
+	}
+	body := c.mustOK(wire.AppendQuery(nil, c.nextID(), wire.FamilyCountMin, wire.QueryN, "viewed", 0))
+	viewN := binary.LittleEndian.Uint64(body)
+	if viewN > 2000 {
+		t.Fatalf("served view N = %d > ingested 2000", viewN)
+	}
+
+	// Registry-side the view really is attached (not just Info bookkeeping).
+	if rinf, ok := reg.Info("countmin", "viewed"); !ok || !rinf.ViewEnabled {
+		t.Fatalf("registry info = %+v (ok %v), want ViewEnabled", rinf, ok)
+	}
+
+	c.mustOK(wire.AppendDisableView(nil, c.nextID(), "viewed"))
+	inf, err = wire.ParseInfo(c.mustOK(wire.AppendInfo(nil, c.nextID(), wire.FamilyCountMin, "viewed")))
+	if err != nil || inf.ViewEnabled {
+		t.Fatalf("Info after disable = %+v (err %v), want view off", inf, err)
+	}
+	// Second disable: nothing left to disable, typed error, connection fine.
+	if status, _ := c.roundTrip(wire.AppendDisableView(nil, c.nextID(), "viewed")); status != wire.StatusError {
+		t.Fatal("second disable-view should fail")
+	}
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+}
+
+// TestServeEdgeCases pins the request edge cases that used to cost clients
+// their connection: a malformed-but-addressable request gets a typed error
+// reply and the SAME connection keeps serving; zero-item batches ack
+// cleanly; a maximum-size batch frame is accepted in full; a batch
+// pipelined behind a drop of its own sketch lands on the recreated sketch.
+func TestServeEdgeCases(t *testing.T) {
+	_, _, addr := startServer(t, fastsketches.RegistryConfig{Shards: 1, Writers: 1})
+	c := dialT(t, addr)
+
+	// Zero-update batch: acked with count 0, nothing created implicitly is
+	// harmed, connection continues.
+	body := c.mustOK(wire.AppendBatch(nil, c.nextID(), wire.FamilyTheta, "edge", nil))
+	if got := binary.LittleEndian.Uint32(body); got != 0 {
+		t.Fatalf("zero-item batch acked %d, want 0", got)
+	}
+
+	// Empty sketch name: ErrBadName at parse time. The header is intact, so
+	// the server must reply with a typed error carrying the request id and
+	// keep the connection open — pinned by the follow-up ping on the SAME
+	// connection.
+	raw := binary.LittleEndian.AppendUint32(nil, 7) // payload length
+	raw = append(raw, byte(wire.OpCreate), 0x2A, 0, 0, 0, byte(wire.FamilyTheta), 0)
+	if _, err := c.nc.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(c.br, &c.buf)
+	if err != nil {
+		t.Fatalf("connection died on empty-name request: %v", err)
+	}
+	status, id, _, perr := wire.ParseResponse(payload)
+	if perr != nil || status != wire.StatusError {
+		t.Fatalf("empty name: status=%d perr=%v, want typed error", status, perr)
+	}
+	if id != 0x2A {
+		t.Fatalf("typed error carries id %d, want 42", id)
+	}
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+
+	// Unknown op with a readable header: same contract.
+	raw = binary.LittleEndian.AppendUint32(nil, 5)
+	raw = append(raw, 0xEE, 0x2B, 0, 0, 0)
+	if _, err := c.nc.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	payload, err = wire.ReadFrame(c.br, &c.buf)
+	if err != nil {
+		t.Fatalf("connection died on unknown op: %v", err)
+	}
+	if status, id, _, _ := wire.ParseResponse(payload); status != wire.StatusError || id != 0x2B {
+		t.Fatalf("unknown op: status=%d id=%d, want typed error id 43", status, id)
+	}
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+
+	// A runt frame (shorter than the 5-byte header) is unaddressable: the
+	// server may close that connection — but only that one.
+	runt := dialT(t, addr)
+	if _, err := runt.nc.Write(binary.LittleEndian.AppendUint32(nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	runt.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for { // drain the error reply (if any) until close
+		if _, err := wire.ReadFrame(runt.br, &runt.buf); err != nil {
+			break
+		}
+	}
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+
+	// Maximum-length frame: a full MaxBatchItems batch is accepted and
+	// acked item-for-item.
+	big := make([]uint64, wire.MaxBatchItems)
+	for i := range big {
+		big[i] = uint64(i)
+	}
+	body = c.mustOK(wire.AppendBatch(nil, c.nextID(), wire.FamilyCountMin, "edge.big", big))
+	if got := binary.LittleEndian.Uint32(body); got != uint32(len(big)) {
+		t.Fatalf("max batch acked %d, want %d", got, len(big))
+	}
+	// One item past the cap is a typed error (ErrBadCount), connection keeps.
+	over := wire.AppendBatch(nil, c.nextID(), wire.FamilyCountMin, "edge.big", big)
+	over = append(over, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(over, uint32(len(over)-4))
+	// Patch the item count to match the oversized payload.
+	countOff := 4 + 5 + 1 + 1 + len("edge.big")
+	binary.LittleEndian.PutUint32(over[countOff:], uint32(len(big)+1))
+	if status, _ := c.roundTrip(over); status != wire.StatusError {
+		t.Fatal("oversized batch should fail with a typed error")
+	}
+	c.mustOK(wire.AppendPing(nil, c.nextID()))
+
+	// Drop + batch pipelined together on one connection: the server answers
+	// in order, so the batch must land on the recreated sketch and ack.
+	var pipelined []byte
+	pipelined = wire.AppendBatch(pipelined, 100, wire.FamilyCountMin, "edge.drop", []uint64{1, 2, 3})
+	pipelined = wire.AppendDrop(pipelined, 101, wire.FamilyCountMin, "edge.drop")
+	pipelined = wire.AppendBatch(pipelined, 102, wire.FamilyCountMin, "edge.drop", []uint64{4, 5})
+	pipelined = wire.AppendQuery(pipelined, 103, wire.FamilyCountMin, wire.QueryN, "edge.drop", 0)
+	if _, err := c.nc.Write(pipelined); err != nil {
+		t.Fatal(err)
+	}
+	for want := uint32(100); want <= 103; want++ {
+		payload, err := wire.ReadFrame(c.br, &c.buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, id, body, perr := wire.ParseResponse(payload)
+		if perr != nil || id != want {
+			t.Fatalf("pipelined response id %d (perr %v), want %d", id, perr, want)
+		}
+		if status != wire.StatusOK {
+			t.Fatalf("pipelined request %d failed: %s", want, body)
+		}
+		if want == 103 {
+			// Only the post-drop batch counts; the pre-drop items died with
+			// the dropped sketch. Single shard, batch acked before the query
+			// was parsed — but the ack covers Update completion, and N may
+			// trail by the shard relaxation r; with the default config r is
+			// far larger than 2, so only the upper bound is sharp.
+			if n := binary.LittleEndian.Uint64(body); n > 2 {
+				t.Fatalf("recreated sketch N = %d, want ≤ 2", n)
+			}
+		}
+	}
+}

@@ -112,7 +112,17 @@ type Sharded[T any, A Accumulator[A], C Mergeable[T, A]] struct {
 
 	lanes []laneSeq
 
-	// resizeMu serialises Resize and Close; neither is on a hot path.
+	// view is the published materialized merged view, nil unless EnableView
+	// has built one (see view.go). Queries load it once per fold; a non-nil,
+	// unexpired view replaces the whole S-shard fold with one accumulator
+	// fold.
+	view atomic.Pointer[viewBuf[A]]
+	// vr is the refresher runtime while a view is enabled; nil otherwise.
+	// Mutated only under resizeMu (EnableView/DisableView/Close).
+	vr atomic.Pointer[viewRuntime[A]]
+
+	// resizeMu serialises Resize, Close and view enable/disable; none is on
+	// a hot path.
 	resizeMu sync.Mutex
 	closed   bool
 }
@@ -269,8 +279,27 @@ func (s *Sharded[T, A, C]) Resize(shards int) error {
 // atomic snapshot load per shard plus the folds; no shard's propagator is
 // ever blocked. The combined state reflects all but at most Relaxation()
 // of the updates completed before the call.
+//
+// When a materialized view is enabled (EnableView) and its latest
+// publication is within ViewConfig.MaxAge, the fold instead reads the single
+// published view accumulator — one fold, O(1) in the shard count — and the
+// staleness bound widens to Relaxation() plus the view's refresh lag
+// (ViewLag). An expired or disabled view transparently falls back to the
+// live per-shard fold above.
 func (s *Sharded[T, A, C]) MergeInto(acc A) {
-	st := s.st.Load()
+	if v := s.acquireView(); v != nil {
+		v.acc.FoldInto(acc)
+		v.refs.Add(-1)
+		return
+	}
+	mergeEpoch(s.st.Load(), acc)
+}
+
+// mergeEpoch folds one immutable epoch's entire reachable state — legacy ∪
+// draining old epoch ∪ current shard snapshots — into acc. Shared by the
+// live query path and the view refresher (which must always fold live
+// state, never its own published view).
+func mergeEpoch[T any, A Accumulator[A], C Mergeable[T, A]](st *epochState[T, A, C], acc A) {
 	if st.hasLegacy {
 		st.legacy.FoldInto(acc)
 	}
@@ -383,8 +412,10 @@ func (s *Sharded[T, A, C]) Eager() bool {
 
 // Close stops all shard propagators and drains every buffer; afterwards
 // merged queries summarise the entire ingested stream with no relaxation
-// residue. Call once, after all writer goroutines stop; Close is
-// serialised with Resize and idempotent.
+// residue. A materialized view, if enabled, is disabled first (stopping its
+// refresher goroutine — Close never leaks it), so post-Close queries fold
+// the drained shards live and are exact. Call once, after all writer
+// goroutines stop; Close is serialised with Resize and idempotent.
 func (s *Sharded[T, A, C]) Close() {
 	s.resizeMu.Lock()
 	defer s.resizeMu.Unlock()
@@ -392,5 +423,9 @@ func (s *Sharded[T, A, C]) Close() {
 		return
 	}
 	s.closed = true
+	if vr := s.vr.Load(); vr != nil {
+		s.vr.Store(nil)
+		s.stopView(vr)
+	}
 	s.st.Load().g.close()
 }

@@ -266,3 +266,55 @@ func TestStressResizeUnderFire(t *testing.T) {
 		})
 	}
 }
+
+func TestStressViewUnderFire(t *testing.T) {
+	// View-under-fire: merged queries are served from a materialized view
+	// whose refreshes are paced explicitly by a conductor (manual clock, so
+	// no refresh ever happens behind the checker's back), while writers
+	// hammer the sketch and a resizer cycles the shard group through
+	// grow → collapse → grow. Every answer must stay inside the documented
+	// view envelope floor − bound ≤ got ≤ c2: floor is the ground truth one
+	// refresh ago (the "+ one refresh interval" term made exact), bound the
+	// transitional (S_old+S_new)·r while resizes may be in flight and the
+	// tight S_final·r once the last drain has been re-folded into a fresh
+	// publication. A lower breach means a refresh lost committed state (for
+	// instance the draining epoch's legacy); an upper breach means a fold
+	// double-counted.
+	cfg := adversary.ViewStressConfig{
+		StressConfig: adversary.StressConfig{
+			Shards: 2, Writers: 4, BufferSize: 4,
+			UpdatesPerWriter: 20000, Queriers: 4,
+		},
+		Schedule: []int{8, 1, 6},
+	}
+	if testing.Short() {
+		cfg.UpdatesPerWriter = 4000
+		cfg.Queriers = 2
+	}
+	rep, err := adversary.StressViewUnderFire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("view stress: %d refreshes, %d resizes, %d queries (%d post-resize), bound %d, worst deficit %d",
+		rep.Refreshes, rep.Resizes, rep.Queries, rep.PostResizeQueries, rep.Bound, rep.WorstDeficit)
+	if rep.Queries == 0 {
+		t.Fatal("queriers never ran")
+	}
+	if rep.Refreshes < 2 {
+		t.Fatalf("only %d refreshes published: the conductor never drove the view", rep.Refreshes)
+	}
+	if rep.Resizes != int64(len(cfg.Schedule)) {
+		t.Errorf("completed %d resizes, want %d", rep.Resizes, len(cfg.Schedule))
+	}
+	if rep.LowerViolations != 0 {
+		t.Errorf("%d/%d viewed answers missed more than the bound %d (worst deficit %d) — a refresh lost committed state",
+			rep.LowerViolations, rep.Queries, rep.Bound, rep.WorstDeficit)
+	}
+	if rep.UpperViolations != 0 {
+		t.Errorf("%d/%d viewed answers exceeded started updates — a refresh double-counted state",
+			rep.UpperViolations, rep.Queries)
+	}
+	if rep.PostResizeQueries == 0 {
+		t.Error("no queries ran against the settled post-resize view bound")
+	}
+}

@@ -34,6 +34,8 @@
 //	OpDrop       close and remove the named sketch       → empty
 //	OpNames      enumerate registered sketches           → name list
 //	OpInfo       metadata for the named sketch           → Info
+//	OpEnableView   materialize the named sketch's merged view  → empty
+//	OpDisableView  drop the named sketch's merged view         → empty
 //
 // Batch items are fixed 8-byte words: uint64 keys for Θ/HLL/Count-Min,
 // IEEE-754 bits (math.Float64bits) for quantiles values. Fixed-size items
@@ -67,8 +69,14 @@ const (
 	// ItemSize is the wire size of one batch item: a uint64 key or the
 	// IEEE-754 bits of a float64 value.
 	ItemSize = 8
-	// headerLen is op/status (1) + request id (4).
-	headerLen = 5
+	// HeaderLen is the fixed request/response header: op/status (1) +
+	// request id (4). A payload of at least HeaderLen bytes is addressable —
+	// its request id is readable — so a server can answer even a
+	// semantically malformed request with a typed error on the same
+	// connection instead of dropping it.
+	HeaderLen = 5
+	// headerLen is HeaderLen, package-internal shorthand.
+	headerLen = HeaderLen
 	// MaxBatchItems is the largest item count one OpBatch frame can carry
 	// within MaxFrame (header, family, name, count prefix accounted).
 	MaxBatchItems = (MaxFrame - headerLen - 2 - MaxName - 4) / ItemSize
@@ -93,6 +101,8 @@ const (
 	OpDrop
 	OpNames
 	OpInfo
+	OpEnableView
+	OpDisableView
 	opMax
 )
 
@@ -284,6 +294,27 @@ func AppendAutoscale(dst []byte, id uint32, name string, minShards, maxShards in
 	return endFrame(dst, m)
 }
 
+// AppendEnableView appends an OpEnableView request frame: materialize the
+// merged view of every sketch registered under name. refreshNs is the
+// refresh interval in nanoseconds (0 = server default); maxAgeNs is the
+// maximum served view age in nanoseconds before queries fall back to the
+// live fold (0 = server default, derived from the refresh interval).
+func AppendEnableView(dst []byte, id uint32, name string, refreshNs, maxAgeNs uint64) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(OpEnableView), id)
+	dst = appendName(dst, name)
+	dst = binary.LittleEndian.AppendUint64(dst, refreshNs)
+	dst = binary.LittleEndian.AppendUint64(dst, maxAgeNs)
+	return endFrame(dst, m)
+}
+
+// AppendDisableView appends an OpDisableView request frame.
+func AppendDisableView(dst []byte, id uint32, name string) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(OpDisableView), id)
+	return endFrame(appendName(dst, name), m)
+}
+
 // AppendBatch appends an OpBatch request frame carrying len(items) 8-byte
 // items. Callers cap len(items) at MaxBatchItems (the client's Batch
 // splits); items beyond that would exceed MaxFrame and be rejected by the
@@ -379,9 +410,15 @@ type Info struct {
 	Relaxation      uint64
 	ShardRelaxation uint64
 	Eager           bool
+	// ViewEnabled reports whether a materialized merged view serves the
+	// sketch's aggregate queries; ViewLagNs is the age (nanoseconds) of its
+	// latest published refresh — the extra staleness term on top of
+	// Relaxation. Zero when no view is enabled.
+	ViewEnabled bool
+	ViewLagNs   uint64
 }
 
-const infoLen = 4 + 4 + 8 + 8 + 1
+const infoLen = 4 + 4 + 8 + 8 + 1 + 1 + 8
 
 // AppendOKInfo appends the OpInfo success response.
 func AppendOKInfo(dst []byte, id uint32, inf Info) []byte {
@@ -396,6 +433,12 @@ func AppendOKInfo(dst []byte, id uint32, inf Info) []byte {
 		eager = 1
 	}
 	dst = append(dst, eager)
+	var viewed byte
+	if inf.ViewEnabled {
+		viewed = 1
+	}
+	dst = append(dst, viewed)
+	dst = binary.LittleEndian.AppendUint64(dst, inf.ViewLagNs)
 	return endFrame(dst, m)
 }
 
@@ -408,9 +451,13 @@ type Request struct {
 	Family Family
 	Query  Query
 	Name   []byte
-	// Arg is the op-specific scalar: the resize shard count, or the query
-	// argument (float bits / key) for kinds with NeedsArg.
+	// Arg is the op-specific scalar: the resize shard count, the query
+	// argument (float bits / key) for kinds with NeedsArg, or the
+	// EnableView refresh interval in nanoseconds.
 	Arg uint64
+	// Arg2 is the second op-specific scalar: the EnableView maximum view
+	// age in nanoseconds.
+	Arg2 uint64
 	// MinShards/MaxShards/High/Low are the OpAutoscale policy knobs.
 	MinShards, MaxShards uint32
 	High, Low            float64
@@ -536,6 +583,12 @@ func ParseRequest(p []byte) (Request, error) {
 		req.MaxShards = c.u32()
 		req.High = math.Float64frombits(c.u64())
 		req.Low = math.Float64frombits(c.u64())
+	case OpEnableView:
+		req.Name = c.name()
+		req.Arg = c.u64()
+		req.Arg2 = c.u64()
+	case OpDisableView:
+		req.Name = c.name()
 	case OpBatch:
 		req.Family = c.family()
 		req.Name = c.name()
@@ -612,5 +665,7 @@ func ParseInfo(body []byte) (Info, error) {
 		ShardRelaxation: c.u64(),
 		Eager:           c.u8() == 1,
 	}
+	inf.ViewEnabled = c.u8() == 1
+	inf.ViewLagNs = c.u64()
 	return inf, c.done()
 }

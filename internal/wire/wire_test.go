@@ -271,3 +271,62 @@ func TestAppendOKNamesBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestViewOpsRoundTrip(t *testing.T) {
+	// EnableView carries two nanosecond scalars; a negative maxAge (never
+	// expire) must survive the uint64 transit bit-exactly.
+	neverExpire := ^uint64(0) // int64(-1) in transit
+	b := AppendEnableView(nil, 31, "users", 50_000_000, neverExpire)
+	req, err := ParseRequest(frame(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpEnableView || req.ID != 31 || string(req.Name) != "users" ||
+		req.Arg != 50_000_000 || req.Arg2 != neverExpire {
+		t.Fatalf("bad enable-view request: %+v", req)
+	}
+	if int64(req.Arg2) != -1 {
+		t.Fatalf("maxAge sign lost in transit: %d", int64(req.Arg2))
+	}
+
+	b = AppendDisableView(nil, 32, "users")
+	req, err = ParseRequest(frame(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpDisableView || req.ID != 32 || string(req.Name) != "users" {
+		t.Fatalf("bad disable-view request: %+v", req)
+	}
+
+	// Truncated enable-view bodies are rejected, id preserved.
+	full := AppendEnableView(nil, 33, "u", 1, 2)[4:]
+	for cut := len(full) - 1; cut >= headerLen; cut-- {
+		req, err := ParseRequest(full[:cut])
+		if err == nil {
+			t.Fatalf("truncated enable-view at %d bytes accepted", cut)
+		}
+		if req.ID != 33 {
+			t.Fatalf("truncated enable-view lost id: %d", req.ID)
+		}
+	}
+}
+
+func TestInfoViewFieldsRoundTrip(t *testing.T) {
+	inf := Info{Shards: 4, Writers: 2, Relaxation: 128, ShardRelaxation: 32,
+		Eager: true, ViewEnabled: true, ViewLagNs: 1_500_000}
+	_, _, body, err := ParseResponse(frame(t, AppendOKInfo(nil, 25, inf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseInfo(body)
+	if err != nil || got != inf {
+		t.Fatalf("info = %+v (err %v), want %+v", got, err, inf)
+	}
+	// And with the view absent: the flag and lag must decode as zero.
+	inf.ViewEnabled = false
+	inf.ViewLagNs = 0
+	_, _, body, _ = ParseResponse(frame(t, AppendOKInfo(nil, 26, inf)))
+	if got, err := ParseInfo(body); err != nil || got != inf {
+		t.Fatalf("view-less info = %+v (err %v), want %+v", got, err, inf)
+	}
+}

@@ -11,7 +11,10 @@ package fastsketches_test
 
 import (
 	"testing"
+	"time"
 
+	"fastsketches"
+	"fastsketches/internal/autoscale"
 	"fastsketches/internal/mergedbench"
 )
 
@@ -40,6 +43,59 @@ func TestMergedQueryZeroAllocAfterResize(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertZeroAllocQueries(t, suite)
+}
+
+// TestMergedQueryZeroAllocThroughView extends the contract to the
+// materialized-view serving plane: with a view published, every pooled and
+// caller-owned merged query folds the single view accumulator instead of S
+// shard snapshots — and must still allocate nothing. The sketches stay live
+// (closing a sketch tears its view down), the refresher is parked on a
+// manual clock with a never-expiring view, and writers are quiescent, so
+// each run folds the same published buffer. Pins the whole chain: view
+// acquire/release handshake, FoldInto from the view accumulator, pooled
+// accumulator reuse.
+func TestMergedQueryZeroAllocThroughView(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 4, MaxError: 1, QuantilesK: 128, CountMinEpsilon: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	th, hl := reg.Theta("viewed"), reg.HLL("viewed")
+	qu, cm := reg.Quantiles("viewed"), reg.CountMin("viewed")
+	for i := 0; i < 1<<12; i++ {
+		th.Update(0, uint64(i))
+		hl.Update(0, uint64(i))
+		qu.Update(0, float64(i%4096))
+		cm.Update(0, uint64(i%512))
+	}
+	clk := autoscale.NewManualClock(time.Unix(1<<20, 0))
+	if n, err := reg.EnableView("viewed", fastsketches.ViewConfig{
+		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
+	}); err != nil || n != 4 {
+		t.Fatalf("EnableView = %d, %v; want all 4 families covered", n, err)
+	}
+
+	var sinkF float64
+	var sinkU uint64
+	thAcc, hlAcc := th.NewAccumulator(), hl.NewAccumulator()
+	qAcc, cmAcc := qu.NewAccumulator(), cm.NewAccumulator()
+	paths := map[string]func(){
+		"theta/pooled":        func() { sinkF = th.Estimate() },
+		"theta/queryinto":     func() { th.QueryInto(thAcc); sinkF = thAcc.Estimate() },
+		"hll/pooled":          func() { sinkF = hl.Estimate() },
+		"hll/queryinto":       func() { hl.QueryInto(hlAcc); sinkF = hlAcc.Estimate() },
+		"quantiles/pooled":    func() { sinkF = qu.Quantile(0.99) },
+		"quantiles/queryinto": func() { qu.QueryInto(qAcc); sinkF = qAcc.Quantile(0.99) },
+		"countmin/queryinto":  func() { cm.QueryInto(cmAcc); sinkU = cmAcc.Estimate(7) },
+	}
+	for name, fn := range paths {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s through view: %v allocs/op steady-state, want 0", name, allocs)
+		}
+	}
+	_, _ = sinkF, sinkU
 }
 
 func assertZeroAllocQueries(t *testing.T, suite *mergedbench.Suite) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"fastsketches/internal/autoscale"
 	"fastsketches/internal/countmin"
@@ -325,6 +326,94 @@ func (r *Registry) CountMinQueryInto(name string, acc *countmin.Sketch) {
 	r.CountMin(name).QueryInto(acc)
 }
 
+// ViewConfig configures a materialized merged view — see shard.ViewConfig:
+// refresh interval, maximum served staleness, and an injectable clock for
+// deterministic pacing in tests.
+type ViewConfig = shard.ViewConfig
+
+// Clock is the injectable time source shared by view refreshers (and,
+// structurally, autoscale controllers).
+type Clock = shard.Clock
+
+// viewSketch is the slice of the Sharded layer the view facades drive; all
+// four family wrappers satisfy it.
+type viewSketch interface {
+	EnableView(shard.ViewConfig) error
+	DisableView() bool
+	ViewEnabled() bool
+}
+
+// viewTargetsLocked collects every sketch registered under name across all
+// families. Caller holds r.mu.
+func (r *Registry) viewTargetsLocked(name string) []viewSketch {
+	var targets []viewSketch
+	for _, fam := range []string{"theta", "hll", "quantiles", "countmin"} {
+		if sk, ok := r.lookup(fam, name); ok {
+			targets = append(targets, sk.(viewSketch))
+		}
+	}
+	return targets
+}
+
+// EnableView materializes the merged state of every sketch currently
+// registered under name, across all four families: a background refresher
+// per sketch re-folds all shard snapshots every cfg.RefreshEvery and
+// publishes the result atomically, after which the per-family queries
+// (Estimate, Quantile, Rank, N, *QueryInto) transparently fold the single
+// published view — O(1) in the shard count — instead of S shard snapshots.
+// The staleness bound of those queries widens from S·r to S·r plus one
+// refresh interval; per-key CountMin estimates keep reading their owning
+// shard directly and are unaffected. Returns how many sketches gained a
+// view.
+//
+// Like Autoscale, only sketches that already exist are covered. The call is
+// idempotent per sketch: a sketch whose view is already enabled is re-armed
+// under the new config (its old refresher is stopped first). Views are
+// disabled automatically when their sketch is dropped or the registry
+// closes; like every registry accessor, EnableView panics after Close.
+func (r *Registry) EnableView(name string, cfg ViewConfig) (int, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	targets := r.viewTargetsLocked(name)
+	r.mu.Unlock()
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("%w: no registered sketches to view", ErrConfig)
+	}
+	// Enabling outside r.mu: EnableView serialises on each sketch's resize
+	// lock, which an in-flight autoscale Resize may hold for a drain.
+	for _, sk := range targets {
+		sk.DisableView()
+		if err := sk.EnableView(cfg); err != nil {
+			return 0, err
+		}
+	}
+	return len(targets), nil
+}
+
+// DisableView stops the view refresher of every sketch registered under
+// name, across all families, and reports how many views were disabled.
+// Subsequent merged queries fold live shard snapshots again (bound back to
+// S·r).
+func (r *Registry) DisableView(name string) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	targets := r.viewTargetsLocked(name)
+	r.mu.Unlock()
+	n := 0
+	for _, sk := range targets {
+		if sk.DisableView() {
+			n++
+		}
+	}
+	return n
+}
+
 // Autoscale attaches an autoscaling controller to every sketch currently
 // registered under name, across all four families, and starts their
 // sampling loops: each controller polls its sketch's ingest pressure every
@@ -494,6 +583,12 @@ type SketchInfo struct {
 	Relaxation      int
 	ShardRelaxation int
 	Eager           bool
+	// ViewEnabled reports whether a materialized merged view is serving this
+	// sketch's aggregate queries; ViewLag is the age of its latest published
+	// refresh — the extra term on top of Relaxation in the query-staleness
+	// bound. Zero when no view is enabled.
+	ViewEnabled bool
+	ViewLag     time.Duration
 }
 
 // shardedIntrospect is the slice of the generic Sharded layer the metadata
@@ -503,6 +598,8 @@ type shardedIntrospect interface {
 	Relaxation() int
 	ShardRelaxation() int
 	Eager() bool
+	ViewEnabled() bool
+	ViewLag() time.Duration
 }
 
 func (r *Registry) info(family, name string, sk shardedIntrospect) SketchInfo {
@@ -512,6 +609,8 @@ func (r *Registry) info(family, name string, sk shardedIntrospect) SketchInfo {
 		Relaxation:      sk.Relaxation(),
 		ShardRelaxation: sk.ShardRelaxation(),
 		Eager:           sk.Eager(),
+		ViewEnabled:     sk.ViewEnabled(),
+		ViewLag:         sk.ViewLag(),
 	}
 }
 

@@ -1,0 +1,217 @@
+package fastsketches_test
+
+// Registry-level materialized-view tests, plus the Drop/Close-under-fire
+// leak audit: a sketch carrying a live autoscale controller AND a view
+// refresher, dropped (or closed with the registry) while writers, queriers
+// and refreshes are in flight, must neither panic nor leak a goroutine.
+// Goroutine accounting is done goleak-style: count, churn, settle-poll back
+// to the baseline.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastsketches"
+	"fastsketches/internal/autoscale"
+)
+
+func TestRegistryViewFacades(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// No sketches under the name yet: error, nothing enabled.
+	if _, err := reg.EnableView("metrics", fastsketches.ViewConfig{}); err == nil {
+		t.Fatal("EnableView on absent name should error")
+	}
+
+	th := reg.Theta("metrics")
+	cm := reg.CountMin("metrics")
+	reg.HLL("other")
+	for i := 0; i < 1000; i++ {
+		th.Update(0, uint64(i))
+		cm.Update(0, uint64(i%10))
+	}
+
+	clk := autoscale.NewManualClock(time.Unix(1<<20, 0))
+	n, err := reg.EnableView("metrics", fastsketches.ViewConfig{
+		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("EnableView = %d, %v; want 2 sketches covered", n, err)
+	}
+	inf, ok := reg.Info("theta", "metrics")
+	if !ok || !inf.ViewEnabled {
+		t.Fatalf("theta info = %+v (ok %v), want ViewEnabled", inf, ok)
+	}
+	if inf, _ := reg.Info("hll", "other"); inf.ViewEnabled {
+		t.Fatal("view leaked onto a different name")
+	}
+	// Served through the published view.
+	if est := th.Estimate(); est < 500 || est > 1500 {
+		t.Fatalf("viewed estimate %.0f wildly off 1000", est)
+	}
+	clk.Advance(time.Minute)
+	if inf, _ := reg.Info("countmin", "metrics"); inf.ViewLag != time.Minute {
+		t.Fatalf("ViewLag = %v, want 1m", inf.ViewLag)
+	}
+
+	// Re-enabling re-arms idempotently; disabling reports the pair.
+	if n, err := reg.EnableView("metrics", fastsketches.ViewConfig{
+		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
+	}); err != nil || n != 2 {
+		t.Fatalf("re-EnableView = %d, %v", n, err)
+	}
+	if n := reg.DisableView("metrics"); n != 2 {
+		t.Fatalf("DisableView = %d, want 2", n)
+	}
+	if n := reg.DisableView("metrics"); n != 0 {
+		t.Fatalf("second DisableView = %d, want 0", n)
+	}
+	if inf, _ := reg.Info("theta", "metrics"); inf.ViewEnabled {
+		t.Fatal("ViewEnabled after disable")
+	}
+}
+
+func TestRegistryViewPanicsAfterClose(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Theta("x")
+	reg.Close()
+	for name, f := range map[string]func(){
+		"EnableView":  func() { reg.EnableView("x", fastsketches.ViewConfig{}) },
+		"DisableView": func() { reg.DisableView("x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Close did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// settleToBaseline polls until the live goroutine count returns to base.
+func settleToBaseline(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+			n, base, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestRegistryDropUnderFireNoLeak drops a sketch that carries a live
+// autoscale controller and a fast view refresher while writers and
+// queriers hammer it. Drop must stop the controller before the sketch
+// closes (no resize-into-closed panic), the sketch's Close must stop the
+// view refresher, and nothing may leak.
+func TestRegistryDropUnderFireNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 6; round++ {
+		reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+			Shards: 2, Writers: 2, BufferSize: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := reg.CountMin("fire")
+		if _, err := reg.Autoscale("fire", autoscale.Policy{
+			MinShards: 1, MaxShards: 4,
+			HighWater: 1, LowWater: 0.5, // trigger-happy: resizes constantly
+			SampleEvery: 200 * time.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.EnableView("fire", fastsketches.ViewConfig{
+			RefreshEvery: 200 * time.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for lane := 0; lane < 2; lane++ {
+			wg.Add(1)
+			go func(lane int) {
+				defer wg.Done()
+				for i := 0; !stop.Load(); i++ {
+					cm.Update(lane, uint64(i%32))
+				}
+			}(lane)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				cm.N() // merged read through the view while it lives
+			}
+		}()
+
+		time.Sleep(5 * time.Millisecond) // let refreshes and resizes fire
+		if round%2 == 0 {
+			// Writers must be parked BEFORE Drop: an Update on a dropped
+			// sketch blocks forever by contract.
+			stop.Store(true)
+			wg.Wait()
+			if !reg.Drop("countmin", "fire") {
+				t.Fatal("Drop found nothing")
+			}
+			reg.Close()
+		} else {
+			stop.Store(true)
+			wg.Wait()
+			reg.Close() // Close with controller + view still attached
+		}
+	}
+	settleToBaseline(t, base)
+}
+
+// TestRegistryDropRacesEnableView races EnableView/DisableView against Drop
+// of the same name: every interleaving must end with zero view refreshers
+// alive, no panic, and the registry reusable for a fresh sketch under the
+// same name.
+func TestRegistryDropRacesEnableView(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Theta("raced")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// May hit the sketch before or after Drop closed it; both must
+			// be clean (an error from a closed sketch is fine, a panic not).
+			reg.EnableView("raced", fastsketches.ViewConfig{RefreshEvery: 100 * time.Microsecond})
+		}()
+		go func() {
+			defer wg.Done()
+			reg.Drop("theta", "raced")
+		}()
+		wg.Wait()
+		// The name is reusable; a fresh sketch starts viewless.
+		if inf, ok := reg.Info("theta", "raced"); ok && inf.ViewEnabled {
+			t.Fatal("recreated sketch inherited a view")
+		}
+		fresh := reg.Theta("raced")
+		fresh.Update(0, 1)
+		reg.Close()
+	}
+	settleToBaseline(t, base)
+}
