@@ -19,8 +19,9 @@
 //	benchrunner reshard         live resharding: throughput timeline across epoch swaps
 //	benchrunner autoscale       autoscaling controller: bursty load walks S up and back down
 //	benchrunner server          network front-end: loopback batched-ingest throughput + query latency
+//	benchrunner ingest          ingest hot path: server-path ns/item + batches/sec across batch sizes and lane counts, allocs pinned
 //	benchrunner view            materialized merged views: O(1)-in-S query latency vs the live fold
-//	benchrunner baseline        the CI benchmark-baseline set (sharded, mergedquery, reshard, autoscale, server, view)
+//	benchrunner baseline        the CI benchmark-baseline set (sharded, mergedquery, reshard, autoscale, server, ingest, view)
 //	benchrunner all             everything above, in order
 //
 // Use -quick for a fast smoke run (small sweeps, few trials) and -full for
@@ -31,6 +32,11 @@
 // machine-readable benchfmt artifact (ns/op, allocs/op, ops/sec per
 // scenario) — the format the committed BENCH_baseline.json uses and
 // cmd/benchdiff gates CI against.
+//
+// -cpuprofile FILE / -memprofile FILE capture pprof profiles of the run
+// (CPU for the whole run; heap at the end, after a forced GC) — the
+// artifacts the CI bench job uploads so a regression caught by benchdiff
+// comes with the profile that explains it.
 //
 // -cpus N[,N...] runs the selected TEST once per listed GOMAXPROCS value
 // (e.g. -cpus 1,4 for a single-core and a multi-core pass). Each pass's
@@ -46,6 +52,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -136,14 +143,27 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (very slow)")
 	jsonPath := flag.String("json", "", "write scenario metrics as a benchfmt JSON artifact to this file")
 	cpusFlag := flag.String("cpus", "", "comma-separated GOMAXPROCS values to sweep (e.g. 1,4); metrics are stamped per value")
+	cpuProfilePath := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfilePath := flag.String("memprofile", "", "write a heap profile (after a forced GC) at the end of the run to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] [-json FILE] [-cpus N,N] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard autoscale server view baseline all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] [-json FILE] [-cpus N,N] [-cpuprofile FILE] [-memprofile FILE] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard autoscale server ingest view baseline all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProfilePath != "" {
+		f, err := os.Create(*cpuProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	cpusList, err := parseCpus(*cpusFlag)
 	if err != nil {
@@ -195,12 +215,31 @@ func main() {
 		"reshard":         reshard,
 		"autoscale":       autoscaleScenario,
 		"server":          serverScenario,
+		"ingest":          ingestScenario,
 		"view":            viewScenario,
 	}
 	// baseline is the fixed scenario set the CI bench-baseline job runs and
 	// benchdiff gates: the scale-out layers, not the paper figures.
-	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale", "server", "view"}
+	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale", "server", "ingest", "view"}
 	finish := func() {
+		if *cpuProfilePath != "" {
+			pprof.StopCPUProfile()
+			fmt.Printf("# wrote CPU profile to %s\n", *cpuProfilePath)
+		}
+		if *memProfilePath != "" {
+			f, err := os.Create(*memProfilePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("# wrote heap profile to %s\n", *memProfilePath)
+		}
 		if artifact != nil {
 			if err := artifact.WriteFile(*jsonPath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -214,7 +253,7 @@ func main() {
 	case "all":
 		order = []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
 			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded",
-			"mergedquery", "reshard", "autoscale", "server", "view"}
+			"mergedquery", "reshard", "autoscale", "server", "ingest", "view"}
 	case "baseline":
 		order = baselineOrder
 	default:
@@ -1024,6 +1063,139 @@ func serverScenario(sc scale) {
 	srv.Shutdown()
 	<-serveDone
 	reg.Close()
+}
+
+// ingestScenario: the ingest hot path in isolation — the full server path
+// (client encode → TCP → frame decode → per-lane scratch decode → ring
+// dispatch across lane workers → batched writer updates → ack) measured as
+// ns/item and acked batches/sec across batch sizes straddling the lane
+// fan-out threshold and across lane counts, with allocs per synchronous
+// flush pinned at zero. Count-Min is the measured family because it never
+// pre-filters: every item takes the full propagation path, so ns/item is a
+// property of the serving machinery rather than of a shrinking Θ. Four
+// concurrent ingesters (each with its own connection and batch buffer) keep
+// the lane rings pipelined the way production clients do.
+func ingestScenario(sc scale) {
+	const ingesters = 4
+	items := 1 << 19
+	switch {
+	case sc.lgMaxU <= quickScale.lgMaxU:
+		items = 1 << 17
+	case sc.lgMaxU >= fullScale.lgMaxU:
+		items = 1 << 21
+	}
+
+	fmt.Println("lanes\tbatch\tns_item\tbatches_per_sec\tflush_allocs")
+	for _, lanes := range []int{1, 4} {
+		reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+			Shards: 2, Writers: lanes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv := server.New(reg)
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
+		cl, err := client.Dial(ln.Addr().String(), client.Options{
+			Conns: ingesters, BatchSize: 8192,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		for _, batch := range []int{64, 1024, 4096} {
+			name := fmt.Sprintf("bench.ingest.l%d.b%d", lanes, batch)
+			flush := func(b *client.Batch) {
+				if err := b.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			// Warm: sketch creation, lane workers, per-lane decode scratch,
+			// client frame buffers.
+			wb := cl.NewBatch(client.CountMin, name)
+			for i := 0; i < 4*batch; i++ {
+				if err := wb.Add(uint64(i % 1024)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if wb.Len() == batch {
+					flush(wb)
+				}
+			}
+			flush(wb)
+
+			// Throughput: wall-clock over the whole concurrent stream; every
+			// batch is acked (items completed server-side) inside the window.
+			per := items / ingesters
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < ingesters; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					b := cl.NewBatch(client.CountMin, name)
+					for i := 0; i < per; i++ {
+						if err := b.Add(uint64(i % 1024)); err != nil {
+							fmt.Fprintln(os.Stderr, err)
+							os.Exit(1)
+						}
+						if b.Len() == batch {
+							flush(b)
+						}
+					}
+					flush(b)
+				}(g)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			nsItem := float64(elapsed.Nanoseconds()) / float64(per*ingesters)
+			batchesPerSec := float64(per*ingesters) / float64(batch) / elapsed.Seconds()
+
+			// Allocation contract: one synchronous fill+flush per op, steady
+			// state — the ring dispatch and batched writer path allocate
+			// nothing (the old path paid a WaitGroup escape per batch).
+			ab := cl.NewBatch(client.CountMin, name)
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < batch; j++ {
+						if err := ab.Add(uint64(j % 1024)); err != nil {
+							fmt.Fprintln(os.Stderr, err)
+							os.Exit(1)
+						}
+					}
+					flush(ab)
+				}
+			})
+
+			fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\n",
+				lanes, batch, nsItem, batchesPerSec, res.AllocsPerOp())
+			record(benchfmt.Metric{Scenario: "ingest",
+				Name:      fmt.Sprintf("countmin/lanes=%d/batch=%d", lanes, batch),
+				NsPerOp:   nsItem, // per item, not per batch
+				OpsPerSec: batchesPerSec,
+			})
+			record(benchfmt.Metric{Scenario: "ingest",
+				Name:            fmt.Sprintf("countmin/lanes=%d/batch=%d/flush", lanes, batch),
+				AllocsPerOp:     benchfmt.Int64(res.AllocsPerOp()),
+				BytesPerOp:      benchfmt.Int64(res.AllocedBytesPerOp()),
+				PinnedZeroAlloc: true,
+			})
+		}
+
+		cl.Close()
+		srv.Shutdown()
+		<-serveDone
+		reg.Close()
+	}
 }
 
 // viewSink keeps view-scenario query results observable so the folds are not

@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"fastsketches/internal/core"
+	"fastsketches/internal/theta"
+)
+
+// chunked splits items into chunks of the given size and feeds them through
+// UpdateBatch on lane 0.
+func chunked(fw *core.Framework[uint64], items []uint64, chunk int) {
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		// Copy: Θ-style callers treat the batch slice as scratch, so the
+		// framework must not require the caller's backing array to survive.
+		c := make([]uint64, hi-lo)
+		copy(c, items[lo:hi])
+		fw.UpdateBatch(0, c)
+	}
+}
+
+func hashedStream(n int) []uint64 {
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = theta.HashKey(uint64(i), seed)
+	}
+	return items
+}
+
+// TestUpdateBatchExactSmallStream: for n < 2k the sketch is exact, so any
+// batching schedule must land on precisely n after Close — in both modes,
+// with the eager phase both crossing mid-chunk and disabled.
+func TestUpdateBatchExactSmallStream(t *testing.T) {
+	const n = 8000 // < 2k = 8192
+	items := hashedStream(n)
+	for _, mode := range []core.Mode{core.ModeOptimised, core.ModeUnoptimised} {
+		for _, maxErr := range []float64{1.0, 0.04} { // eager off / eager limit 1250
+			for _, chunk := range []int{1, 3, 16, 257, 1024, n} {
+				fw, comp := newThetaFramework(core.Config{Workers: 1, BufferSize: 7, MaxError: maxErr, Mode: mode}, 12)
+				fw.Start()
+				chunked(fw, items, chunk)
+				fw.Close()
+				if est := comp.Estimate(); est != n {
+					t.Errorf("%v e=%v chunk=%d: estimate %v, want exactly %d", mode, maxErr, chunk, est, n)
+				}
+				st := fw.Stats()
+				if st.Accepted != n || st.Filtered != 0 {
+					t.Errorf("%v e=%v chunk=%d: stats %+v, want Accepted=%d Filtered=0", mode, maxErr, chunk, st, n)
+				}
+				if p := fw.Pressure(); p.Ingested != n || p.Merged != n {
+					t.Errorf("%v e=%v chunk=%d: pressure %+v, want {%d %d}", mode, maxErr, chunk, p, n, n)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateBatchEquivalentToPerItem pins bit-for-bit equivalence in the
+// filtering regime. ParSketch with one writer is deterministic — the writer
+// blocks on every propagation, so the hint sequence is a pure function of
+// the accepted-item sequence — which lets us demand the batched path produce
+// the identical sketch state, stats, and pressure counters as per-item
+// Update, including identical ShouldAdd decisions.
+func TestUpdateBatchEquivalentToPerItem(t *testing.T) {
+	const n = 1 << 17
+	items := hashedStream(n)
+	cfg := core.Config{Workers: 1, BufferSize: 16, MaxError: 0.04, Mode: core.ModeUnoptimised}
+
+	ref, refComp := newThetaFramework(cfg, 8) // k=256 ≪ n → heavy filtering
+	ref.Start()
+	for _, it := range items {
+		ref.Update(0, it)
+	}
+	ref.Close()
+
+	for _, chunk := range []int{1, 13, 64, 1000, n} {
+		fw, comp := newThetaFramework(cfg, 8)
+		fw.Start()
+		chunked(fw, items, chunk)
+		fw.Close()
+		if got, want := comp.Estimate(), refComp.Estimate(); got != want {
+			t.Errorf("chunk=%d: estimate %v, per-item reference %v", chunk, got, want)
+		}
+		if got, want := fw.Stats(), ref.Stats(); got != want {
+			t.Errorf("chunk=%d: stats %+v, per-item reference %+v", chunk, got, want)
+		}
+		if got, want := fw.Pressure(), ref.Pressure(); got != want {
+			t.Errorf("chunk=%d: pressure %+v, per-item reference %+v", chunk, got, want)
+		}
+	}
+}
+
+// TestUpdateBatchEagerBoundary crosses the eager→lazy switch in the middle
+// of a single chunk: the prefix must be applied eagerly (immediately
+// visible), the suffix buffered, nothing lost.
+func TestUpdateBatchEagerBoundary(t *testing.T) {
+	const limit, n = 100, 250
+	fw, comp := newThetaFramework(core.Config{Workers: 1, BufferSize: 8, EagerLimit: limit, MaxError: 0.04}, 12)
+	fw.Start()
+	if fw.Lazy() {
+		t.Fatal("framework should start eager")
+	}
+	fw.UpdateBatch(0, hashedStream(n))
+	if !fw.Lazy() {
+		t.Error("a chunk crossing the eager limit must flip the framework lazy")
+	}
+	// The eager prefix is immediately visible; a concurrent-safe lower bound
+	// is limit (the lazy suffix may or may not have merged yet).
+	if est := comp.Estimate(); est < limit {
+		t.Errorf("mid-stream estimate %v < eager prefix %d", est, limit)
+	}
+	fw.Close()
+	if est := comp.Estimate(); est != n {
+		t.Errorf("estimate after close %v, want exactly %d", est, n)
+	}
+	if st := fw.Stats(); st.Accepted != n {
+		t.Errorf("accepted %d, want %d", st.Accepted, n)
+	}
+}
+
+// TestEagerBatchPressureTotals is the satellite-2 regression test: batching
+// the eager path's pressure accounting to one atomic add per chunk must not
+// change the counter totals — mid-phase samples and post-Close totals are
+// identical to the per-item path at every chunk boundary.
+func TestEagerBatchPressureTotals(t *testing.T) {
+	const limit = 1000
+	cfg := core.Config{Workers: 1, BufferSize: 8, EagerLimit: limit, MaxError: 0.04, Mode: core.ModeUnoptimised}
+	ref, _ := newThetaFramework(cfg, 12)
+	fw, _ := newThetaFramework(cfg, 12)
+	ref.Start()
+	fw.Start()
+	items := hashedStream(1500) // crosses the limit at the 1000th item
+
+	fed := 0
+	for _, chunk := range []int{1, 99, 300, 600, 500} { // boundary falls mid-4th-chunk
+		for _, it := range items[fed : fed+chunk] {
+			ref.Update(0, it)
+		}
+		c := make([]uint64, chunk)
+		copy(c, items[fed:fed+chunk])
+		fw.UpdateBatch(0, c)
+		fed += chunk
+
+		refP, p := ref.Pressure(), fw.Pressure()
+		if fed <= limit {
+			// Entirely inside the eager phase both samples are exact and
+			// deterministic: every item entered and left immediately.
+			want := core.PressureSample{Ingested: int64(fed), Merged: int64(fed)}
+			if p != want {
+				t.Errorf("after %d eager items: batched pressure %+v, want %+v", fed, p, want)
+			}
+			if refP != want {
+				t.Errorf("after %d eager items: per-item pressure %+v, want %+v", fed, refP, want)
+			}
+		} else if p.Ingested < limit || p.Merged < limit {
+			t.Errorf("after %d items: batched pressure %+v lost eager-phase counts", fed, p)
+		}
+	}
+	ref.Close()
+	fw.Close()
+	if refP, p := ref.Pressure(), fw.Pressure(); refP != p {
+		t.Errorf("post-close pressure: batched %+v, per-item %+v", p, refP)
+	} else if p.Ingested != p.Merged {
+		t.Errorf("post-close pressure not drained: %+v", p)
+	}
+}
+
+// TestUpdateBatchAccuracyConcurrent runs the batched path with concurrent
+// writers on a large stream, checking end-to-end accuracy like the per-item
+// TestAccuracyUnderConcurrency does.
+func TestUpdateBatchAccuracyConcurrent(t *testing.T) {
+	const writers, n, chunk = 4, 1 << 20, 512
+	fw, comp := newThetaFramework(core.Config{Workers: writers, MaxError: 0.04}, 12)
+	fw.Start()
+	done := make(chan struct{}, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			base := uint64(w) << 40
+			buf := make([]uint64, 0, chunk)
+			for i := 0; i < n/writers; i++ {
+				buf = append(buf, theta.HashKey(base+uint64(i), seed))
+				if len(buf) == chunk {
+					fw.UpdateBatch(w, buf)
+					buf = buf[:0]
+				}
+			}
+			fw.UpdateBatch(w, buf)
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	fw.Close()
+	re := comp.Estimate()/float64(n) - 1
+	if math.Abs(re) > 4*theta.RSEBound(4096) {
+		t.Errorf("batched concurrent estimate error %.4f exceeds 4·RSE", re)
+	}
+	if st := fw.Stats(); st.Accepted+st.Filtered != n {
+		t.Errorf("accepted %d + filtered %d ≠ %d items fed", st.Accepted, st.Filtered, n)
+	}
+}

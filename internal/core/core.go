@@ -33,7 +33,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
-	"time"
 )
 
 // Global is the composable-sketch interface the framework is instantiated
@@ -188,6 +187,14 @@ type writer[T any] struct {
 	// bEff is the effective buffer size; equals the configured b unless
 	// adaptive buffering grows it in response to hints.
 	bEff int
+	// hintParked/hintWake are the writer-side park/wake handshake of
+	// awaitHint, mirroring the propagator's: a writer blocked on a pending
+	// propagation publishes hintParked and parks; the propagator posts a
+	// token after storing the fresh hint if it observes the park. Same
+	// lost-wakeup argument as propParked (sequentially consistent store/load
+	// pairs on prop and hintParked, in opposite orders on the two sides).
+	hintParked atomic.Bool
+	hintWake   chan struct{}
 	// seenLazy caches "the framework has left the eager phase" so the hot
 	// path re-checks the shared mode flag only while it still matters.
 	seenLazy bool
@@ -264,6 +271,16 @@ type Framework[T any] struct {
 
 	advisor BufferAdvisor // non-nil when adaptive buffering is active
 
+	// propParked/propWake are the propagator's park/wake handshake: instead
+	// of polling writer lanes with yields and naps while idle (whose wake
+	// latency a publishing writer then eats in awaitHint), the propagator
+	// publishes itself parked and blocks on propWake; a writer that publishes
+	// a buffer (prop_i ← 0) and observes propParked posts a token. Sequential
+	// consistency of the prop-store/parked-load vs parked-store/prop-scan
+	// pairs rules out the lost wakeup.
+	propParked atomic.Bool
+	propWake   chan struct{}
+
 	stopped atomic.Bool
 	started atomic.Bool
 	done    chan struct{}
@@ -290,6 +307,7 @@ func New[T any](global Global[T], cfg Config) *Framework[T] {
 		cfg:        cfg,
 		b:          b,
 		eagerLimit: limit,
+		propWake:   make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
 	hint := global.CalcHint()
@@ -307,7 +325,7 @@ func New[T any](global Global[T], cfg Config) *Framework[T] {
 	}
 	f.writers = make([]*writer[T], cfg.Workers)
 	for i := range f.writers {
-		w := &writer[T]{hint: hint, bEff: b, seenLazy: !eager}
+		w := &writer[T]{hint: hint, bEff: b, seenLazy: !eager, hintWake: make(chan struct{}, 1)}
 		w.buf[0] = make([]T, 0, b)
 		if cfg.Mode == ModeOptimised {
 			w.buf[1] = make([]T, 0, b)
@@ -380,11 +398,63 @@ func (f *Framework[T]) Update(wid int, item T) {
 	if len(w.buf[w.cur]) < w.bEff {
 		return
 	}
+	f.flushLocal(w)
+}
+
+// UpdateBatch ingests a contiguous chunk of elements on writer lane wid,
+// equivalent to calling Update for each element in order but with the
+// per-item overhead hoisted out of the loop: the eager-phase check happens
+// once per chunk (a prefix is applied under a single eager-lock acquisition
+// with the pressure counters advanced once), and on the lazy path the
+// buffer-slot and mode checks run once per buffer fill rather than once per
+// item, so the inner loop is ShouldAdd + append. The same single-goroutine-
+// per-lane discipline as Update applies.
+func (f *Framework[T]) UpdateBatch(wid int, items []T) {
+	if len(items) == 0 {
+		return
+	}
+	w := f.writers[wid]
+	if !w.seenLazy {
+		items = f.eagerUpdateBatch(w, items)
+		if len(items) == 0 {
+			return
+		}
+		w.seenLazy = true
+		w.hint = f.global.CalcHint()
+	}
+	for len(items) > 0 {
+		buf := w.buf[w.cur]
+		// Take at most the buffer's remaining room this pass; filtered
+		// items do not consume room, so the pass may underfill and loop.
+		n := w.bEff - len(buf)
+		if n > len(items) {
+			n = len(items)
+		}
+		accepted := 0
+		for _, item := range items[:n] {
+			if f.global.ShouldAdd(w.hint, item) {
+				buf = append(buf, item)
+				accepted++
+			}
+		}
+		w.updates += int64(accepted)
+		w.filtered += int64(n - accepted)
+		w.buf[w.cur] = buf
+		items = items[n:]
+		if len(buf) >= w.bEff {
+			f.flushLocal(w)
+		}
+	}
+}
+
+// flushLocal publishes the writer's filled current buffer to the propagator
+// — the paper's lines 124-129, shared by Update and UpdateBatch.
+func (f *Framework[T]) flushLocal(w *writer[T]) {
 	if f.cfg.Mode == ModeUnoptimised {
 		// ParSketch, lines 124-125: publish, then block until the
 		// propagator has merged the (single) buffer and returned a hint.
 		f.ingested.Add(int64(len(w.buf[w.cur])))
-		w.prop.Store(0)
+		f.publish(w)
 		w.hint = f.awaitHint(w)
 		f.adapt(w)
 		return
@@ -395,8 +465,20 @@ func (f *Framework[T]) Update(wid int, item T) {
 	w.hint = f.awaitHint(w)
 	w.cur = 1 - w.cur
 	f.ingested.Add(int64(len(w.buf[1-w.cur])))
-	w.prop.Store(0)
+	f.publish(w)
 	f.adapt(w)
+}
+
+// publish stores the "propagation pending" sentinel on the writer's prop
+// word and wakes the propagator if it parked itself while idle.
+func (f *Framework[T]) publish(w *writer[T]) {
+	w.prop.Store(0)
+	if f.propParked.Load() {
+		select {
+		case f.propWake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // adapt re-derives the writer's effective buffer size from its fresh hint
@@ -415,13 +497,31 @@ func (f *Framework[T]) adapt(w *writer[T]) {
 	w.bEff = b
 }
 
-// awaitHint spins until the propagator posts a non-zero hint on w.prop.
+// hintSpins is how many times awaitHint polls the prop word (yielding
+// between polls) before parking. Package variable so tests can force the
+// park path deterministically.
+var hintSpins = 8
+
+// awaitHint waits until the propagator posts a non-zero hint on w.prop:
+// a few yielding polls (the propagation usually completes within the
+// writer's next buffer fill), then park until the propagator's wake. A
+// token posted after the writer already observed the hint stays in the
+// buffered channel and at worst causes one spurious loop iteration on a
+// later wait; the loop re-checks prop, so it is never trusted by itself.
 func (f *Framework[T]) awaitHint(w *writer[T]) uint64 {
-	for {
+	for i := 0; i < hintSpins; i++ {
 		if h := w.prop.Load(); h != 0 {
 			return h
 		}
 		runtime.Gosched()
+	}
+	w.hintParked.Store(true)
+	for {
+		if h := w.prop.Load(); h != 0 {
+			w.hintParked.Store(false)
+			return h
+		}
+		<-w.hintWake
 	}
 }
 
@@ -455,15 +555,61 @@ func (f *Framework[T]) eagerUpdate(w *writer[T], item T) bool {
 	return true
 }
 
+// eagerUpdateBatch applies as much of items as the eager budget allows
+// directly to the global sketch under a single eager-lock acquisition,
+// returning the unconsumed suffix (empty when the whole chunk was applied
+// eagerly; the full chunk when the framework had already gone lazy). The
+// pressure counters advance once for the whole prefix rather than once per
+// item — the counter totals are identical to the per-item path, only the
+// number of atomic adds changes.
+func (f *Framework[T]) eagerUpdateBatch(w *writer[T], items []T) []T {
+	if f.lazy.Load() {
+		return items
+	}
+	for !f.eagerLock.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	if f.lazy.Load() {
+		f.eagerLock.Store(false)
+		return items
+	}
+	// Not lazy under the lock ⇒ eagerCount < eagerLimit, so n ≥ 1.
+	n := f.eagerLimit - f.eagerCount
+	if n > len(items) {
+		n = len(items)
+	}
+	for _, item := range items[:n] {
+		f.global.DirectUpdate(item)
+	}
+	w.updates += int64(n)
+	f.ingested.Add(int64(n))
+	f.merged.Add(int64(n))
+	f.eagerCount += n
+	if f.eagerCount >= f.eagerLimit {
+		f.lazy.Store(true)
+	}
+	f.eagerLock.Store(false)
+	return items[n:]
+}
+
+// propSpins is how many empty scans the propagator makes (yielding between
+// scans) before parking on its wake channel. Package variable so tests can
+// force the park path deterministically.
+var propSpins = 8
+
 // propagate is the background propagator thread t_0 (lines 110-115): scan
 // writer lanes, merge any filled buffer into the global sketch, reset it,
 // and post the fresh hint.
 //
 // The paper's propagator busy-spins on a dedicated core. To behave well on
-// machines with fewer cores than goroutines, ours backs off adaptively: it
-// yields for the first idle scans and then naps briefly, waking as soon as a
-// scan finds work again. The nap only delays propagation (staleness remains
-// bounded by the r-relaxation); it never loses updates.
+// machines with fewer cores than goroutines, ours parks when idle: after a
+// few empty scans it publishes propParked and blocks until a writer's
+// publication wakes it, so an idle framework consumes no CPU and a
+// publication's wake latency is one channel hand-off rather than the
+// remainder of a polling nap. Parking never loses a publication: the
+// propagator rechecks every lane after publishing propParked, so either it
+// sees the writer's prop store or the writer sees propParked and posts the
+// wake token (the atomics are sequentially consistent).
 func (f *Framework[T]) propagate() {
 	defer close(f.done)
 	idle := 0
@@ -483,19 +629,43 @@ func (f *Framework[T]) propagate() {
 				w.buf[idx] = buf[:0]
 			}
 			w.prop.Store(f.global.CalcHint())
+			if w.hintParked.Load() {
+				select {
+				case w.hintWake <- struct{}{}:
+				default:
+				}
+			}
 			work = true
 		}
 		if work {
 			idle = 0
 			continue
 		}
-		idle++
-		if idle < 64 {
+		if idle++; idle < propSpins {
 			runtime.Gosched()
-		} else {
-			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		f.propParked.Store(true)
+		if f.pendingPublication() || f.stopped.Load() {
+			f.propParked.Store(false)
+			idle = 0
+			continue
+		}
+		<-f.propWake
+		f.propParked.Store(false)
+		idle = 0
+	}
+}
+
+// pendingPublication reports whether any writer lane has a buffer awaiting
+// propagation — the propagator's recheck after publishing itself parked.
+func (f *Framework[T]) pendingPublication() bool {
+	for _, w := range f.writers {
+		if w.prop.Load() == 0 {
+			return true
 		}
 	}
+	return false
 }
 
 // Close stops the propagator and drains every remaining buffered item into
@@ -505,6 +675,12 @@ func (f *Framework[T]) propagate() {
 func (f *Framework[T]) Close() {
 	f.stopped.Store(true)
 	if f.started.Load() {
+		// Wake the propagator if it is parked; it observes stopped and
+		// exits. A stray token is harmless (capacity 1, checked on park).
+		select {
+		case f.propWake <- struct{}{}:
+		default:
+		}
 		<-f.done
 	}
 	for _, w := range f.writers {

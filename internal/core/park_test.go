@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fastsketches/internal/theta"
+)
+
+// zeroSpins forces every handshake in the framework onto its park/wake slow
+// path so the tests below exercise the parking protocol itself rather than
+// winning races during the spin phase. Tests using it must not run in
+// parallel.
+func zeroSpins(t *testing.T) {
+	t.Helper()
+	op, oh := propSpins, hintSpins
+	propSpins, hintSpins = 0, 0
+	t.Cleanup(func() { propSpins, hintSpins = op, oh })
+}
+
+// TestPropagatorParkWake checks the idle propagator's park/wake handshake: a
+// parked propagator must be woken by a publication (no lost wakeup), and the
+// publishing writer's awaitHint park must be woken by the returned hint. With
+// zero spin budgets and ParSketch (the writer blocks on every propagation),
+// every single buffer fill walks park→wake on both sides; a lost wakeup on
+// either side is a deadlock, which the test surfaces as a timeout.
+func TestPropagatorParkWake(t *testing.T) {
+	zeroSpins(t)
+	comp := theta.NewComposable(12, theta.HashKey(1, 99))
+	fw := New[uint64](comp, Config{Workers: 1, BufferSize: 1, MaxError: 1, Mode: ModeUnoptimised})
+	fw.Start()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			// b=1: every update publishes, parks the propagator's counterpart,
+			// and blocks in awaitHint until the merge completes.
+			fw.Update(0, theta.HashKey(uint64(i), 42))
+			if i%100 == 0 {
+				// Let the propagator drain and park again so the next
+				// publication must wake it from a genuine park, not catch it
+				// mid-scan.
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("park/wake handshake deadlocked (lost wakeup between writer and propagator)")
+	}
+	fw.Close()
+	if est := comp.Estimate(); est != 5000 {
+		t.Errorf("estimate %v, want exactly 5000", est)
+	}
+}
+
+// TestCloseWakesParkedPropagator checks shutdown while the propagator is
+// parked with no pending publication: Close must post the wake token itself
+// or hang forever on <-f.done.
+func TestCloseWakesParkedPropagator(t *testing.T) {
+	zeroSpins(t)
+	comp := theta.NewComposable(12, theta.HashKey(2, 99))
+	fw := New[uint64](comp, Config{Workers: 2, BufferSize: 4, MaxError: 1})
+	fw.Start()
+	fw.Update(0, theta.HashKey(7, 42))
+	time.Sleep(10 * time.Millisecond) // propagator scans, finds nothing published, parks
+	closed := make(chan struct{})
+	go func() { fw.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung on a parked propagator")
+	}
+	if est := comp.Estimate(); est != 1 {
+		t.Errorf("estimate %v, want 1 (Close drains the unpublished buffer)", est)
+	}
+}
+
+// TestOptParSketchBatchPipelines checks the double-buffered batched path
+// under zeroed spins: with OptParSketch a writer flips buffers and keeps
+// going while the merge is in flight, so UpdateBatch repeatedly lands in
+// awaitHint's parked state with a propagation pending on the *other* buffer.
+func TestOptParSketchBatchPipelines(t *testing.T) {
+	zeroSpins(t)
+	comp := theta.NewComposable(12, theta.HashKey(3, 99))
+	fw := New[uint64](comp, Config{Workers: 1, BufferSize: 3, MaxError: 1, Mode: ModeOptimised})
+	fw.Start()
+	const n = 7000 // < 2k → exact
+	items := make([]uint64, 0, 100)
+	next := uint64(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for next < n {
+			items = items[:0]
+			for len(items) < 100 && next < n {
+				items = append(items, theta.HashKey(next, 42))
+				next++
+			}
+			fw.UpdateBatch(0, items)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("batched OptParSketch path deadlocked under zeroed spins")
+	}
+	fw.Close()
+	if est := comp.Estimate(); est != n {
+		t.Errorf("estimate %v, want exactly %d", est, n)
+	}
+}

@@ -1,75 +1,151 @@
 package server
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fastsketches/internal/wire"
 )
 
+// minChunkItems caps batch fan-out: a batch is split across at most
+// ⌈n/minChunkItems⌉ lanes, so small batches take one ring hand-off instead
+// of waking every lane worker for a handful of items each. Larger batches
+// still spread across all lanes. Package variable so tests can force full
+// fan-out.
+var minChunkItems = 256
+
+// parker is one lane worker's park/wake state. parked is published before
+// the worker's final emptiness recheck; a producer that publishes a chunk
+// and then observes parked posts a token on wake (capacity 1, non-blocking).
+// Sequential consistency of the seq-store/parked-load vs parked-store/
+// seq-load pairs rules out the lost wakeup: one of the two observations must
+// happen, so either the worker sees the chunk or the producer sees the park.
+type parker struct {
+	_      cacheLinePad
+	parked atomic.Bool
+	wake   chan struct{}
+	_      cacheLinePad
+}
+
 // laneSet is one sketch's ingest plane: W long-lived lane workers, one per
 // writer lane, each the sole driver of its lane across every shard — the
 // core framework's one-goroutine-per-lane discipline enforced structurally.
-// A batch frame is split into contiguous per-lane chunks and dispatched to
-// the workers, which ingest concurrently; the dispatcher waits for every
-// chunk, so by the time a batch is acked each of its Updates has returned
-// (the updates are *completed*, and the S·r staleness bound covers them).
+// A batch frame is split into contiguous per-lane chunks pushed onto
+// per-lane rings; the dispatcher waits on a per-batch countdown, so by the
+// time a batch is acked each of its Updates has returned (the updates are
+// *completed*, and the S·r staleness bound covers them). Unlike the old
+// one-buffered-chunk channels, the rings let many batches pipeline per lane,
+// and the dispatch fast path takes no lock: the closed check is an atomic
+// flag rechecked inside the ring's full-spin, so shutdown is never delayed
+// by a dispatcher stalled behind a wedged lane.
 type laneSet struct {
-	apply func(lane int, items []byte)
-	chans []chan chunk
-	wg    sync.WaitGroup
+	apply   func(lane int, items []byte)
+	rings   []*ring
+	parkers []*parker
+	wg      sync.WaitGroup
 
-	// mu guards closed against the dispatch path: ingest sends hold the
-	// read side, close flips the flag and closes the channels under the
-	// write side, so a send can never race a close.
-	mu     sync.RWMutex
-	closed bool
-}
-
-// chunk is one lane's slice of a batch. items aliases the connection's read
-// buffer; the dispatcher waits on done before the buffer can be reused.
-type chunk struct {
-	items []byte
-	done  *sync.WaitGroup
+	// closed gates new dispatches; active counts dispatchers past the gate.
+	// close flips closed, waits for active to drain to zero (each such
+	// dispatcher finishes or aborts its batch), then sets draining and wakes
+	// the workers, which exit once their rings are empty.
+	closed   atomic.Bool
+	active   atomic.Int64
+	draining atomic.Bool
+	stopOnce sync.Once
 }
 
 func newLaneSet(writers int, apply func(lane int, items []byte)) *laneSet {
-	ls := &laneSet{apply: apply, chans: make([]chan chunk, writers)}
-	for l := range ls.chans {
-		ch := make(chan chunk, 1)
-		ls.chans[l] = ch
+	ls := &laneSet{
+		apply:   apply,
+		rings:   make([]*ring, writers),
+		parkers: make([]*parker, writers),
+	}
+	for l := range ls.rings {
+		r := &ring{}
+		r.init()
+		ls.rings[l] = r
+		ls.parkers[l] = &parker{wake: make(chan struct{}, 1)}
 		ls.wg.Add(1)
-		go func(lane int, ch chan chunk) {
-			defer ls.wg.Done()
-			for ck := range ch {
-				apply(lane, ck.items)
-				ck.done.Done()
-			}
-		}(l, ch)
+		go ls.work(l)
 	}
 	return ls
 }
 
+// work is lane l's worker loop: drain the ring, spin briefly when empty,
+// then park until a producer (or close) wakes it.
+func (ls *laneSet) work(lane int) {
+	defer ls.wg.Done()
+	r := ls.rings[lane]
+	p := ls.parkers[lane]
+	idle := 0
+	for {
+		if items, bs, ok := r.pop(); ok {
+			idle = 0
+			ls.apply(lane, items)
+			bs.complete(1)
+			continue
+		}
+		if ls.draining.Load() {
+			// draining is set only after every dispatcher has left (active
+			// == 0) and each batch's chunks were consumed before its
+			// dispatcher returned, so the ring is provably empty; the
+			// recheck is belt and braces.
+			if !r.pending() {
+				return
+			}
+			continue
+		}
+		if idle++; idle < workerSpins {
+			runtime.Gosched()
+			continue
+		}
+		p.parked.Store(true)
+		if r.pending() || ls.draining.Load() {
+			p.parked.Store(false)
+			idle = 0
+			continue
+		}
+		<-p.wake
+		p.parked.Store(false)
+		idle = 0
+	}
+}
+
+// wakeLane posts a wake token to lane l's worker if it is parked.
+func (ls *laneSet) wakeLane(l int) {
+	if p := ls.parkers[l]; p.parked.Load() {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // ingest fans one batch's packed items across the lane workers and waits
 // until every item's Update has returned. Items are split into contiguous
-// chunks so each worker walks a dense byte range; batches smaller than the
-// lane count use fewer lanes. Returns false when the lane set has been
-// closed (a concurrent Drop or shutdown) without touching the sketch.
-func (ls *laneSet) ingest(items []byte) bool {
+// chunks so each worker walks a dense byte range; batches smaller than
+// lanes·minChunkItems use fewer lanes (one ring hand-off per minChunkItems
+// items, not per lane). bs is the caller's reusable countdown — the fast
+// path performs no allocation and takes no lock. Returns false when the
+// lane set has been closed (a concurrent Drop or shutdown); any chunks
+// already enqueued are still completed before returning, so the items
+// buffer is never referenced after ingest returns.
+func (ls *laneSet) ingest(items []byte, bs *batchState) bool {
 	n := len(items) / wire.ItemSize
 	if n == 0 {
 		return true
 	}
-	lanes := len(ls.chans)
-	if lanes > n {
-		lanes = n
+	lanes := len(ls.rings)
+	if maxLanes := (n + minChunkItems - 1) / minChunkItems; lanes > maxLanes {
+		lanes = maxLanes
 	}
-	var done sync.WaitGroup
-	done.Add(lanes)
-	ls.mu.RLock()
-	if ls.closed {
-		ls.mu.RUnlock()
+	ls.active.Add(1)
+	if ls.closed.Load() {
+		ls.active.Add(-1)
 		return false
 	}
+	bs.arm(int32(lanes))
 	per, rem := n/lanes, n%lanes
 	lo := 0
 	for l := 0; l < lanes; l++ {
@@ -77,24 +153,39 @@ func (ls *laneSet) ingest(items []byte) bool {
 		if l < rem {
 			hi++
 		}
-		ls.chans[l] <- chunk{items[lo*wire.ItemSize : hi*wire.ItemSize], &done}
+		if !ls.rings[l].push(items[lo*wire.ItemSize:hi*wire.ItemSize], bs, &ls.closed) {
+			// Closed while stalled on a full ring: retire the chunks never
+			// enqueued, wait out the ones that were, and report failure.
+			bs.complete(int32(lanes - l))
+			bs.wait()
+			ls.active.Add(-1)
+			return false
+		}
+		ls.wakeLane(l)
 		lo = hi
 	}
-	ls.mu.RUnlock()
-	done.Wait()
+	bs.wait()
+	ls.active.Add(-1)
 	return true
 }
 
-// close drains and stops the lane workers: in-flight chunks are consumed
-// (their dispatchers' waits complete), then the workers exit. Idempotent.
+// close stops the lane set: new dispatches are refused, dispatchers already
+// past the gate finish (or abort, if stalled on a full ring) their batches,
+// then the workers are woken to observe draining and exit. Idempotent;
+// every caller blocks until the workers are gone.
 func (ls *laneSet) close() {
-	ls.mu.Lock()
-	if !ls.closed {
-		ls.closed = true
-		for _, ch := range ls.chans {
-			close(ch)
+	ls.stopOnce.Do(func() {
+		ls.closed.Store(true)
+		for ls.active.Load() != 0 {
+			runtime.Gosched()
 		}
-	}
-	ls.mu.Unlock()
+		ls.draining.Store(true)
+		for _, p := range ls.parkers {
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
+		}
+	})
 	ls.wg.Wait()
 }

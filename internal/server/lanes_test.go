@@ -1,0 +1,317 @@
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastsketches/internal/wire"
+)
+
+// setSpins overrides the package spin budgets for a test and restores them
+// on cleanup. Tests that touch these must not run in parallel.
+func setSpins(t *testing.T, worker, dispatch, minChunk int) {
+	t.Helper()
+	ow, od, om := workerSpins, dispatchSpins, minChunkItems
+	workerSpins, dispatchSpins, minChunkItems = worker, dispatch, minChunk
+	t.Cleanup(func() { workerSpins, dispatchSpins, minChunkItems = ow, od, om })
+}
+
+// packItems encodes n uint64 items with the given tag in the high bits, so
+// an apply hook can attribute every item back to its batch.
+func packItems(tag uint64, n int) []byte {
+	b := make([]byte, n*wire.ItemSize)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(b[i*wire.ItemSize:], tag<<32|uint64(i))
+	}
+	return b
+}
+
+func TestRingPushPopWraparound(t *testing.T) {
+	var r ring
+	r.init()
+	var closed atomic.Bool
+	bs := newBatchState()
+	// Several laps through the ring to exercise the sequence-number
+	// wraparound of slot reuse.
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < ringSize; i++ {
+			if !r.push(packItems(uint64(lap), 1), bs, &closed) {
+				t.Fatalf("lap %d: push %d failed on open ring", lap, i)
+			}
+		}
+		// A push on the full ring must not succeed; flip closed so it
+		// returns instead of spinning for a consumer that never comes.
+		closed.Store(true)
+		if r.push(nil, bs, &closed) {
+			t.Fatal("push succeeded on full ring")
+		}
+		closed.Store(false)
+		for i := 0; i < ringSize; i++ {
+			items, got, ok := r.pop()
+			if !ok {
+				t.Fatalf("lap %d: pop %d found empty ring", lap, i)
+			}
+			if got != bs || len(items) != wire.ItemSize {
+				t.Fatalf("lap %d: pop %d returned wrong payload", lap, i)
+			}
+		}
+		if _, _, ok := r.pop(); ok {
+			t.Fatalf("lap %d: pop succeeded on empty ring", lap)
+		}
+	}
+}
+
+// TestRingPushFullClosedReturnsFalse pins the shutdown hook: a producer
+// stalled on a full ring must observe the closed flag and give up rather
+// than spin forever — the replacement for the old ingest path that held an
+// RWMutex read lock across a blocking channel send.
+func TestRingPushFullClosedReturnsFalse(t *testing.T) {
+	var r ring
+	r.init()
+	var closed atomic.Bool
+	closed.Store(true)
+	bs := newBatchState()
+	for i := 0; i < ringSize; i++ {
+		if !r.push(nil, bs, &closed) {
+			t.Fatalf("push %d failed: closed must only matter once full", i)
+		}
+	}
+	done := make(chan bool, 1)
+	go func() { done <- r.push(nil, bs, &closed) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("push on full closed ring reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push on full closed ring did not return")
+	}
+}
+
+func TestBatchStateReuse(t *testing.T) {
+	bs := newBatchState()
+	for round := 0; round < 100; round++ {
+		bs.arm(3)
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); bs.complete(1) }()
+		}
+		bs.wait()
+		if got := bs.remaining.Load(); got != 0 {
+			t.Fatalf("round %d: remaining = %d after wait", round, got)
+		}
+		wg.Wait()
+	}
+}
+
+// TestLaneSetAppliesAllItems checks the basic ingest contract: an acked
+// batch's items have all been applied, exactly once, by the time ingest
+// returns — across batch sizes around the fan-out and ring boundaries.
+func TestLaneSetAppliesAllItems(t *testing.T) {
+	setSpins(t, 0, 0, 4) // force the park paths and multi-lane fan-out
+	var applied atomic.Int64
+	ls := newLaneSet(4, func(lane int, items []byte) {
+		applied.Add(int64(len(items) / wire.ItemSize))
+	})
+	defer ls.close()
+	bs := newBatchState()
+	want := int64(0)
+	for _, n := range []int{1, 3, 4, 5, 16, 64, 257, 1024} {
+		if !ls.ingest(packItems(7, n), bs) {
+			t.Fatalf("ingest of %d items refused on open lane set", n)
+		}
+		want += int64(n)
+		if got := applied.Load(); got != want {
+			t.Fatalf("after acked batch of %d: applied %d items, want %d (ack must imply completion)", n, got, want)
+		}
+	}
+}
+
+// TestLaneSetFanoutCap checks that small batches take few ring hand-offs:
+// at most ⌈n/minChunkItems⌉ lanes see work.
+func TestLaneSetFanoutCap(t *testing.T) {
+	setSpins(t, 0, 0, 256)
+	var lanesUsed [4]atomic.Int64
+	ls := newLaneSet(4, func(lane int, items []byte) {
+		lanesUsed[lane].Add(1)
+	})
+	defer ls.close()
+	bs := newBatchState()
+	for _, tc := range []struct{ n, maxLanes int }{
+		{64, 1}, {256, 1}, {257, 2}, {1024, 4}, {4096, 4},
+	} {
+		for i := range lanesUsed {
+			lanesUsed[i].Store(0)
+		}
+		if !ls.ingest(packItems(9, tc.n), bs) {
+			t.Fatalf("ingest of %d items refused", tc.n)
+		}
+		used := 0
+		for i := range lanesUsed {
+			if lanesUsed[i].Load() > 0 {
+				used++
+			}
+		}
+		if used > tc.maxLanes {
+			t.Errorf("batch of %d items used %d lanes, want ≤ %d", tc.n, used, tc.maxLanes)
+		}
+	}
+}
+
+// TestLaneSetCloseWithWedgedWorker is the satellite regression test for the
+// old deadlock: ingest held mu.RLock across a blocking send, so a wedged
+// lane worker could stall close behind a full lane forever. Now a
+// dispatcher stalled on the full ring must observe close and return false
+// promptly — while the worker is still wedged — and everything drains once
+// the worker resumes.
+func TestLaneSetCloseWithWedgedWorker(t *testing.T) {
+	setSpins(t, 0, 0, 256)
+	gate := make(chan struct{})
+	var applied atomic.Int64
+	ls := newLaneSet(1, func(lane int, items []byte) {
+		<-gate // wedge: the worker blocks inside apply until released
+		applied.Add(int64(len(items) / wire.ItemSize))
+	})
+
+	// The wedged worker plus the full ring can absorb ringSize+1 batches;
+	// dispatching one more guarantees at least one dispatcher is stalled
+	// inside push on the full ring (we don't control which one).
+	const dispatchers = ringSize + 2
+	acks := make(chan bool, dispatchers)
+	var wg sync.WaitGroup
+	for i := 0; i < dispatchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acks <- ls.ingest(packItems(1, 8), newBatchState())
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let the overflow dispatcher reach the full-ring spin
+
+	// close() cannot finish while the worker is wedged (enqueued batches
+	// must complete first), but it must immediately release any dispatcher
+	// stalled on a full ring — with a refusal, since its batch was dropped.
+	closeDone := make(chan struct{})
+	go func() { ls.close(); close(closeDone) }()
+
+	select {
+	case ok := <-acks:
+		if ok {
+			t.Fatal("a batch was acked while the only worker was wedged in apply")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatcher stalled on full ring did not return after close (old RWMutex deadlock)")
+	}
+	select {
+	case <-closeDone:
+		t.Fatal("close returned while a worker was still wedged in apply")
+	default:
+	}
+
+	close(gate) // un-wedge the worker
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("close did not complete after the worker resumed")
+	}
+	wg.Wait()
+	close(acks)
+	ackedItems := int64(0)
+	for ok := range acks {
+		if ok {
+			ackedItems += 8
+		}
+	}
+	if got := applied.Load(); got < ackedItems {
+		t.Fatalf("applied %d items < acked %d: an acked batch was not completed", got, ackedItems)
+	}
+}
+
+// TestLaneSetParkWakeInterleavings drives the park/wake handshake through
+// its interesting interleavings deterministically-ish: with zero spin
+// budgets every hand-off takes the park path, and with single-item chunks
+// every lane parks between batches. A lost wakeup shows up as a hang.
+func TestLaneSetParkWakeInterleavings(t *testing.T) {
+	setSpins(t, 0, 0, 1)
+	var applied atomic.Int64
+	ls := newLaneSet(2, func(lane int, items []byte) {
+		applied.Add(int64(len(items) / wire.ItemSize))
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bs := newBatchState()
+		for i := 0; i < 2000; i++ {
+			// Alternate batch sizes so the worker sometimes finds a queued
+			// chunk (no park) and sometimes parks between batches; odd sizes
+			// exercise the uneven chunk split.
+			n := 1 + i%3
+			if !ls.ingest(packItems(uint64(i), n), bs) {
+				t.Error("ingest refused on open lane set")
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("park/wake handshake hung (lost wakeup)")
+	}
+	ls.close()
+	want := int64(0)
+	for i := 0; i < 2000; i++ {
+		want += int64(1 + i%3)
+	}
+	if got := applied.Load(); got != want {
+		t.Fatalf("applied %d items, want %d", got, want)
+	}
+}
+
+// TestLaneSetStressDispatchCloseDrop hammers concurrent dispatch against
+// close, checking under -race that (a) nothing races, (b) every acked batch
+// was fully applied before its ack, and (c) close never hangs. The sequence
+// mirrors a Drop racing live OpBatch traffic.
+func TestLaneSetStressDispatchCloseDrop(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		setSpins(t, 1, 1, 4)
+		const dispatchers = 4
+		const batches = 200
+		var applied [dispatchers * batches]atomic.Int32
+		ls := newLaneSet(3, func(lane int, items []byte) {
+			for i := 0; i+wire.ItemSize <= len(items); i += wire.ItemSize {
+				v := binary.LittleEndian.Uint64(items[i:])
+				applied[v>>32].Add(1)
+			}
+		})
+		var wg sync.WaitGroup
+		for d := 0; d < dispatchers; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				bs := newBatchState()
+				for i := 0; i < batches; i++ {
+					tag := uint64(d*batches + i)
+					n := 1 + i%17
+					if ls.ingest(packItems(tag, n), bs) {
+						// Acked ⇒ completed: every item visible already.
+						if got := applied[tag].Load(); got != int32(n) {
+							t.Errorf("batch %d acked with %d/%d items applied", tag, got, n)
+							return
+						}
+					}
+				}
+			}(d)
+		}
+		// Close mid-fire on most rounds; after the dispatchers on the rest.
+		if round%4 != 0 {
+			time.Sleep(time.Duration(round) * time.Millisecond)
+			ls.close()
+		}
+		wg.Wait()
+		ls.close()
+	}
+}

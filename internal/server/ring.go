@@ -1,0 +1,176 @@
+package server
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ringBits sizes each lane's dispatch ring at 2^ringBits chunk slots. 64
+// slots lets many batches pipeline per lane (the old one-buffered-chunk
+// channel was the ceiling) while keeping the per-lane footprint at two cache
+// lines of sequence words plus the slot payloads.
+const ringBits = 6
+
+const (
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
+
+// Tunable spin budgets, package variables so the interleaving tests can force
+// the park/wake slow paths deterministically.
+var (
+	// workerSpins is how many empty polls a lane worker makes (yielding
+	// between polls) before publishing itself parked and blocking on its wake
+	// channel. Parking costs one channel hand-off on each side; spinning
+	// costs scheduler churn, so the budget is small.
+	workerSpins = 4
+	// dispatchSpins is how many times an ingest call polls the batch
+	// countdown (yielding between polls) before publishing itself parked and
+	// blocking on the batch semaphore.
+	dispatchSpins = 4
+)
+
+// slot is one ring entry. seq is the Vyukov sequence word: slot i starts at
+// i; a producer that claimed position p publishes by storing p+1; the
+// consumer releases the slot for the next lap by storing p+ringSize. The
+// payload fields are plain because every cross-goroutine hand-off is ordered
+// by the seq store/load pair.
+type slot struct {
+	seq   atomic.Uint64
+	items []byte
+	bs    *batchState
+}
+
+// ring is a bounded multi-producer single-consumer queue of batch chunks —
+// the lock-free replacement for the per-lane channel. Producers (connection
+// handlers dispatching a batch) contend only on a CAS of head; the single
+// consumer (the lane worker) advances tail with plain stores, so the
+// steady-state dispatch fast path has no mutex, no channel, and no
+// allocation.
+type ring struct {
+	_     cacheLinePad
+	head  atomic.Uint64 // next position producers claim
+	_     cacheLinePad
+	tail  uint64 // next position the consumer reads; worker-goroutine private
+	_     cacheLinePad
+	slots [ringSize]slot
+}
+
+type cacheLinePad [8]uint64
+
+func (r *ring) init() {
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+}
+
+// push enqueues one chunk, spinning while the ring is full. It returns false
+// without enqueuing when closed flips while waiting — the hook that lets a
+// dispatcher stalled behind a wedged lane worker abandon the batch instead
+// of delaying shutdown forever (the old RWMutex-held-across-send bug).
+func (r *ring) push(items []byte, bs *batchState, closed *atomic.Bool) bool {
+	for {
+		head := r.head.Load()
+		s := &r.slots[head&ringMask]
+		diff := int64(s.seq.Load()) - int64(head)
+		switch {
+		case diff == 0:
+			if r.head.CompareAndSwap(head, head+1) {
+				s.items, s.bs = items, bs
+				s.seq.Store(head + 1)
+				return true
+			}
+		case diff < 0:
+			// A full lap behind: the consumer has not yet released this
+			// slot. Yield rather than burn the consumer's timeslice.
+			if closed.Load() {
+				return false
+			}
+			runtime.Gosched()
+		default:
+			// Another producer claimed head between our loads; retry.
+		}
+	}
+}
+
+// pop dequeues the next chunk if one is published. Single consumer only.
+func (r *ring) pop() ([]byte, *batchState, bool) {
+	s := &r.slots[r.tail&ringMask]
+	if int64(s.seq.Load())-int64(r.tail+1) < 0 {
+		return nil, nil, false
+	}
+	items, bs := s.items, s.bs
+	s.items, s.bs = nil, nil
+	s.seq.Store(r.tail + ringSize)
+	r.tail++
+	return items, bs, true
+}
+
+// pending reports whether the next slot is published. Consumer goroutine
+// only (it reads the consumer-private tail) — the recheck a worker performs
+// after publishing itself parked.
+func (r *ring) pending() bool {
+	s := &r.slots[r.tail&ringMask]
+	return int64(s.seq.Load())-int64(r.tail+1) >= 0
+}
+
+// batchState is the per-batch completion countdown replacing the old
+// per-ingest WaitGroup (which escaped to the heap on every batch). One
+// batchState lives on each connection and is re-armed per batch, so the
+// steady-state ingest path allocates nothing.
+//
+// Completion hand-off is spin-then-park: the dispatcher polls remaining,
+// then publishes parked and blocks on sema (capacity 1). The finishing
+// worker that brings remaining to zero posts a token iff it observes parked.
+// Sequential consistency of the two flags makes the hand-off lossless:
+// either the worker's decrement precedes the dispatcher's remaining poll
+// (the dispatcher never blocks) or the dispatcher's parked store precedes
+// the worker's parked load (the worker posts the token). A token posted
+// after the dispatcher already observed zero is left behind; arm drains it
+// before the next batch.
+type batchState struct {
+	remaining atomic.Int32
+	parked    atomic.Bool
+	sema      chan struct{}
+}
+
+func newBatchState() *batchState {
+	return &batchState{sema: make(chan struct{}, 1)}
+}
+
+// arm readies the state for a batch of n chunks, discarding any stale token
+// a straggling completer posted after the previous batch's wait returned.
+func (bs *batchState) arm(n int32) {
+	bs.remaining.Store(n)
+	bs.parked.Store(false)
+	select {
+	case <-bs.sema:
+	default:
+	}
+}
+
+// complete retires n chunks. The caller that brings remaining to zero wakes
+// the dispatcher if it is parked.
+func (bs *batchState) complete(n int32) {
+	if bs.remaining.Add(-n) == 0 && bs.parked.Load() {
+		select {
+		case bs.sema <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wait blocks until every armed chunk has completed.
+func (bs *batchState) wait() {
+	for i := 0; i < dispatchSpins; i++ {
+		if bs.remaining.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	bs.parked.Store(true)
+	for bs.remaining.Load() != 0 {
+		<-bs.sema
+	}
+	bs.parked.Store(false)
+}

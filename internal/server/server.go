@@ -224,27 +224,78 @@ func (s *Server) laneSetFor(fam wire.Family, name []byte) (*laneSet, error) {
 	if s.shuttingDown {
 		return nil, errShuttingDown
 	}
-	var update func(lane int, word uint64)
+	var apply func(lane int, items []byte)
 	switch fam {
 	case wire.FamilyTheta:
-		update = s.reg.Theta(key.name).Update
+		apply = applyWords(s.writers, s.reg.Theta(key.name).UpdateBatch)
 	case wire.FamilyHLL:
-		update = s.reg.HLL(key.name).Update
+		apply = applyWords(s.writers, s.reg.HLL(key.name).UpdateBatch)
 	case wire.FamilyQuantiles:
-		sk := s.reg.Quantiles(key.name)
-		update = func(lane int, word uint64) { sk.Update(lane, math.Float64frombits(word)) }
+		apply = applyFloats(s.writers, s.reg.Quantiles(key.name).UpdateBatch)
 	case wire.FamilyCountMin:
-		update = s.reg.CountMin(key.name).Update
+		apply = applyWords(s.writers, s.reg.CountMin(key.name).UpdateBatch)
 	default:
 		return nil, wire.ErrBadFamily
 	}
-	ls := newLaneSet(s.writers, func(lane int, items []byte) {
-		for i := 0; i+wire.ItemSize <= len(items); i += wire.ItemSize {
-			update(lane, binary.LittleEndian.Uint64(items[i:]))
-		}
-	})
+	ls := newLaneSet(s.writers, apply)
 	s.lanes[key] = ls
 	return ls, nil
+}
+
+// applyBlock is the per-lane decode granularity of the batched apply path:
+// wire items are decoded into a fixed per-lane scratch in blocks this large,
+// each handed to the family's UpdateBatch, so per-item work in the lane
+// worker is one LittleEndian load and one scratch store — all sketch-side
+// coordination is amortised per block.
+const applyBlock = 512
+
+// applyWords builds a laneSet apply that decodes packed little-endian
+// uint64 items into per-lane scratch blocks and feeds them to a family's
+// batched update. One scratch block per lane, allocated once here: each lane
+// is driven by its single worker goroutine, so the blocks are never shared
+// and the steady-state path allocates nothing.
+func applyWords(writers int, update func(lane int, keys []uint64)) func(lane int, items []byte) {
+	scratch := make([][]uint64, writers)
+	for l := range scratch {
+		scratch[l] = make([]uint64, applyBlock)
+	}
+	return func(lane int, items []byte) {
+		block := scratch[lane]
+		for len(items) >= wire.ItemSize {
+			n := len(items) / wire.ItemSize
+			if n > applyBlock {
+				n = applyBlock
+			}
+			for i := 0; i < n; i++ {
+				block[i] = binary.LittleEndian.Uint64(items[i*wire.ItemSize:])
+			}
+			update(lane, block[:n])
+			items = items[n*wire.ItemSize:]
+		}
+	}
+}
+
+// applyFloats is applyWords for the quantiles family, whose wire items are
+// float64 bit patterns.
+func applyFloats(writers int, update func(lane int, vs []float64)) func(lane int, items []byte) {
+	scratch := make([][]float64, writers)
+	for l := range scratch {
+		scratch[l] = make([]float64, applyBlock)
+	}
+	return func(lane int, items []byte) {
+		block := scratch[lane]
+		for len(items) >= wire.ItemSize {
+			n := len(items) / wire.ItemSize
+			if n > applyBlock {
+				n = applyBlock
+			}
+			for i := 0; i < n; i++ {
+				block[i] = math.Float64frombits(binary.LittleEndian.Uint64(items[i*wire.ItemSize:]))
+			}
+			update(lane, block[:n])
+			items = items[n*wire.ItemSize:]
+		}
+	}
 }
 
 // drop retires the named sketch: the lane workers drain and exit first
@@ -379,6 +430,10 @@ type connState struct {
 	accHLL   *hll.Sketch
 	accQuant *quantiles.Accumulator
 	accCM    *countmin.Sketch
+
+	// bs is the connection's reusable batch-completion countdown, re-armed
+	// per OpBatch so the served ingest path allocates nothing per batch.
+	bs *batchState
 }
 
 func newConnState(s *Server) *connState {
@@ -390,6 +445,7 @@ func newConnState(s *Server) *connState {
 		quants: make(map[string]*shard.Quantiles),
 		cms:    make(map[string]*shard.CountMin),
 		lanes:  make(map[laneKey]*laneSet),
+		bs:     newBatchState(),
 	}
 }
 
@@ -464,13 +520,13 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 		if err != nil {
 			return wire.AppendError(out, req.ID, err.Error())
 		}
-		if !ls.ingest(req.Items) {
+		if !ls.ingest(req.Items, cs.bs) {
 			// The lane set closed under us (a concurrent Drop). Refresh the
 			// cache and retry once onto the recreated sketch.
 			cs.resetCaches()
 			cs.gen = cs.s.gen.Load()
 			ls, err = cs.laneSet(req.Family, req.Name)
-			if err == nil && !ls.ingest(req.Items) {
+			if err == nil && !ls.ingest(req.Items, cs.bs) {
 				err = errShuttingDown
 			}
 			if err != nil {

@@ -1,0 +1,226 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+
+	"fastsketches/internal/shard"
+)
+
+// batchKeys feeds keys through UpdateBatch in chunks, copying each chunk
+// because the Θ/HLL batched paths consume the slice as hashing scratch.
+func batchKeys(update func(lane int, keys []uint64), keys []uint64, chunk int) {
+	scratch := make([]uint64, chunk)
+	for lo := 0; lo < len(keys); lo += chunk {
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		n := copy(scratch[:hi-lo], keys[lo:hi])
+		update(0, scratch[:n])
+	}
+}
+
+func seqKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	return keys
+}
+
+// TestThetaBatchEquivalence: in the exact regime (n per shard < k) the
+// batched path must land on precisely the per-item result — routing,
+// filtering, and drain all agree.
+func TestThetaBatchEquivalence(t *testing.T) {
+	const n = 3000
+	cfg := shard.Config{Shards: 4, Writers: 1, MaxError: 1}
+	ref, err := shard.NewTheta(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seqKeys(n) {
+		ref.Update(0, k)
+	}
+	ref.Close()
+	for _, chunk := range []int{1, 7, 256, 1024} {
+		sk, err := shard.NewTheta(12, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchKeys(sk.UpdateBatch, seqKeys(n), chunk)
+		sk.Close()
+		if got, want := sk.Estimate(), ref.Estimate(); got != want {
+			t.Errorf("chunk=%d: batched estimate %v, per-item %v", chunk, got, want)
+		}
+	}
+}
+
+// TestThetaBatchConsumesScratch pins the documented contract that the Θ
+// batched path overwrites the caller's slice with hashes: results must not
+// depend on the caller reusing the mutated slice.
+func TestThetaBatchConsumesScratch(t *testing.T) {
+	sk, err := shard.NewTheta(12, shard.Config{Shards: 2, Writers: 1, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := seqKeys(100)
+	sk.UpdateBatch(0, keys)
+	mutated := false
+	for i, k := range keys {
+		if k != uint64(i) {
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Log("scratch slice was not visibly mutated; contract is may-mutate, continuing")
+	}
+	sk.Close()
+	if est := sk.Estimate(); est != 100 {
+		t.Errorf("estimate %v, want exactly 100", est)
+	}
+}
+
+// TestHLLBatchEquivalence: HLL register state is a per-key max, so the final
+// estimate is a pure function of the key set — batched and per-item paths
+// must agree exactly at any stream size.
+func TestHLLBatchEquivalence(t *testing.T) {
+	const n = 50000
+	cfg := shard.Config{Shards: 4, Writers: 1, MaxError: 1}
+	ref, err := shard.NewHLL(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seqKeys(n) {
+		ref.Update(0, k)
+	}
+	ref.Close()
+	sk, err := shard.NewHLL(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchKeys(sk.UpdateBatch, seqKeys(n), 512)
+	sk.Close()
+	if got, want := sk.Estimate(), ref.Estimate(); got != want {
+		t.Errorf("batched estimate %v, per-item %v", got, want)
+	}
+}
+
+// TestCountMinBatchEquivalence: counts are sums, so per-key estimates must
+// match the per-item path exactly on a duplicate-heavy stream.
+func TestCountMinBatchEquivalence(t *testing.T) {
+	const n, distinct = 60000, 500
+	cfg := shard.Config{Shards: 4, Writers: 1, MaxError: 1}
+	stream := make([]uint64, n)
+	for i := range stream {
+		stream[i] = uint64(i % distinct) // key k appears n/distinct times
+	}
+	ref, err := shard.NewCountMin(0.001, 0.01, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range stream {
+		ref.Update(0, k)
+	}
+	ref.Close()
+	sk, err := shard.NewCountMin(0.001, 0.01, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchKeys(sk.UpdateBatch, stream, 300)
+	sk.Close()
+	for k := uint64(0); k < distinct; k += 17 {
+		if got, want := sk.Estimate(k), ref.Estimate(k); got != want {
+			t.Errorf("key %d: batched count %d, per-item %d", k, got, want)
+		}
+		if got := sk.Estimate(k); got < n/distinct {
+			t.Errorf("key %d: count %d under true frequency %d", k, got, n/distinct)
+		}
+	}
+}
+
+// TestQuantilesBatchEquivalence: with a single lane both paths feed each
+// shard the identical value sequence, so the summaries (and therefore every
+// quantile and rank) must agree exactly.
+func TestQuantilesBatchEquivalence(t *testing.T) {
+	const n = 40000
+	cfg := shard.Config{Shards: 4, Writers: 1, MaxError: 1}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64((i * 2654435761) % n) // fixed permutation of 0..n-1
+	}
+	ref, err := shard.NewQuantiles(128, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		ref.Update(0, v)
+	}
+	ref.Close()
+	sk, err := shard.NewQuantiles(128, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < n; lo += 777 {
+		hi := lo + 777
+		if hi > n {
+			hi = n
+		}
+		chunk := make([]float64, hi-lo)
+		copy(chunk, vals[lo:hi])
+		sk.UpdateBatch(0, chunk)
+	}
+	sk.Close()
+	for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got, want := sk.Quantile(phi), ref.Quantile(phi); got != want {
+			t.Errorf("phi=%v: batched quantile %v, per-item %v", phi, got, want)
+		}
+	}
+	for v := 0.0; v < n; v += n / 7 {
+		if got, want := sk.Rank(v), ref.Rank(v); got != want {
+			t.Errorf("rank(%v): batched %v, per-item %v", v, got, want)
+		}
+	}
+}
+
+// TestCountMinBatchConcurrentLanes drives the batched path from every lane
+// concurrently (distinct per-lane scratch, shared shard group) and checks
+// count conservation: CountMin never undercounts, and with more shards than
+// collisions the totals stay near-exact after Close.
+func TestCountMinBatchConcurrentLanes(t *testing.T) {
+	const writers, perLane, distinct = 4, 30000, 64
+	sk, err := shard.NewCountMin(0.0005, 0.01, shard.Config{Shards: 4, Writers: writers, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := make([]uint64, 0, 512)
+			for i := 0; i < perLane; i++ {
+				scratch = append(scratch, uint64(i%distinct))
+				if len(scratch) == cap(scratch) {
+					sk.UpdateBatch(w, scratch)
+					scratch = scratch[:0]
+				}
+			}
+			sk.UpdateBatch(w, scratch)
+		}(w)
+	}
+	wg.Wait()
+	sk.Close()
+	for k := uint64(0); k < distinct; k++ {
+		// Per lane, key k appears ⌊perLane/distinct⌋ times plus one more when
+		// k falls inside the remainder prefix.
+		want := uint64(writers * (perLane / distinct))
+		if k < perLane%distinct {
+			want += writers
+		}
+		if got := sk.Estimate(k); got < want {
+			t.Errorf("key %d: count %d under true frequency %d", k, got, want)
+		}
+	}
+}

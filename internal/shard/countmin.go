@@ -128,3 +128,10 @@ func (c *CountMin) Merged() *countmin.Sketch {
 	c.MergeInto(acc)
 	return acc
 }
+
+// UpdateBatch adds one occurrence of each key on writer lane lane,
+// equivalent to per-item Update calls in order but with per-item
+// coordination amortised to per-chunk (see Sharded.updateBatch).
+func (c *CountMin) UpdateBatch(lane int, keys []uint64) {
+	c.updateBatch(lane, keys, c.routeKey)
+}

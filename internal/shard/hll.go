@@ -72,3 +72,15 @@ func (h *HLL) Merged() *hll.Sketch {
 	h.MergeInto(acc)
 	return acc
 }
+
+// UpdateBatch ingests a contiguous chunk of uint64 keys on writer lane lane,
+// equivalent to per-item Update calls in order but with per-item
+// coordination amortised to per-chunk (see Sharded.updateBatch). keys is
+// consumed as scratch: the call overwrites its contents with the keys'
+// hashes while routing.
+func (h *HLL) UpdateBatch(lane int, keys []uint64) {
+	for i, k := range keys {
+		keys[i] = murmur.HashUint64(k, h.seed)
+	}
+	h.updateBatch(lane, keys, func(hash uint64) uint64 { return hash })
+}

@@ -93,3 +93,13 @@ func (q *Quantiles) N() uint64 {
 	q.release(acc)
 	return n
 }
+
+// UpdateBatch ingests a contiguous chunk of values on writer lane lane,
+// equivalent to per-item Update calls in order but with per-item
+// coordination amortised to per-chunk (see Sharded.updateBatch).
+func (q *Quantiles) UpdateBatch(lane int, vs []float64) {
+	seed := q.cfg.RouteSeed
+	q.updateBatch(lane, vs, func(v float64) uint64 {
+		return murmur.HashUint64(math.Float64bits(v), seed)
+	})
+}

@@ -74,6 +74,18 @@ type epochState[T any, A Accumulator[A], C Mergeable[T, A]] struct {
 // lanes do not false-share while entering/leaving their critical sections.
 type lanePad [8]uint64
 
+// laneScratch is one writer lane's reusable routing buckets for batched
+// ingest: batch items are partitioned by destination shard here, then each
+// non-empty bucket is handed to its shard's framework in one UpdateBatch
+// call. Owned by the lane's single driving goroutine; buckets are grown on
+// demand (a resize to more shards re-dimensions them once) and retain their
+// capacity across batches, so steady-state batched ingest allocates nothing.
+type laneScratch[T any] struct {
+	_       lanePad
+	buckets [][]T
+	_       lanePad
+}
+
 // laneSeq is the per-writer-lane seqlock coordinating updates with Resize:
 // a lane increments seq to an odd value before loading the routing epoch
 // and back to even after the update lands, so a resizer that has swapped
@@ -110,7 +122,8 @@ type Sharded[T any, A Accumulator[A], C Mergeable[T, A]] struct {
 	// count.
 	accs sync.Pool
 
-	lanes []laneSeq
+	lanes   []laneSeq
+	scratch []laneScratch[T]
 
 	// view is the published materialized merged view, nil unless EnableView
 	// has built one (see view.go). Queries load it once per fold; a non-nil,
@@ -135,11 +148,12 @@ func newSharded[T any, A Accumulator[A], C Mergeable[T, A]](
 	cfg *Config, k int, mkComp func(i int) C, mkAcc func() A,
 ) *Sharded[T, A, C] {
 	s := &Sharded[T, A, C]{
-		cfg:    *cfg,
-		k:      k,
-		mkComp: mkComp,
-		mkAcc:  mkAcc,
-		lanes:  make([]laneSeq, cfg.Writers),
+		cfg:     *cfg,
+		k:       k,
+		mkComp:  mkComp,
+		mkAcc:   mkAcc,
+		lanes:   make([]laneSeq, cfg.Writers),
+		scratch: make([]laneScratch[T], cfg.Writers),
 	}
 	s.accs.New = func() any { return mkAcc() }
 	s.st.Store(s.newEpoch(cfg.Shards))
@@ -172,6 +186,48 @@ func (s *Sharded[T, A, C]) update(lane int, routeHash uint64, item T) {
 	ls.seq.Add(1) // odd: epoch load + update in flight
 	st := s.st.Load()
 	st.g.update(lane, routeHash, item)
+	ls.seq.Add(1) // even: lane idle
+}
+
+// updateBatch ingests a contiguous chunk of items on writer lane lane,
+// equivalent to calling update per item but with the per-item coordination
+// hoisted to per-chunk: the lane seqlock is entered once and the routing
+// epoch loaded once for the whole chunk (two seq-cst atomics per chunk
+// instead of two per item), items are partitioned into per-shard buckets in
+// the lane's scratch, and each non-empty bucket lands on its shard via one
+// core UpdateBatch call. route maps an item to its routing hash (the
+// family's recipe). Holding the seqlock odd for the chunk's duration delays
+// a concurrent Resize's writer grace period by at most one chunk
+// application; the epoch-consistency argument is unchanged.
+func (s *Sharded[T, A, C]) updateBatch(lane int, items []T, route func(T) uint64) {
+	if len(items) == 0 {
+		return
+	}
+	ls := &s.lanes[lane]
+	ls.seq.Add(1) // odd: epoch load + updates in flight
+	st := s.st.Load()
+	g := &st.g
+	if nsh := len(g.fws); nsh == 1 {
+		g.fws[0].UpdateBatch(lane, items)
+	} else {
+		sc := &s.scratch[lane]
+		if len(sc.buckets) < nsh {
+			grown := make([][]T, nsh)
+			copy(grown, sc.buckets)
+			sc.buckets = grown
+		}
+		buckets := sc.buckets[:nsh]
+		for _, item := range items {
+			i := g.route(route(item))
+			buckets[i] = append(buckets[i], item)
+		}
+		for i, b := range buckets {
+			if len(b) > 0 {
+				g.fws[i].UpdateBatch(lane, b)
+				buckets[i] = b[:0]
+			}
+		}
+	}
 	ls.seq.Add(1) // even: lane idle
 }
 

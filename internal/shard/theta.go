@@ -76,3 +76,15 @@ func (t *Theta) Merged() *theta.QuickSelect {
 	t.MergeInto(u)
 	return u.Result()
 }
+
+// UpdateBatch ingests a contiguous chunk of uint64 keys on writer lane lane,
+// equivalent to per-item Update calls in order but with per-item
+// coordination amortised to per-chunk (see Sharded.updateBatch). keys is
+// consumed as scratch: the call overwrites its contents with the keys'
+// hashes while routing.
+func (t *Theta) UpdateBatch(lane int, keys []uint64) {
+	for i, k := range keys {
+		keys[i] = theta.HashKey(k, t.seed)
+	}
+	t.updateBatch(lane, keys, func(h uint64) uint64 { return h })
+}
