@@ -1,0 +1,427 @@
+package fastsketches
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"time"
+
+	"fastsketches/internal/autoscale"
+	"fastsketches/internal/shard"
+	"fastsketches/internal/snapshot"
+	"fastsketches/internal/wire"
+)
+
+// Registry-wide checkpoint/restore: every registered sketch's merged state —
+// legacy ∪ draining epoch ∪ current shards, the exact fold merged queries
+// use — is exported into one versioned snapshot container
+// (internal/snapshot), together with the serving configuration worth
+// restoring: the shard count S, view settings, and the attached autoscale
+// policy's wire-travelling knobs.
+//
+// # Crash-recovery bound
+//
+// A checkpoint's fold floor is the wait-free merged fold at encode time: it
+// reflects every update acked before the checkpoint except at most the
+// sketch's Relaxation() = S·r (transiently S_old·r + S_new·r during a
+// resize) still buffered in writer lanes. Restoring the checkpoint therefore
+// guarantees: every update acked more than one checkpoint interval plus the
+// relaxation window before the crash is recovered; updates acked after the
+// last completed checkpoint's fold may be lost. Nothing is ever recovered
+// twice — the checkpoint folds into the restored sketch's legacy
+// accumulator, the same exact-once plane a Resize drains retired epochs
+// into.
+
+// checkpointable is the slice of a family wrapper the checkpoint encoder
+// drives; all four satisfy it.
+type checkpointable interface {
+	Shards() int
+	AppendSnapshot([]byte) []byte
+	ViewSettings() (shard.ViewConfig, bool)
+}
+
+// restorable is the slice of a family wrapper the restore path drives.
+type restorable interface {
+	checkpointable
+	Resize(int) error
+	ImportSnapshot([]byte) error
+	EnableView(shard.ViewConfig) error
+	DisableView() bool
+}
+
+// checkpointEntry is one sketch's collected checkpoint inputs, gathered
+// under the registry lock and encoded outside it. The slice holding these is
+// reused across checkpoints.
+type checkpointEntry struct {
+	fam       snapshot.Family
+	name      string
+	sk        checkpointable
+	hasPolicy bool
+	policy    autoscale.Policy
+}
+
+// AppendCheckpoint appends the registry's full checkpoint container to dst
+// and returns the extended slice. The encode is wait-free toward writers and
+// queriers: state is captured through the same pooled-accumulator fold
+// merged queries use, so no propagator is blocked and no new allocation
+// regime is introduced — with a pre-grown dst, steady-state checkpoints
+// allocate nothing.
+//
+// Unlike other registry methods, checkpointing works after Close: the final
+// shutdown checkpoint captures the drained (exact) state, which is the most
+// valuable one to persist.
+func (r *Registry) AppendCheckpoint(dst []byte) []byte {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	return r.appendCheckpointLocked(dst)
+}
+
+// appendCheckpointLocked is AppendCheckpoint's body; the caller holds
+// r.ckptMu (which owns the ckptEntries/ckptNameBuf scratch).
+func (r *Registry) appendCheckpointLocked(dst []byte) []byte {
+	entries := r.ckptEntries[:0]
+	r.mu.RLock()
+	for n, sk := range r.thetas {
+		entries = append(entries, checkpointEntry{fam: snapshot.FamilyTheta, name: n, sk: sk})
+	}
+	for n, sk := range r.hlls {
+		entries = append(entries, checkpointEntry{fam: snapshot.FamilyHLL, name: n, sk: sk})
+	}
+	for n, sk := range r.quants {
+		entries = append(entries, checkpointEntry{fam: snapshot.FamilyQuantiles, name: n, sk: sk})
+	}
+	for n, sk := range r.cms {
+		entries = append(entries, checkpointEntry{fam: snapshot.FamilyCountMin, name: n, sk: sk})
+	}
+	for i := range entries {
+		for _, rc := range r.controllers {
+			if any(rc.target) == any(entries[i].sk) {
+				entries[i].hasPolicy = true
+				entries[i].policy = rc.ctl.Policy()
+				break
+			}
+		}
+	}
+	r.mu.RUnlock()
+	r.ckptEntries = entries
+
+	// Deterministic record order (family, then name): map iteration is
+	// randomised, and a stable layout makes checkpoints diffable and keeps
+	// the fuzzers' corpus meaningful.
+	slices.SortFunc(entries, func(a, b checkpointEntry) int {
+		if a.fam != b.fam {
+			return int(a.fam) - int(b.fam)
+		}
+		return strings.Compare(a.name, b.name)
+	})
+
+	dst = snapshot.AppendHeader(dst, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		r.ckptNameBuf = append(r.ckptNameBuf[:0], e.name...)
+		rec := snapshot.Record{
+			Family: e.fam,
+			Name:   r.ckptNameBuf,
+			Shards: uint32(e.sk.Shards()),
+		}
+		if vc, ok := e.sk.ViewSettings(); ok {
+			rec.HasView = true
+			rec.ViewRefreshNs = int64(vc.RefreshEvery)
+			rec.ViewMaxAgeNs = int64(vc.MaxAge)
+		}
+		if e.hasPolicy {
+			rec.HasPolicy = true
+			rec.MinShards = uint32(e.policy.MinShards)
+			rec.MaxShards = uint32(e.policy.MaxShards)
+			rec.HighWater = e.policy.HighWater
+			rec.LowWater = e.policy.LowWater
+		}
+		var m snapshot.Marks
+		dst, m = snapshot.BeginRecord(dst, &rec)
+		dst = e.sk.AppendSnapshot(dst)
+		dst = snapshot.EndRecord(dst, m)
+	}
+	return dst
+}
+
+// Checkpoint encodes the registry's full checkpoint container into an
+// internal reused buffer and writes it to w in one Write call. See
+// AppendCheckpoint for the capture semantics and the crash-recovery bound.
+func (r *Registry) Checkpoint(w io.Writer) error {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	r.ckptBuf = r.appendCheckpointLocked(r.ckptBuf[:0])
+	if _, err := w.Write(r.ckptBuf); err != nil {
+		return fmt.Errorf("fastsketches: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// Restore reads one checkpoint container from rd and folds every record into
+// this registry: each record's sketch is created under its recorded name (if
+// absent), resized to its recorded shard count, its snapshot folded into the
+// sketch's legacy state (exact, no staleness contribution), and its recorded
+// view settings and autoscale policy re-attached. Restoring into a non-empty
+// registry merges: existing state is kept and the snapshot folds in on top —
+// which is also what makes Restore idempotent-unsafe (restoring the same
+// additive-family snapshot twice doubles Count-Min weights); restore into a
+// fresh registry for crash recovery.
+//
+// Writers and queriers of already-registered sketches stay active
+// throughout. Malformed input fails with the snapshot codec's typed errors,
+// family mismatches with the family's typed errors; records before the
+// failure stay imported. Restore after Close is an error.
+func (r *Registry) Restore(rd io.Reader) error {
+	r.mu.RLock()
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("fastsketches: Restore after Close")
+	}
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return fmt.Errorf("fastsketches: checkpoint read: %w", err)
+	}
+	count, rest, err := snapshot.ParseHeader(data)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		var rec snapshot.Record
+		rec, rest, err = snapshot.ParseRecord(rest)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		if err := r.restoreRecord(&rec); err != nil {
+			return fmt.Errorf("record %d (%s/%s): %w", i, rec.Family, rec.Name, err)
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d bytes after %d records", snapshot.ErrTrailing, len(rest), count)
+	}
+	return nil
+}
+
+// restoreRecord applies one parsed checkpoint record.
+func (r *Registry) restoreRecord(rec *snapshot.Record) error {
+	name := string(rec.Name)
+	var sk restorable
+	var tgt autoscale.Target
+	switch rec.Family {
+	case snapshot.FamilyTheta:
+		s := r.Theta(name)
+		sk, tgt = s, s
+	case snapshot.FamilyHLL:
+		s := r.HLL(name)
+		sk, tgt = s, s
+	case snapshot.FamilyQuantiles:
+		s := r.Quantiles(name)
+		sk, tgt = s, s
+	case snapshot.FamilyCountMin:
+		s := r.CountMin(name)
+		sk, tgt = s, s
+	default:
+		return fmt.Errorf("%w: family %d", snapshot.ErrBadRecord, rec.Family)
+	}
+	if rec.Shards < 1 || rec.Shards > wire.MaxShards {
+		return fmt.Errorf("%w: shard count %d outside [1,%d]", snapshot.ErrBadRecord, rec.Shards, wire.MaxShards)
+	}
+	if err := sk.Resize(int(rec.Shards)); err != nil {
+		return err
+	}
+	if err := sk.ImportSnapshot(rec.Blob); err != nil {
+		return err
+	}
+	if rec.HasView {
+		sk.DisableView()
+		if err := sk.EnableView(shard.ViewConfig{
+			RefreshEvery: time.Duration(rec.ViewRefreshNs),
+			MaxAge:       time.Duration(rec.ViewMaxAgeNs),
+		}); err != nil {
+			return err
+		}
+	}
+	if rec.HasPolicy {
+		// The four recorded knobs travel; the remaining policy fields take
+		// the package's production defaults, exactly as on the OpAutoscale
+		// wire path.
+		if err := r.attachController(tgt, autoscale.Policy{
+			MinShards: int(rec.MinShards),
+			MaxShards: int(rec.MaxShards),
+			HighWater: rec.HighWater,
+			LowWater:  rec.LowWater,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attachController replaces the autoscale controller(s) of one specific
+// sketch: any controller already driving tgt is detached and stopped, and a
+// fresh started one under p takes over — so a Restore into a registry with
+// live controllers swaps rather than stacks them, and stops what it
+// replaces (no goroutine leak). On a policy validation error the previous
+// controllers stay attached.
+func (r *Registry) attachController(tgt autoscale.Target, p autoscale.Policy) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("fastsketches: attach controller after Close")
+	}
+	var detached []registryController
+	kept := r.controllers[:0]
+	for _, rc := range r.controllers {
+		if any(rc.target) == any(tgt) {
+			detached = append(detached, rc)
+		} else {
+			kept = append(kept, rc)
+		}
+	}
+	ctl, err := autoscale.New(tgt, p)
+	if err != nil {
+		r.controllers = append(kept, detached...)
+		r.mu.Unlock()
+		return err
+	}
+	r.controllers = append(kept, registryController{ctl, tgt})
+	r.mu.Unlock()
+	for _, rc := range detached {
+		rc.ctl.Stop()
+	}
+	ctl.Start()
+	return nil
+}
+
+// CheckpointFile writes the registry's checkpoint atomically to path: the
+// container is written to a temporary file in the same directory, fsynced,
+// and renamed into place (with a directory fsync), so a crash mid-write can
+// never leave a truncated or torn checkpoint under path — readers see either
+// the previous complete checkpoint or the new one.
+func (r *Registry) CheckpointFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fastsketches: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := r.Checkpoint(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("fastsketches: checkpoint fsync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("fastsketches: checkpoint close: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fastsketches: checkpoint rename: %w", err)
+	}
+	// The rename must itself be durable: fsync the directory so the new
+	// entry survives a crash (best-effort on filesystems that refuse
+	// directory syncs).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// RestoreFile restores the registry from a checkpoint written by
+// CheckpointFile.
+func (r *Registry) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("fastsketches: restore open: %w", err)
+	}
+	defer f.Close()
+	return r.Restore(f)
+}
+
+// Checkpointer periodically writes the registry's checkpoint to a file —
+// the durability loop sketchd runs. Pacing goes through an injectable Clock
+// (autoscale.ManualClock satisfies it) so tests drive checkpoints
+// deterministically; the zero Clock is the system clock.
+type Checkpointer struct {
+	reg   *Registry
+	path  string
+	every time.Duration
+	clock Clock
+	onErr func(error)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCheckpointer returns an unstarted periodic checkpointer writing to path
+// every `every` on clock (nil = system clock). onErr, if non-nil, receives
+// each failed checkpoint's error (the loop keeps running — a transient
+// full-disk must not kill durability forever).
+func NewCheckpointer(reg *Registry, path string, every time.Duration, clock Clock, onErr func(error)) (*Checkpointer, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("%w: checkpoint interval must be > 0", ErrConfig)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("%w: empty checkpoint path", ErrConfig)
+	}
+	if clock == nil {
+		clock = systemClock{}
+	}
+	return &Checkpointer{
+		reg: reg, path: path, every: every, clock: clock, onErr: onErr,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// systemClock is the production Clock of the root package (shard keeps its
+// own unexported one).
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Start launches the checkpoint loop. Call once.
+func (c *Checkpointer) Start() {
+	go func() {
+		defer close(c.done)
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-c.clock.After(c.every):
+				if err := c.CheckpointNow(); err != nil && c.onErr != nil {
+					c.onErr(err)
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the loop and waits for an in-flight checkpoint to finish.
+// It does not write a final checkpoint; callers that want one (sketchd's
+// shutdown does) call CheckpointNow after Stop — checkpointing works even
+// after the registry is closed, capturing the drained exact state.
+func (c *Checkpointer) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// CheckpointNow writes one checkpoint synchronously, independent of the
+// periodic tick.
+func (c *Checkpointer) CheckpointNow() error {
+	return c.reg.CheckpointFile(c.path)
+}

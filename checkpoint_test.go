@@ -1,0 +1,446 @@
+package fastsketches_test
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fastsketches"
+	"fastsketches/internal/autoscale"
+	"fastsketches/internal/snapshot"
+	"fastsketches/internal/theta"
+)
+
+// populated builds a registry holding all four families with a quiesced
+// (exact) stream: n distinct keys into theta/hll, n items into quantiles,
+// and n countmin updates over keySpace keys. The final resize drains every
+// buffer so the state is an exact function of the stream.
+func populated(t *testing.T, n int) *fastsketches.Registry {
+	t.Helper()
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 3, Writers: 2, MaxError: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, h := reg.Theta("ck.theta"), reg.HLL("ck.hll")
+	q, cm := reg.Quantiles("ck.q"), reg.CountMin("ck.cm")
+	for i := 0; i < n; i++ {
+		k := uint64(i)
+		th.Update(i%2, k)
+		h.Update(i%2, k)
+		q.Update(i%2, float64(i))
+		cm.Update(i%2, k%61)
+	}
+	if err := errors.Join(
+		reg.ResizeTheta("ck.theta", 2), reg.ResizeHLL("ck.hll", 2),
+		reg.ResizeQuantiles("ck.q", 2), reg.ResizeCountMin("ck.cm", 2),
+	); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	const n = 2000
+	src := populated(t, n)
+	defer src.Close()
+
+	// Serving configuration rides the checkpoint: a view on the HLL and an
+	// autoscale policy on the Count-Min.
+	if _, err := src.EnableView("ck.hll", fastsketches.ViewConfig{
+		RefreshEvery: 40 * time.Millisecond, MaxAge: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Autoscale("ck.cm", autoscale.Policy{
+		MinShards: 1, MaxShards: 16, HighWater: 5e5, LowWater: 1e4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 3, Writers: 2, MaxError: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identity and geometry restored.
+	for _, want := range []struct {
+		fam, name string
+		shards    int
+	}{
+		{"theta", "ck.theta", 2}, {"hll", "ck.hll", 2},
+		{"quantiles", "ck.q", 2}, {"countmin", "ck.cm", 2},
+	} {
+		inf, ok := dst.Info(want.fam, want.name)
+		if !ok {
+			t.Fatalf("restored registry missing %s/%s", want.fam, want.name)
+		}
+		if inf.Shards != want.shards {
+			t.Errorf("%s/%s: restored shards %d, want %d", want.fam, want.name, inf.Shards, want.shards)
+		}
+	}
+
+	// Exact families agree exactly with the source.
+	if got := dst.ThetaQueryInto("ck.theta", dst.Theta("ck.theta").NewAccumulator()); got != n {
+		t.Errorf("restored theta estimate %v, want exactly %d (eager regime)", got, n)
+	}
+	srcHLL := src.HLLQueryInto("ck.hll", src.HLL("ck.hll").NewAccumulator())
+	if got := dst.HLLQueryInto("ck.hll", dst.HLL("ck.hll").NewAccumulator()); got != srcHLL {
+		t.Errorf("restored hll estimate %v, want %v", got, srcHLL)
+	}
+	cmAcc := dst.CountMin("ck.cm").NewAccumulator()
+	dst.CountMinQueryInto("ck.cm", cmAcc)
+	if cmAcc.N() != n {
+		t.Errorf("restored countmin N %d, want exactly %d", cmAcc.N(), n)
+	}
+	for key := uint64(0); key < 61; key++ {
+		if g, w := dst.CountMin("ck.cm").Estimate(key), src.CountMin("ck.cm").Estimate(key); g != w {
+			t.Errorf("countmin key %d: restored %d, source %d", key, g, w)
+		}
+	}
+	qAcc := dst.Quantiles("ck.q").NewAccumulator()
+	dst.QuantilesQueryInto("ck.q", qAcc)
+	if qAcc.N() != n {
+		t.Errorf("restored quantiles N %d, want %d", qAcc.N(), n)
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if v := qAcc.Quantile(phi); math.Abs(v/float64(n)-phi) > 0.05 {
+			t.Errorf("restored q(%v) = %v outside the rank guarantee", phi, v)
+		}
+	}
+
+	// View settings and autoscale policy re-attached.
+	if inf, _ := dst.Info("hll", "ck.hll"); !inf.ViewEnabled {
+		t.Error("restored hll sketch lost its materialized view")
+	}
+	if stopped := dst.StopAutoscale("ck.cm"); stopped != 1 {
+		t.Errorf("restored registry has %d controllers under ck.cm, want 1", stopped)
+	}
+}
+
+func TestCheckpointAfterCloseCapturesDrainedState(t *testing.T) {
+	const n = 1500
+	src := populated(t, n)
+	src.Close()
+
+	// The shutdown checkpoint: captured after Close, it holds the exact
+	// drained state.
+	ckpt := src.AppendCheckpoint(nil)
+
+	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.Restore(bytes.NewReader(ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	acc := dst.CountMin("ck.cm").NewAccumulator()
+	dst.CountMinQueryInto("ck.cm", acc)
+	if acc.N() != n {
+		t.Errorf("post-Close checkpoint N %d, want exactly %d", acc.N(), n)
+	}
+
+	// Restore, by contrast, must refuse a closed registry.
+	if err := src.Restore(bytes.NewReader(ckpt)); err == nil {
+		t.Error("Restore after Close did not error")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	const n = 800
+	src := populated(t, n)
+	defer src.Close()
+
+	path := filepath.Join(t.TempDir(), "sketchd.ckpt")
+	if err := src.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The atomic rename leaves no temp debris next to the file.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir holds %d entries, want only the checkpoint", len(entries))
+	}
+
+	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.ThetaQueryInto("ck.theta", dst.Theta("ck.theta").NewAccumulator()); got != n {
+		t.Errorf("restored theta estimate %v, want %d", got, n)
+	}
+
+	if err := dst.RestoreFile(filepath.Join(t.TempDir(), "absent.ckpt")); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing checkpoint error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestRestoreRejectsCorruptInput(t *testing.T) {
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if err := reg.Restore(bytes.NewReader([]byte("not a checkpoint"))); !errors.Is(err, snapshot.ErrMagic) {
+		t.Errorf("garbage restore error = %v, want snapshot.ErrMagic", err)
+	}
+
+	// A structurally valid container with a corrupt family blob fails with
+	// the family's typed error, wrapped with record context.
+	rec := snapshot.Record{
+		Family: snapshot.FamilyTheta, Name: []byte("bad"), Shards: 2,
+		Blob: []byte{1, 2, 3},
+	}
+	ckpt := snapshot.AppendRecord(snapshot.AppendHeader(nil, 1), &rec)
+	if err := reg.Restore(bytes.NewReader(ckpt)); !errors.Is(err, theta.ErrCorrupt) {
+		t.Errorf("corrupt blob restore error = %v, want theta.ErrCorrupt", err)
+	}
+}
+
+// TestCheckpointUnderFire checkpoints concurrently with ingest, resizes,
+// view toggles and a drop: no data race (CI runs this suite under -race),
+// no panic, and every captured checkpoint restores cleanly with a total
+// weight bounded by what was ingested.
+func TestCheckpointUnderFire(t *testing.T) {
+	const writers, perWriter = 4, 15_000
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 4, Writers: writers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	cm := reg.CountMin("fire.cm")
+	reg.Theta("fire.drop") // a sketch to Drop mid-checkpoint
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				cm.Update(w, uint64(i%127))
+			}
+		}(w)
+	}
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for s := 1; s <= 6; s++ {
+			if err := reg.ResizeCountMin("fire.cm", s); err != nil {
+				t.Errorf("resize under checkpoint fire: %v", err)
+				return
+			}
+			if _, err := reg.EnableView("fire.cm", fastsketches.ViewConfig{
+				RefreshEvery: time.Millisecond,
+			}); err != nil {
+				t.Errorf("enable view under checkpoint fire: %v", err)
+				return
+			}
+			reg.DisableView("fire.cm")
+		}
+		reg.Drop("theta", "fire.drop")
+	}()
+
+	var ckpt []byte
+	for k := 0; k < 40; k++ {
+		ckpt = reg.AppendCheckpoint(ckpt[:0])
+		dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Restore(bytes.NewReader(ckpt)); err != nil {
+			t.Fatalf("checkpoint %d taken under fire does not restore: %v", k, err)
+		}
+		acc := dst.CountMin("fire.cm").NewAccumulator()
+		dst.CountMinQueryInto("fire.cm", acc)
+		if acc.N() > writers*perWriter {
+			t.Fatalf("checkpoint %d holds N=%d > ingested %d", k, acc.N(), writers*perWriter)
+		}
+		dst.Close()
+	}
+	wg.Wait()
+	<-chaosDone
+
+	// Quiesce and verify the final checkpoint is exact.
+	if err := reg.ResizeCountMin("fire.cm", 3); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.Restore(bytes.NewReader(reg.AppendCheckpoint(nil))); err != nil {
+		t.Fatal(err)
+	}
+	acc := dst.CountMin("fire.cm").NewAccumulator()
+	dst.CountMinQueryInto("fire.cm", acc)
+	if acc.N() != writers*perWriter {
+		t.Errorf("final checkpoint N %d, want exactly %d", acc.N(), writers*perWriter)
+	}
+}
+
+// TestRestoreReplacesControllers pins the no-leak contract: repeated
+// restores with a recorded autoscale policy swap the controller rather than
+// stacking one per restore, and closing the registry returns the process to
+// its goroutine baseline.
+func TestRestoreReplacesControllers(t *testing.T) {
+	src := populated(t, 500)
+	if _, err := src.Autoscale("ck.cm", autoscale.Policy{
+		MinShards: 1, MaxShards: 8, HighWater: 1e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := src.AppendCheckpoint(nil)
+	src.Close()
+
+	baseline := runtime.NumGoroutine()
+	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := dst.Restore(bytes.NewReader(ckpt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stopped := dst.StopAutoscale("ck.cm"); stopped != 1 {
+		t.Errorf("5 restores left %d controllers attached, want 1", stopped)
+	}
+	dst.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by restore: %d > baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCheckpointerManualClock drives the periodic loop deterministically:
+// each interval elapsing on the injected clock produces a fresh checkpoint
+// file, Stop halts the loop, and a post-Close CheckpointNow still writes
+// (the shutdown path).
+func TestCheckpointerManualClock(t *testing.T) {
+	reg := populated(t, 300)
+	path := filepath.Join(t.TempDir(), "tick.ckpt")
+	mc := autoscale.NewManualClock(time.Unix(1_000_000, 0))
+	ck, err := fastsketches.NewCheckpointer(reg, path, time.Minute, mc,
+		func(err error) { t.Errorf("checkpoint error: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Start()
+
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("checkpoint written before the first interval elapsed")
+	}
+	// The loop registers its timer asynchronously after Start, so advance
+	// repeatedly until the tick lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mc.Advance(time.Minute)
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never appeared after the interval elapsed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ck.Stop()
+	ck.Stop() // idempotent
+
+	// After Stop, advancing time writes nothing: delete and verify.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	mc.Advance(10 * time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("checkpoint written after Stop")
+	}
+
+	// Shutdown order: Close then one final CheckpointNow.
+	reg.Close()
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.ThetaQueryInto("ck.theta", dst.Theta("ck.theta").NewAccumulator()); got != 300 {
+		t.Errorf("final checkpoint theta estimate %v, want 300", got)
+	}
+
+	// Config validation.
+	if _, err := fastsketches.NewCheckpointer(dst, path, 0, nil, nil); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := fastsketches.NewCheckpointer(dst, "", time.Second, nil, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+// FuzzCheckpointRestore throws arbitrary bytes at Registry.Restore: the
+// contract is a typed error or a clean import, never a panic, whatever the
+// container claims.
+func FuzzCheckpointRestore(f *testing.F) {
+	seedReg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, MaxError: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	th := seedReg.Theta("fz.t")
+	cm := seedReg.CountMin("fz.cm")
+	for i := 0; i < 500; i++ {
+		th.Update(0, uint64(i))
+		cm.Update(0, uint64(i%17))
+	}
+	f.Add(seedReg.AppendCheckpoint(nil))
+	seedReg.Close()
+	f.Add([]byte{})
+	f.Add(snapshot.AppendHeader(nil, 3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 1, Writers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reg.Close()
+		reg.Restore(bytes.NewReader(data))
+	})
+}

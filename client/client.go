@@ -176,7 +176,7 @@ func (c *Client) pick() (*conn, error) {
 // *Error. On success the caller reads the result off the returned call and
 // releases it.
 func (c *Client) do(sp *reqSpec) (*call, error) {
-	if sp.op != wire.OpPing && sp.op != wire.OpNames {
+	if sp.op != wire.OpPing && sp.op != wire.OpNames && sp.op != wire.OpCheckpoint {
 		// Validate client-side: an invalid name would be rejected as a
 		// protocol (not semantic) error and cost the connection.
 		if err := wire.ValidName(sp.name); err != nil {
@@ -361,6 +361,53 @@ func (c *Client) CountMinN(name string) (uint64, error) {
 	return c.doU64(&reqSpec{op: wire.OpQuery, fam: CountMin, q: wire.QueryN, name: name})
 }
 
+// Snapshot exports the named sketch's merged state as a portable snapshot
+// blob: a self-describing record that Restore — on this daemon, another
+// daemon, or an in-process Registry — folds back in losslessly. The export
+// reflects all but at most S·r acked updates. Unlike the ingest and query
+// paths, Snapshot does not create absent sketches; snapshotting an unknown
+// name is a server-side *Error.
+func (c *Client) Snapshot(fam Family, name string) ([]byte, error) {
+	ca, err := c.do(&reqSpec{op: wire.OpSnapshot, fam: fam, name: name})
+	if err != nil {
+		return nil, err
+	}
+	snap := append([]byte(nil), ca.body()...)
+	ca.release()
+	return snap, nil
+}
+
+// Restore folds a snapshot blob (from Snapshot, here or on another daemon)
+// into the named sketch, creating it if absent. Only sketch contents are
+// folded — the receiving sketch keeps its own shard count, view and
+// autoscale configuration. The blob's recorded family must match fam.
+func (c *Client) Restore(fam Family, name string, snap []byte) error {
+	if len(snap) > wire.MaxBlob {
+		return fmt.Errorf("client: snapshot blob %d bytes exceeds wire limit %d", len(snap), wire.MaxBlob)
+	}
+	return c.doEmpty(&reqSpec{op: wire.OpRestore, fam: fam, name: name, blob: snap})
+}
+
+// MergeRemote makes the connected daemon dial the sketchd peer at addr,
+// pull the peer's snapshot of (fam, name), and fold it into its own sketch
+// of the same name (created if absent) — one round trip from the client's
+// side, with the snapshot travelling daemon-to-daemon. The peer must
+// already have the sketch.
+func (c *Client) MergeRemote(fam Family, name, addr string) error {
+	if addr == "" || len(addr) > wire.MaxAddr {
+		return fmt.Errorf("client: peer address length %d outside [1,%d]", len(addr), wire.MaxAddr)
+	}
+	return c.doEmpty(&reqSpec{op: wire.OpMergeRemote, fam: fam, name: name, addr: addr})
+}
+
+// Checkpoint asks the daemon to write its checkpoint file now (every sketch,
+// durably, atomic rename into place) and returns once it is on disk. Errors
+// with a server-side *Error if the daemon was started without a checkpoint
+// path.
+func (c *Client) Checkpoint() error {
+	return c.doEmpty(&reqSpec{op: wire.OpCheckpoint})
+}
+
 // reqSpec carries one request's parameters to the connection writer, which
 // encodes it under the per-connection buffer lock — keeping every call
 // site's hot path free of closures and per-request buffers.
@@ -374,6 +421,8 @@ type reqSpec struct {
 	minS, maxS uint32
 	high, low  float64
 	items      []uint64
+	blob       []byte
+	addr       string
 }
 
 // conn is one pooled connection: writes serialised under wmu into a
@@ -544,6 +593,14 @@ func (cn *conn) roundTrip(sp *reqSpec) (*call, error) {
 		b = wire.AppendBatch(b, id, sp.fam, sp.name, sp.items)
 	case wire.OpQuery:
 		b = wire.AppendQuery(b, id, sp.fam, sp.q, sp.name, sp.arg)
+	case wire.OpSnapshot:
+		b = wire.AppendSnapshotReq(b, id, sp.fam, sp.name)
+	case wire.OpRestore:
+		b = wire.AppendRestore(b, id, sp.fam, sp.name, sp.blob)
+	case wire.OpMergeRemote:
+		b = wire.AppendMergeRemote(b, id, sp.fam, sp.name, sp.addr)
+	case wire.OpCheckpoint:
+		b = wire.AppendCheckpointReq(b, id)
 	}
 	cn.wbuf = b
 	_, werr := cn.bw.Write(b)

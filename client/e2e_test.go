@@ -57,6 +57,7 @@ func TestE2E(t *testing.T) {
 	}
 	_ = cl.Drop(client.CountMin, "e2e.fire")
 	_ = cl.Drop(client.Theta, "e2e.theta.exact")
+	_ = cl.Drop(client.CountMin, "e2e.mr")
 
 	// Discover the served geometry and build the in-process mirror with
 	// the same one (family accuracy parameters are the shared library
@@ -388,7 +389,79 @@ func TestE2E(t *testing.T) {
 		}
 	})
 
-	// ---- Phase 4: enumeration and drop.
+	// ---- Phase 4: remote merge. A second daemon (always in-process; the
+	// main server may be the CI binary) ingests a disjoint key range, then
+	// the main daemon pulls the peer's snapshot over the wire and folds it
+	// in. Count-Min total weight is exact after quiesces on both sides, so
+	// the fold must account for every key from both daemons exactly once.
+	t.Run("merge-remote", func(t *testing.T) {
+		peerAddr, _ := startServer(t, fastsketches.RegistryConfig{Shards: 2, Writers: 2})
+		peer, err := client.Dial(peerAddr, client.Options{Conns: 1, BatchSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer peer.Close()
+
+		const half = 10_000
+		for who, rng := range map[*client.Client][2]uint64{
+			cl:   {0, half},
+			peer: {half, 2 * half},
+		} {
+			b := who.NewBatch(client.CountMin, "e2e.mr")
+			for i := rng[0]; i < rng[1]; i++ {
+				if err := b.Add(i % 701); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := who.Resize(client.CountMin, "e2e.mr", inf.Shards+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if err := cl.MergeRemote(client.CountMin, "e2e.mr", peerAddr); err != nil {
+			t.Fatal(err)
+		}
+		n, err := cl.CountMinN("e2e.mr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2*half {
+			t.Fatalf("merged N = %d, want exactly %d (remote fold lost or duplicated weight)", n, 2*half)
+		}
+		// The in-process union of the same two streams is the reference: a
+		// single sketch fed both ranges must agree with the daemon-to-daemon
+		// fold per key (Count-Min counters are deterministic in the multiset).
+		ref := mirror.CountMin("e2e.mr")
+		for i := uint64(0); i < 2*half; i++ {
+			ref.Update(0, i%701)
+		}
+		if err := ref.Resize(inf.Shards + 1); err != nil {
+			t.Fatal(err)
+		}
+		for probe := uint64(0); probe < 20; probe++ {
+			key := probe * 37 % 701
+			servedCnt, err := cl.Count("e2e.mr", key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refCnt := ref.Estimate(key); servedCnt != refCnt {
+				t.Errorf("key %d: merged count %d != in-process union %d", key, servedCnt, refCnt)
+			}
+		}
+		// The peer was a read-only participant.
+		pn, err := peer.CountMinN("e2e.mr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pn != half {
+			t.Errorf("peer N = %d after merge, want untouched %d", pn, half)
+		}
+	})
+
+	// ---- Phase 5: enumeration and drop.
 	t.Run("admin", func(t *testing.T) {
 		got, err := cl.Names()
 		if err != nil {

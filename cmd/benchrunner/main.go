@@ -21,7 +21,8 @@
 //	benchrunner server          network front-end: loopback batched-ingest throughput + query latency
 //	benchrunner ingest          ingest hot path: server-path ns/item + batches/sec across batch sizes and lane counts, allocs pinned
 //	benchrunner view            materialized merged views: O(1)-in-S query latency vs the live fold
-//	benchrunner baseline        the CI benchmark-baseline set (sharded, mergedquery, reshard, autoscale, server, ingest, view)
+//	benchrunner checkpoint      persistence plane: registry-wide checkpoint encode ns/op (zero-alloc pinned), size, warm-start restore cost
+//	benchrunner baseline        the CI benchmark-baseline set (sharded, mergedquery, reshard, autoscale, server, ingest, view, checkpoint)
 //	benchrunner all             everything above, in order
 //
 // Use -quick for a fast smoke run (small sweeps, few trials) and -full for
@@ -47,8 +48,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"runtime"
@@ -146,7 +149,7 @@ func main() {
 	cpuProfilePath := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfilePath := flag.String("memprofile", "", "write a heap profile (after a forced GC) at the end of the run to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] [-json FILE] [-cpus N,N] [-cpuprofile FILE] [-memprofile FILE] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard autoscale server ingest view baseline all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchrunner [-quick|-full] [-json FILE] [-cpus N,N] [-cpuprofile FILE] [-memprofile FILE] TEST\nTESTs: figure1 figure3 figure4 figure5a figure5b figure6a figure6b figure7 figure8 table1 table2 quantiles-error sharded mergedquery reshard autoscale server ingest view checkpoint baseline all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -217,10 +220,11 @@ func main() {
 		"server":          serverScenario,
 		"ingest":          ingestScenario,
 		"view":            viewScenario,
+		"checkpoint":      checkpointScenario,
 	}
 	// baseline is the fixed scenario set the CI bench-baseline job runs and
 	// benchdiff gates: the scale-out layers, not the paper figures.
-	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale", "server", "ingest", "view"}
+	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale", "server", "ingest", "view", "checkpoint"}
 	finish := func() {
 		if *cpuProfilePath != "" {
 			pprof.StopCPUProfile()
@@ -253,7 +257,7 @@ func main() {
 	case "all":
 		order = []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
 			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded",
-			"mergedquery", "reshard", "autoscale", "server", "ingest", "view"}
+			"mergedquery", "reshard", "autoscale", "server", "ingest", "view", "checkpoint"}
 	case "baseline":
 		order = baselineOrder
 	default:
@@ -1300,4 +1304,115 @@ func viewScenario(sc scale) {
 		// hard process failure stays with the deterministic -race stress test.
 		fmt.Fprintf(os.Stderr, "view: WARNING: S=8 view query is %.2fx S=1 (want ≤ 2): the view fold is not O(1) in S\n", ratio)
 	}
+}
+
+// checkpointScenario: the persistence plane — steady-state cost of taking a
+// registry-wide checkpoint, the tax sketchd's durability loop pays every
+// interval. The encode folds every sketch through the same pooled
+// accumulators merged queries use and appends into a reused buffer, so with
+// a pre-grown dst the steady-state checkpoint is zero-alloc (pinned, the
+// same contract TestCheckpointZeroAllocSteadyState enforces per-op). The
+// registry is quiesced first (a real resize drains every writer lane
+// synchronously) so the measured cost is the encoder's, not the asynchronous
+// ingest tail's. Checkpoint size and the warm-start restore cost (fresh
+// registry + Restore of the blob — what a recovering sketchd pays before it
+// can serve) are reported as informational trajectory data.
+func checkpointScenario(sc scale) {
+	uniques := sc.mixedUniques
+	if uniques > 1<<16 {
+		uniques = 1 << 16 // checkpoint cost is snapshot-, not stream-, sized
+	}
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+		Shards: 4, Writers: 2, MaxError: 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer reg.Close()
+	th, h := reg.Theta("ck.users"), reg.HLL("ck.ips")
+	q, cm := reg.Quantiles("ck.lat"), reg.CountMin("ck.api")
+	for i := 0; i < uniques; i++ {
+		k := uint64(i)
+		th.Update(i%2, k)
+		h.Update(i%2, k)
+		q.Update(i%2, float64(i))
+		cm.Update(i%2, k%1024)
+	}
+	// Quiesce: propagation is asynchronous, and a propagator's merge
+	// republishes its snapshot with a fresh O(retained) copy — the ingest
+	// path's allocation, not the encoder's. A real resize (4→3) drains
+	// every published and partial writer buffer synchronously.
+	for _, err := range []error{
+		reg.ResizeTheta("ck.users", 3), reg.ResizeHLL("ck.ips", 3),
+		reg.ResizeQuantiles("ck.lat", 3), reg.ResizeCountMin("ck.api", 3),
+	} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	dst := reg.AppendCheckpoint(nil) // grow the caller-owned buffer once
+	size := len(dst)
+	resEnc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = reg.AppendCheckpoint(dst[:0])
+		}
+	})
+	resWrite := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := reg.Checkpoint(io.Discard); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	})
+	resRestore := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
+				Shards: 4, Writers: 2, MaxError: 1,
+			})
+			if err == nil {
+				err = fresh.Restore(bytes.NewReader(dst))
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fresh.Close()
+		}
+	})
+
+	fmt.Println("metric\tvalue")
+	fmt.Printf("sketches\t4\n")
+	fmt.Printf("checkpoint_bytes\t%d\n", size)
+	fmt.Printf("append_us\t%.2f\n", float64(resEnc.NsPerOp())/1e3)
+	fmt.Printf("append_allocs\t%d\n", resEnc.AllocsPerOp())
+	fmt.Printf("write_us\t%.2f\n", float64(resWrite.NsPerOp())/1e3)
+	fmt.Printf("write_allocs\t%d\n", resWrite.AllocsPerOp())
+	fmt.Printf("restore_ms\t%.2f\n", float64(resRestore.NsPerOp())/1e6)
+	record(benchfmt.Metric{Scenario: "checkpoint",
+		Name:            "registry/append",
+		NsPerOp:         float64(resEnc.NsPerOp()),
+		AllocsPerOp:     benchfmt.Int64(resEnc.AllocsPerOp()),
+		BytesPerOp:      benchfmt.Int64(resEnc.AllocedBytesPerOp()),
+		PinnedZeroAlloc: true,
+	})
+	record(benchfmt.Metric{Scenario: "checkpoint",
+		Name:            "registry/write",
+		NsPerOp:         float64(resWrite.NsPerOp()),
+		AllocsPerOp:     benchfmt.Int64(resWrite.AllocsPerOp()),
+		BytesPerOp:      benchfmt.Int64(resWrite.AllocedBytesPerOp()),
+		PinnedZeroAlloc: true,
+	})
+	record(benchfmt.Metric{Scenario: "checkpoint",
+		Name: "registry/size_bytes", Value: float64(size), Informational: true})
+	record(benchfmt.Metric{Scenario: "checkpoint",
+		Name:          "registry/restore",
+		NsPerOp:       float64(resRestore.NsPerOp()),
+		Informational: true, // dominated by registry construction: trajectory, not a gate
+	})
 }

@@ -18,13 +18,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"fastsketches"
 	"fastsketches/internal/server"
@@ -41,6 +44,9 @@ func main() {
 	quantK := flag.Int("quantiles-k", 0, "quantiles summary parameter per shard (0 = default)")
 	cmEps := flag.Float64("cm-eps", 0, "Count-Min epsilon (0 = default)")
 	cmDelta := flag.Float64("cm-delta", 0, "Count-Min delta (0 = default)")
+	restorePath := flag.String("restore", "", "checkpoint file to warm-start from (missing file is not an error)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file to write periodically and on shutdown")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: sketchd [flags]\n")
@@ -57,6 +63,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("sketchd: %v", err)
 	}
+	if *restorePath != "" {
+		switch err := reg.RestoreFile(*restorePath); {
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to warm-start from yet. With -checkpoint
+			// pointing at the same path, the file appears on first write.
+			log.Printf("sketchd: no checkpoint at %s, starting empty", *restorePath)
+		case err != nil:
+			log.Fatalf("sketchd: restore %s: %v", *restorePath, err)
+		default:
+			log.Printf("sketchd: restored %s", *restorePath)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sketchd: %v", err)
@@ -66,6 +84,17 @@ func main() {
 		ln.Addr(), cfg.Shards, cfg.Writers)
 
 	srv := server.New(reg)
+	var ck *fastsketches.Checkpointer
+	if *ckptPath != "" {
+		ck, err = fastsketches.NewCheckpointer(reg, *ckptPath, *ckptEvery, nil,
+			func(err error) { log.Printf("sketchd: checkpoint: %v", err) })
+		if err != nil {
+			log.Fatalf("sketchd: %v", err)
+		}
+		ck.Start()
+		srv.SetCheckpoint(ck.CheckpointNow)
+		log.Printf("sketchd: checkpointing to %s every %v", *ckptPath, *ckptEvery)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -78,11 +107,30 @@ func main() {
 		// A fatal accept error: still drain gracefully — handlers finish
 		// and ack in-flight work before the registry closes.
 		srv.Shutdown()
-		reg.Close()
+		drainAndCheckpoint(reg, ck)
 		log.Fatalf("sketchd: serve: %v", err)
 	}
 
 	srv.Shutdown() // in-flight batches complete and are acked before this returns
-	reg.Close()    // exact drain of every sketch buffer
+	drainAndCheckpoint(reg, ck)
 	log.Printf("sketchd: drained in-flight batches, registry closed; bye")
+}
+
+// drainAndCheckpoint closes the registry (exact drain of every sketch
+// buffer) and then writes the final checkpoint, so the file on disk holds
+// every acked update — checkpointing a closed registry reads its fully
+// drained state. The periodic loop is stopped first so the two writers
+// never interleave on the file.
+func drainAndCheckpoint(reg *fastsketches.Registry, ck *fastsketches.Checkpointer) {
+	if ck != nil {
+		ck.Stop()
+	}
+	reg.Close()
+	if ck != nil {
+		if err := ck.CheckpointNow(); err != nil {
+			log.Printf("sketchd: final checkpoint: %v", err)
+		} else {
+			log.Printf("sketchd: final checkpoint written")
+		}
+	}
 }

@@ -1,0 +1,93 @@
+package countmin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Snapshot export/import for Count-Min sketches — the persistence hooks of
+// the registry checkpoint plane. ExportTo serialises the counter grid;
+// ImportFrom is the element-wise-add fold of Merge, applied to untrusted
+// bytes with typed errors instead of panics.
+//
+// Body layout (little-endian):
+//
+//	width uint32
+//	depth uint32
+//	seed  uint64
+//	n     uint64
+//	rows  depth × width × uint64 (row-major)
+const cmSnapMin = 4 + 4 + 8 + 8
+
+// ErrCorrupt is returned when a snapshot fails structural validation.
+var ErrCorrupt = errors.New("countmin: corrupt snapshot")
+
+// ErrSnapshotMismatch is returned by ImportFrom when the snapshot's
+// dimensions or seed differ from the receiver's: counters from differently
+// hashed grids must not be added together.
+var ErrSnapshotMismatch = errors.New("countmin: snapshot config mismatch")
+
+// ExportTo appends the sketch's counters and total weight to dst and returns
+// the extended slice. The receiver is only read; with a pre-grown dst the
+// encode allocates nothing.
+func (s *Sketch) ExportTo(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.width))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.depth))
+	dst = binary.LittleEndian.AppendUint64(dst, s.seed)
+	dst = binary.LittleEndian.AppendUint64(dst, s.n)
+	for _, row := range s.rows {
+		for _, c := range row {
+			dst = binary.LittleEndian.AppendUint64(dst, c)
+		}
+	}
+	return dst
+}
+
+// ImportFrom folds a snapshot produced by ExportTo into the receiver by
+// element-wise addition — exactly the Merge/FoldInto fold. Structural
+// violations return ErrCorrupt, configuration conflicts ErrSnapshotMismatch;
+// on any error the receiver is unchanged.
+func (s *Sketch) ImportFrom(data []byte) error {
+	if len(data) < cmSnapMin {
+		return fmt.Errorf("%w: short countmin snapshot (%d bytes)", ErrCorrupt, len(data))
+	}
+	width := int(binary.LittleEndian.Uint32(data[0:]))
+	depth := int(binary.LittleEndian.Uint32(data[4:]))
+	seed := binary.LittleEndian.Uint64(data[8:])
+	n := binary.LittleEndian.Uint64(data[16:])
+	if width < 1 || depth < 1 || width > 1<<24 || depth > 1<<10 {
+		return fmt.Errorf("%w: dimensions %dx%d out of range", ErrCorrupt, width, depth)
+	}
+	if len(data) != cmSnapMin+8*width*depth {
+		return fmt.Errorf("%w: length %d does not match %dx%d grid", ErrCorrupt, len(data), width, depth)
+	}
+	grid := data[cmSnapMin:]
+	// Every row indexes every update exactly once, so each row's counter sum
+	// must cover the claimed weight. The check is one-sided (≥, not ==): a
+	// snapshot folded from live Composable shards loads n before counters
+	// that keep growing, so row sums may legitimately exceed n.
+	for r := 0; r < depth; r++ {
+		var sum uint64
+		for c := 0; c < width; c++ {
+			sum += binary.LittleEndian.Uint64(grid[8*(r*width+c):])
+		}
+		if sum < n {
+			return fmt.Errorf("%w: row %d sum %d below n %d", ErrCorrupt, r, sum, n)
+		}
+	}
+	if width != s.width || depth != s.depth {
+		return fmt.Errorf("%w: dimensions %dx%d, receiver has %dx%d", ErrSnapshotMismatch, width, depth, s.width, s.depth)
+	}
+	if seed != s.seed {
+		return fmt.Errorf("%w: seed %#x, receiver has %#x", ErrSnapshotMismatch, seed, s.seed)
+	}
+	s.n += n
+	for r := 0; r < depth; r++ {
+		row := s.rows[r]
+		for c := 0; c < width; c++ {
+			row[c] += binary.LittleEndian.Uint64(grid[8*(r*width+c):])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package countmin
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+const testSeed = 0x5EED
+
+func TestSketchSnapshotRoundTrip(t *testing.T) {
+	src := New(256, 4, testSeed)
+	for i := uint64(0); i < 20_000; i++ {
+		src.Add(i%97, 1+i%3)
+	}
+	snap := src.ExportTo(nil)
+
+	dst := New(256, 4, testSeed)
+	if err := dst.ImportFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != src.N() {
+		t.Fatalf("imported N %d, want %d", dst.N(), src.N())
+	}
+	for key := uint64(0); key < 97; key++ {
+		if g, w := dst.Estimate(key), src.Estimate(key); g != w {
+			t.Fatalf("key %d: imported estimate %d, want %d", key, g, w)
+		}
+	}
+
+	// Import is an element-wise add: folding a snapshot equals Merge.
+	other := New(256, 4, testSeed)
+	for i := uint64(0); i < 5_000; i++ {
+		other.Update(i % 13)
+	}
+	merged := New(256, 4, testSeed)
+	merged.Merge(src)
+	merged.Merge(other)
+	if err := other.ImportFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if other.N() != merged.N() {
+		t.Fatalf("folded N %d, want %d", other.N(), merged.N())
+	}
+	for key := uint64(0); key < 97; key++ {
+		if g, w := other.Estimate(key), merged.Estimate(key); g != w {
+			t.Fatalf("key %d: folded estimate %d, want %d", key, g, w)
+		}
+	}
+
+	for name, rx := range map[string]*Sketch{
+		"width": New(128, 4, testSeed),
+		"depth": New(256, 5, testSeed),
+		"seed":  New(256, 4, testSeed+1),
+	} {
+		if err := rx.ImportFrom(snap); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("%s mismatch error = %v, want ErrSnapshotMismatch", name, err)
+		}
+	}
+}
+
+func TestSketchSnapshotCorrupt(t *testing.T) {
+	src := New(8, 2, testSeed)
+	for i := uint64(0); i < 100; i++ {
+		src.Update(i % 5)
+	}
+	valid := src.ExportTo(nil)
+	mut := func(f func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	// Body layout: width u32 | depth u32 | seed u64 | n u64 | rows.
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"short", valid[:cmSnapMin-1]},
+		{"zero width", mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[0:], 0)
+		})},
+		{"huge width", mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[0:], 1<<24+1)
+		})},
+		{"length mismatch", valid[:len(valid)-8]},
+		{"row sum below n", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[16:], 1<<40)
+		})},
+	}
+	for _, tc := range cases {
+		dst := New(8, 2, testSeed)
+		if err := dst.ImportFrom(tc.in); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
+		if dst.N() != 0 {
+			t.Errorf("%s: receiver mutated by rejected import", tc.name)
+		}
+	}
+}

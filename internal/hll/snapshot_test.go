@@ -1,0 +1,83 @@
+package hll
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"fastsketches/internal/murmur"
+)
+
+const testSeed = murmur.DefaultSeed
+
+func TestSketchSnapshotRoundTrip(t *testing.T) {
+	src := New(12, testSeed)
+	for i := uint64(0); i < 10_000; i++ {
+		src.Update(i)
+	}
+	snap := src.ExportTo(nil)
+
+	dst := New(12, testSeed)
+	if err := dst.ImportFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(dst.Registers(), src.Registers()) {
+		t.Fatal("imported registers differ from source")
+	}
+	if dst.Estimate() != src.Estimate() {
+		t.Fatalf("imported estimate %v, want %v", dst.Estimate(), src.Estimate())
+	}
+
+	// Import is a register-wise max fold: merging a snapshot into a sketch
+	// that saw a different stream equals merging the sketches directly.
+	other := New(12, testSeed)
+	for i := uint64(5_000); i < 15_000; i++ {
+		other.Update(i)
+	}
+	merged := New(12, testSeed)
+	merged.Merge(src)
+	merged.Merge(other)
+	if err := other.ImportFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(other.Registers(), merged.Registers()) {
+		t.Fatal("snapshot fold differs from direct Merge")
+	}
+
+	if err := New(13, testSeed).ImportFrom(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("precision mismatch error = %v, want ErrSnapshotMismatch", err)
+	}
+	if err := New(12, testSeed+1).ImportFrom(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("seed mismatch error = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestSketchSnapshotCorrupt(t *testing.T) {
+	src := New(4, testSeed)
+	src.Update(42)
+	valid := src.ExportTo(nil)
+	mut := func(f func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	// Body layout: p u8 | seed u64 | 1<<p registers.
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"short", valid[:hllSnapMin]},
+		{"bad precision", mut(func(b []byte) { b[0] = 3 })},
+		{"length mismatch", valid[:len(valid)-1]},
+		{"impossible rank", mut(func(b []byte) { b[hllSnapMin] = 65 - 4 + 1 })},
+	}
+	for _, tc := range cases {
+		dst := New(4, testSeed)
+		if err := dst.ImportFrom(tc.in); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
+		if dst.Estimate() != 0 {
+			t.Errorf("%s: receiver mutated by rejected import", tc.name)
+		}
+	}
+}

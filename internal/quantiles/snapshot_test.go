@@ -1,0 +1,102 @@
+package quantiles
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// filledAcc returns an accumulator holding n uniform values in [0, n).
+func filledAcc(t *testing.T, n int) *Accumulator {
+	t.Helper()
+	c := NewComposable(128, NewRandomBits(1))
+	buf := make([]float64, 0, 256)
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i))
+		if len(buf) == cap(buf) {
+			c.MergeBuffer(buf)
+			buf = buf[:0]
+		}
+	}
+	c.MergeBuffer(buf)
+	a := NewAccumulator()
+	c.SnapshotMergeInto(a)
+	return a
+}
+
+func TestAccumulatorSnapshotRoundTrip(t *testing.T) {
+	src := filledAcc(t, 50_000)
+	snap := src.ExportTo(nil)
+
+	dst := NewAccumulator()
+	if err := dst.ImportFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != src.N() || dst.Min() != src.Min() || dst.Max() != src.Max() {
+		t.Fatalf("imported (n=%d, min=%v, max=%v), want (n=%d, min=%v, max=%v)",
+			dst.N(), dst.Min(), dst.Max(), src.N(), src.Min(), src.Max())
+	}
+	// The import merges the exact retained summary, so quantile answers are
+	// identical, not merely within the rank guarantee.
+	for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if g, w := dst.Quantile(phi), src.Quantile(phi); g != w {
+			t.Fatalf("q(%v): imported %v, want %v", phi, g, w)
+		}
+	}
+
+	// Empty snapshot round trip is a no-op.
+	empty := NewAccumulator()
+	if err := NewAccumulator().ImportFrom(empty.ExportTo(nil)); err != nil {
+		t.Fatalf("empty round trip: %v", err)
+	}
+}
+
+func TestAccumulatorSnapshotCorrupt(t *testing.T) {
+	valid := filledAcc(t, 10_000).ExportTo(nil)
+	mut := func(f func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	// Body layout: n u64 | min f64 | max f64 | count u32 | values | cum.
+	count := int(binary.LittleEndian.Uint32(valid[24:]))
+	valuesAt := 28
+	cumAt := valuesAt + 8*count
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"short", valid[:8]},
+		{"length mismatch", valid[:len(valid)-8]},
+		{"values with n=0", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[0:], 0)
+		})},
+		{"n without values", func() []byte {
+			b := make([]byte, accSnapMin)
+			binary.LittleEndian.PutUint64(b[0:], 5)
+			return b
+		}()},
+		{"NaN min", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(math.NaN()))
+		})},
+		{"unsorted values", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[valuesAt:], math.Float64bits(1e300))
+		})},
+		{"non-increasing cum", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[cumAt:], math.Float64bits(0))
+		})},
+		{"weight total mismatch", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[0:], 1)
+		})},
+	}
+	for _, tc := range cases {
+		dst := NewAccumulator()
+		if err := dst.ImportFrom(tc.in); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
+		if dst.N() != 0 {
+			t.Errorf("%s: receiver mutated by rejected import", tc.name)
+		}
+	}
+}

@@ -82,6 +82,11 @@ type Server struct {
 	// gen invalidates per-connection handle caches; bumped by Drop so a
 	// connection never ingests into (or queries) a sketch retired under it.
 	gen atomic.Uint64
+
+	// ckpt, when set (SetCheckpoint), serves OpCheckpoint: one synchronous
+	// checkpoint write. Guarded by mu; nil means checkpointing is not
+	// configured and the op answers with a typed error.
+	ckpt func() error
 }
 
 type laneKey struct {
@@ -434,6 +439,10 @@ type connState struct {
 	// bs is the connection's reusable batch-completion countdown, re-armed
 	// per OpBatch so the served ingest path allocates nothing per batch.
 	bs *batchState
+
+	// snapBuf is the connection's reusable snapshot-encode scratch
+	// (OpSnapshot responses and OpMergeRemote pulls).
+	snapBuf []byte
 }
 
 func newConnState(s *Server) *connState {
@@ -627,6 +636,25 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 			ViewEnabled:     inf.ViewEnabled,
 			ViewLagNs:       uint64(inf.ViewLag.Nanoseconds()),
 		})
+
+	case wire.OpSnapshot:
+		return cs.snapshot(req, out)
+
+	case wire.OpRestore:
+		return cs.restore(req, out)
+
+	case wire.OpMergeRemote:
+		return cs.mergeRemote(req, out)
+
+	case wire.OpCheckpoint:
+		fn := cs.s.checkpointFn()
+		if fn == nil {
+			return wire.AppendError(out, req.ID, "checkpointing not configured on this server")
+		}
+		if err := fn(); err != nil {
+			return wire.AppendError(out, req.ID, err.Error())
+		}
+		return wire.AppendOK(out, req.ID)
 	}
 	return wire.AppendError(out, req.ID, wire.ErrBadOp.Error())
 }

@@ -1,0 +1,263 @@
+package shard_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"fastsketches/internal/shard"
+	"fastsketches/internal/theta"
+)
+
+// The shard-layer equivalence suite: export → import → query must preserve
+// every family's answers. Deterministic families (HLL registers, Count-Min
+// counters, eager-regime Θ) must agree exactly; quantiles within the rank
+// guarantee. A quiesce (Resize) before the export makes the source state an
+// exact fold of the ingested stream, so the comparisons are tight.
+
+func TestSnapshotRoundTripTheta(t *testing.T) {
+	const writers, n = 4, 3000
+	src, err := shard.NewTheta(12, shard.Config{Shards: 4, Writers: writers, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	feedTheta(src, writers, n)
+	if err := src.Resize(3); err != nil { // exact drain into legacy
+		t.Fatal(err)
+	}
+	if src.Estimate() != n {
+		t.Fatalf("source estimate %v, want exactly %d (eager regime)", src.Estimate(), n)
+	}
+	snap := src.AppendSnapshot(nil)
+
+	dst, err := shard.NewTheta(12, shard.Config{Shards: 2, Writers: 1, MaxError: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ImportSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Estimate() != n {
+		t.Fatalf("imported estimate %v, want exactly %d", dst.Estimate(), n)
+	}
+
+	// Importing the same snapshot twice is a union no-op (same hash set).
+	if err := dst.ImportSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Estimate() != n {
+		t.Fatalf("re-imported estimate %v, want %d", dst.Estimate(), n)
+	}
+
+	// Imported state lives on the legacy plane and must survive a live
+	// Resize (resize folds legacy forward) and fresh ingest on top.
+	if err := dst.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	dst.Update(0, 1<<50|7)
+	if err := dst.Resize(2); err != nil { // quiesce the fresh key too
+		t.Fatal(err)
+	}
+	if dst.Estimate() != n+1 {
+		t.Fatalf("estimate after resize+ingest %v, want %d", dst.Estimate(), n+1)
+	}
+
+	// A corrupt blob is rejected with the family's typed error and the
+	// sketch keeps its state.
+	if err := dst.ImportSnapshot(snap[:len(snap)-3]); !errors.Is(err, theta.ErrCorrupt) {
+		t.Fatalf("truncated snapshot import error = %v, want theta.ErrCorrupt", err)
+	}
+	if dst.Estimate() != n+1 {
+		t.Fatal("rejected import mutated the sketch")
+	}
+}
+
+func TestSnapshotRoundTripHLL(t *testing.T) {
+	const n = 50_000
+	src, err := shard.NewHLL(12, shard.Config{Shards: 4, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < n; i++ {
+		src.Update(i%2, uint64(i))
+	}
+	if err := src.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	snap := src.AppendSnapshot(nil)
+
+	dst, err := shard.NewHLL(12, shard.Config{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ImportSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Registers travel exactly, so the estimates are bit-identical.
+	if dst.Estimate() != src.Estimate() {
+		t.Fatalf("imported estimate %v != source %v", dst.Estimate(), src.Estimate())
+	}
+	if math.Abs(dst.Estimate()/n-1) > 0.05 {
+		t.Fatalf("estimate %v implausible for %d distinct keys", dst.Estimate(), n)
+	}
+}
+
+func TestSnapshotRoundTripQuantiles(t *testing.T) {
+	const n = 40_000
+	src, err := shard.NewQuantiles(128, shard.Config{Shards: 4, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < n; i++ {
+		src.Update(i%2, float64(i))
+	}
+	if err := src.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	snap := src.AppendSnapshot(nil)
+
+	dst, err := shard.NewQuantiles(128, shard.Config{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ImportSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != n {
+		t.Fatalf("imported N %d, want %d", dst.N(), n)
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+		v := dst.Quantile(phi)
+		if trueRank := v / n; math.Abs(trueRank-phi) > 0.05 {
+			t.Errorf("imported q(%v) = %v (true rank %v) outside the guarantee", phi, v, trueRank)
+		}
+	}
+}
+
+func TestSnapshotRoundTripCountMin(t *testing.T) {
+	const n = 30_000
+	src, err := shard.NewCountMin(0.001, 0.001, shard.Config{Shards: 4, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < n; i++ {
+		src.Update(i%2, uint64(i%101))
+	}
+	if err := src.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	snap := src.AppendSnapshot(nil)
+
+	dst, err := shard.NewCountMin(0.001, 0.001, shard.Config{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ImportSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != n {
+		t.Fatalf("imported N %d, want exactly %d", dst.N(), n)
+	}
+	for key := uint64(0); key < 101; key++ {
+		if g, w := dst.Estimate(key), src.Estimate(key); g != w {
+			t.Fatalf("key %d: imported estimate %d, source %d", key, g, w)
+		}
+	}
+}
+
+// TestSnapshotUnderResizeFire exports while writers hammer and the shard
+// count walks: every snapshot taken mid-flight must import cleanly into a
+// fresh sketch whose total weight never exceeds what was ingested (the
+// export is a fold of completed updates only).
+func TestSnapshotUnderResizeFire(t *testing.T) {
+	const writers, perWriter = 4, 30_000
+	src, err := shard.NewCountMin(0.01, 0.01, shard.Config{Shards: 4, Writers: writers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				src.Update(w, uint64(i%257))
+			}
+		}(w)
+	}
+	resizerDone := make(chan struct{})
+	go func() {
+		defer close(resizerDone)
+		for s := 1; ; s = s%8 + 1 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := src.Resize(s); err != nil {
+				t.Errorf("resize under fire: %v", err)
+				return
+			}
+		}
+	}()
+
+	var snap []byte
+	for k := 0; k < 50; k++ {
+		snap = src.AppendSnapshot(snap[:0])
+		dst, err := shard.NewCountMin(0.01, 0.01, shard.Config{Shards: 2, Writers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.ImportSnapshot(snap); err != nil {
+			t.Fatalf("snapshot %d taken under fire does not import: %v", k, err)
+		}
+		if dst.N() > writers*perWriter {
+			t.Fatalf("snapshot %d holds N=%d > ingested %d", k, dst.N(), writers*perWriter)
+		}
+		dst.Close()
+	}
+	wg.Wait()
+	close(stop)
+	<-resizerDone
+
+	// After the stream completes, a final quiesce + snapshot is exact.
+	if err := src.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := shard.NewCountMin(0.01, 0.01, shard.Config{Shards: 1, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ImportSnapshot(src.AppendSnapshot(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != writers*perWriter {
+		t.Fatalf("final snapshot N %d, want exactly %d", dst.N(), writers*perWriter)
+	}
+}
+
+// TestImportLegacyAfterClose pins the lifecycle error.
+func TestImportLegacyAfterClose(t *testing.T) {
+	sk, err := shard.NewTheta(12, shard.Config{Shards: 2, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sk.AppendSnapshot(nil)
+	sk.Close()
+	if err := sk.ImportSnapshot(snap); err == nil {
+		t.Fatal("ImportSnapshot after Close did not error")
+	}
+}

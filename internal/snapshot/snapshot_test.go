@@ -1,0 +1,236 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/murmur"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/theta"
+)
+
+func fullRecord() Record {
+	return Record{
+		Family:        FamilyCountMin,
+		Name:          []byte("metrics/api.requests"),
+		Shards:        12,
+		HasView:       true,
+		ViewRefreshNs: int64(50_000_000),
+		ViewMaxAgeNs:  -1,
+		HasPolicy:     true,
+		MinShards:     2,
+		MaxShards:     64,
+		HighWater:     1.5e6,
+		LowWater:      2.5e5,
+		Blob:          []byte{1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	b := AppendHeader(nil, 7)
+	if len(b) != headerLen {
+		t.Fatalf("header is %d bytes, want %d", len(b), headerLen)
+	}
+	count, rest, err := ParseHeader(append(b, 0xAA))
+	if err != nil || count != 7 || len(rest) != 1 {
+		t.Fatalf("ParseHeader = (%d, %d bytes, %v), want (7, 1, nil)", count, len(rest), err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short", func(b []byte) []byte { return b[:headerLen-1] }, ErrTruncated},
+		{"magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrMagic},
+		{"version", func(b []byte) []byte { b[4] = 99; return b }, ErrVersion},
+		{"count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], MaxRecords+1)
+			return b
+		}, ErrBadRecord},
+	} {
+		in := tc.mut(AppendHeader(nil, 0))
+		if _, _, err := ParseHeader(in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := fullRecord()
+	b := AppendRecord(nil, &want)
+	got, rest, err := ParseRecord(append(b, 0xEE, 0xFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("rest = %d bytes, want 2", len(rest))
+	}
+	if got.Family != want.Family || !bytes.Equal(got.Name, want.Name) ||
+		got.Shards != want.Shards ||
+		got.HasView != want.HasView || got.ViewRefreshNs != want.ViewRefreshNs ||
+		got.ViewMaxAgeNs != want.ViewMaxAgeNs ||
+		got.HasPolicy != want.HasPolicy || got.MinShards != want.MinShards ||
+		got.MaxShards != want.MaxShards || got.HighWater != want.HighWater ||
+		got.LowWater != want.LowWater || !bytes.Equal(got.Blob, want.Blob) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Optional blocks absent: flags stay zero and the blocks are skipped.
+	bare := Record{Family: FamilyTheta, Name: []byte("x"), Shards: 1, Blob: nil}
+	got, _, err = ParseRecord(AppendRecord(nil, &bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasView || got.HasPolicy || len(got.Blob) != 0 {
+		t.Fatalf("bare record round trip = %+v", got)
+	}
+
+	// BeginRecord/EndRecord must equal AppendRecord byte for byte.
+	streamed, m := BeginRecord(nil, &want)
+	streamed = append(streamed, want.Blob...)
+	streamed = EndRecord(streamed, m)
+	if !bytes.Equal(streamed, b) {
+		t.Fatal("BeginRecord/EndRecord differs from AppendRecord")
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	valid := AppendRecord(nil, &Record{
+		Family: FamilyHLL, Name: []byte("n"), Shards: 2, Blob: []byte{9},
+	})
+	mut := func(f func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"short length", valid[:3], ErrTruncated},
+		{"announced beyond input", valid[:len(valid)-1], ErrTruncated},
+		{"huge recLen", mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b, math.MaxUint32)
+		}), ErrBadRecord},
+		{"unknown family", mut(func(b []byte) { b[4] = 200 }), ErrBadRecord},
+		{"empty name", mut(func(b []byte) { b[5] = 0 }), ErrBadRecord},
+		{"name past body", mut(func(b []byte) { b[5] = 100 }), ErrTruncated},
+		{"unknown flags", mut(func(b []byte) { b[11] |= 0x80 }), ErrBadRecord},
+		{"blob length mismatch", mut(func(b []byte) { b[12]++ }), ErrBadRecord},
+	}
+	for _, tc := range cases {
+		if _, _, err := ParseRecord(tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Truncated optional blocks.
+	viewRec := AppendRecord(nil, &Record{
+		Family: FamilyTheta, Name: []byte("v"), Shards: 1, HasView: true,
+	})
+	cut := viewRec[:len(viewRec)-6] // into the view block
+	binary.LittleEndian.PutUint32(cut, uint32(len(cut)-4))
+	if _, _, err := ParseRecord(cut); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated view block: err = %v, want %v", err, ErrTruncated)
+	}
+}
+
+func TestPortableRoundTrip(t *testing.T) {
+	want := fullRecord()
+	b := AppendPortable(nil, &want)
+	got, err := ParsePortable(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Name, want.Name) || !bytes.Equal(got.Blob, want.Blob) {
+		t.Fatalf("portable round trip: got %+v", got)
+	}
+
+	if _, err := ParsePortable(append(b, 0)); !errors.Is(err, ErrTrailing) {
+		t.Errorf("trailing byte: err = %v, want %v", err, ErrTrailing)
+	}
+	if _, err := ParsePortable([]byte{9}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("one byte: err = %v, want %v", err, ErrTruncated)
+	}
+	skew := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint16(skew, Version+1)
+	if _, err := ParsePortable(skew); !errors.Is(err, ErrVersion) {
+		t.Errorf("version skew: err = %v, want %v", err, ErrVersion)
+	}
+
+	// BeginPortable/EndPortable equals AppendPortable byte for byte.
+	streamed, m := BeginPortable(nil, &want)
+	streamed = append(streamed, want.Blob...)
+	streamed = EndPortable(streamed, m)
+	if !bytes.Equal(streamed, b) {
+		t.Fatal("BeginPortable/EndPortable differs from AppendPortable")
+	}
+}
+
+// FuzzSnapshotDecode throws arbitrary bytes at every decode surface of the
+// persistence plane: the container header + record stream, the portable
+// record, and all four families' ImportFrom hooks. The invariant everywhere
+// is the same — typed error or success, never a panic, and a record that
+// parses must re-encode to an identical parse.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendHeader(nil, 0))
+	rec := fullRecord()
+	f.Add(AppendRecord(AppendHeader(nil, 1), &rec))
+	f.Add(AppendPortable(nil, &rec))
+
+	// Valid family bodies so the fuzzer explores deep into each decoder.
+	u := theta.NewUnion(6, murmur.DefaultSeed)
+	for i := uint64(1); i < 40; i++ {
+		u.AddHashes([]uint64{i * 0x9E3779B97F4A7C15}, math.MaxUint64)
+	}
+	f.Add(u.ExportTo(nil))
+	h := hll.New(4, murmur.DefaultSeed)
+	for i := uint64(0); i < 100; i++ {
+		h.Update(i)
+	}
+	f.Add(h.ExportTo(nil))
+	qc := quantiles.NewComposable(64, quantiles.NewFixedBits(true))
+	qc.MergeBuffer([]float64{1, 2, 3, 4, 5})
+	qa := quantiles.NewAccumulator()
+	qc.SnapshotMergeInto(qa)
+	f.Add(qa.ExportTo(nil))
+	cm := countmin.New(32, 3, murmur.DefaultSeed)
+	for i := uint64(0); i < 50; i++ {
+		cm.Update(i % 7)
+	}
+	f.Add(cm.ExportTo(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if count, rest, err := ParseHeader(data); err == nil {
+			for i := 0; i < count && len(rest) > 0; i++ {
+				rec, next, err := ParseRecord(rest)
+				if err != nil {
+					break
+				}
+				re, _, rerr := ParseRecord(AppendRecord(nil, &rec))
+				if rerr != nil {
+					t.Fatalf("re-encoded record does not parse: %v", rerr)
+				}
+				if re.Family != rec.Family || !bytes.Equal(re.Name, rec.Name) ||
+					!bytes.Equal(re.Blob, rec.Blob) {
+					t.Fatal("record re-encode round trip mismatch")
+				}
+				rest = next
+			}
+		}
+		ParsePortable(data)
+
+		theta.NewUnion(10, murmur.DefaultSeed).ImportFrom(data)
+		hll.New(12, murmur.DefaultSeed).ImportFrom(data)
+		quantiles.NewAccumulator().ImportFrom(data)
+		countmin.New(64, 4, murmur.DefaultSeed).ImportFrom(data)
+	})
+}

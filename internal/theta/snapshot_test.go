@@ -1,0 +1,101 @@
+package theta
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// exactUnion returns a union in the exact regime (Θ = 1) holding n distinct
+// pseudo-hashes, plus the hashes themselves.
+func exactUnion(t *testing.T, lgK int, n int) (*Union, []uint64) {
+	t.Helper()
+	u := NewUnion(lgK, testSeed)
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = uint64(i+1) * 0x9E3779B97F4A7C15
+	}
+	u.AddHashes(hashes, math.MaxUint64)
+	return u, hashes
+}
+
+func TestUnionSnapshotRoundTrip(t *testing.T) {
+	src, _ := exactUnion(t, 10, 300)
+	snap := src.ExportTo(nil)
+
+	dst := NewUnion(10, testSeed)
+	if err := dst.ImportFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.Estimate(), src.Estimate(); got != want {
+		t.Fatalf("imported estimate %v, want %v", got, want)
+	}
+	if dst.Estimate() != 300 {
+		t.Fatalf("exact-regime estimate %v, want 300", dst.Estimate())
+	}
+
+	// Import folds like a union: disjoint state accumulates, shared state
+	// dedups.
+	other, _ := exactUnion(t, 10, 300) // same 300 hashes
+	extra := NewUnion(10, testSeed)
+	extra.AddHashes([]uint64{^uint64(7), ^uint64(8)}, math.MaxUint64)
+	if err := other.ImportFrom(extra.ExportTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.ImportFrom(snap); err != nil { // duplicate fold: no-op
+		t.Fatal(err)
+	}
+	if other.Estimate() != 302 {
+		t.Fatalf("folded estimate %v, want 302", other.Estimate())
+	}
+
+	// A different lgK receiver is fine (union semantics tolerate mixed
+	// nominal sizes); a different seed is not.
+	if err := NewUnion(12, testSeed).ImportFrom(snap); err != nil {
+		t.Fatalf("mixed-lgK import: %v", err)
+	}
+	if err := NewUnion(10, testSeed+1).ImportFrom(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("seed mismatch error = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestUnionSnapshotCorrupt(t *testing.T) {
+	src, _ := exactUnion(t, 10, 50)
+	valid := src.ExportTo(nil)
+	mut := func(f func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	// Body layout: lgK u8 | seed u64 | theta u64 | count u32 | hashes.
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"short", valid[:unionSnapMin-1]},
+		{"bad lgK", mut(func(b []byte) { b[0] = 63 })},
+		{"zero theta", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[9:], 0)
+		})},
+		{"count mismatch", mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[17:], 49)
+		})},
+		{"zero hash", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[21:], 0)
+		})},
+		{"hash at theta", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[9:], 1000) // theta
+			binary.LittleEndian.PutUint64(b[21:], 1000)
+		})},
+	}
+	for _, tc := range cases {
+		dst := NewUnion(10, testSeed)
+		if err := dst.ImportFrom(tc.in); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
+		if dst.Estimate() != 0 {
+			t.Errorf("%s: receiver mutated by rejected import", tc.name)
+		}
+	}
+}

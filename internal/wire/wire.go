@@ -36,6 +36,10 @@
 //	OpInfo       metadata for the named sketch           → Info
 //	OpEnableView   materialize the named sketch's merged view  → empty
 //	OpDisableView  drop the named sketch's merged view         → empty
+//	OpSnapshot     export the named sketch's merged state      → portable snapshot record
+//	OpRestore      fold a portable snapshot into the named sketch  → empty
+//	OpMergeRemote  pull a sketch from another daemon and fold it   → empty
+//	OpCheckpoint   write the server's checkpoint file now          → empty
 //
 // Batch items are fixed 8-byte words: uint64 keys for Θ/HLL/Count-Min,
 // IEEE-754 bits (math.Float64bits) for quantiles values. Fixed-size items
@@ -85,6 +89,15 @@ const (
 	// one malicious frame cannot make the server build billions of shard
 	// frameworks; receivers reject values outside [1, MaxShards].
 	MaxShards = 4096
+	// MaxAddr is the longest peer address an OpMergeRemote request may name
+	// (uint16 length prefix; host:port and bracketed IPv6 fit comfortably).
+	MaxAddr = 512
+	// MaxBlob is the largest snapshot blob an OpRestore frame can carry
+	// within MaxFrame (header, family, name, count prefix accounted). An
+	// OpSnapshot response is bounded the same way: a sketch whose portable
+	// snapshot would exceed the frame budget is reported as a typed error,
+	// never an oversized frame.
+	MaxBlob = MaxFrame - headerLen - 2 - MaxName - 4
 )
 
 // Op identifies a request's operation.
@@ -103,6 +116,10 @@ const (
 	OpInfo
 	OpEnableView
 	OpDisableView
+	OpSnapshot
+	OpRestore
+	OpMergeRemote
+	OpCheckpoint
 	opMax
 )
 
@@ -173,6 +190,9 @@ var (
 	ErrBadName       = errors.New("wire: bad sketch name")
 	ErrBadCount      = errors.New("wire: item count does not match payload")
 	ErrBadStatus     = errors.New("wire: unknown response status")
+	ErrBadBlob       = errors.New("wire: blob length does not match payload")
+	ErrBadAddr       = errors.New("wire: bad remote address")
+	ErrBlobTooLarge  = errors.New("wire: snapshot blob exceeds frame budget")
 )
 
 // ValidName reports whether a sketch name fits the wire format (1..MaxName
@@ -313,6 +333,52 @@ func AppendDisableView(dst []byte, id uint32, name string) []byte {
 	dst, m := beginFrame(dst)
 	dst = appendHeader(dst, byte(OpDisableView), id)
 	return endFrame(appendName(dst, name), m)
+}
+
+// AppendSnapshotReq appends an OpSnapshot request frame: export the named
+// sketch's merged state as a portable snapshot record (the success response
+// body).
+func AppendSnapshotReq(dst []byte, id uint32, fam Family, name string) []byte {
+	dst, m := appendFamName(dst, OpSnapshot, id, fam, name)
+	return endFrame(dst, m)
+}
+
+// AppendRestore appends an OpRestore request frame folding a portable
+// snapshot record (as returned by OpSnapshot) into the named sketch. The
+// blob is opaque to the wire layer; callers cap len(blob) at MaxBlob.
+func AppendRestore(dst []byte, id uint32, fam Family, name string, blob []byte) []byte {
+	dst, m := appendFamName(dst, OpRestore, id, fam, name)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(blob)))
+	dst = append(dst, blob...)
+	return endFrame(dst, m)
+}
+
+// AppendMergeRemote appends an OpMergeRemote request frame: the server dials
+// addr (another sketchd), pulls the named sketch's snapshot over OpSnapshot,
+// and folds it into its local sketch of the same family and name.
+func AppendMergeRemote(dst []byte, id uint32, fam Family, name, addr string) []byte {
+	dst, m := appendFamName(dst, OpMergeRemote, id, fam, name)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(addr)))
+	dst = append(dst, addr...)
+	return endFrame(dst, m)
+}
+
+// AppendCheckpointReq appends an OpCheckpoint request frame: write the
+// server's checkpoint file now (fails as a typed error when the server runs
+// without one configured).
+func AppendCheckpointReq(dst []byte, id uint32) []byte {
+	dst, m := beginFrame(dst)
+	return endFrame(appendHeader(dst, byte(OpCheckpoint), id), m)
+}
+
+// AppendOKBytes appends a success response whose body is an opaque byte
+// blob (the OpSnapshot response). Callers cap len(body) so the frame stays
+// within MaxFrame.
+func AppendOKBytes(dst []byte, id uint32, body []byte) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusOK, id)
+	dst = append(dst, body...)
+	return endFrame(dst, m)
 }
 
 // AppendBatch appends an OpBatch request frame carrying len(items) 8-byte
@@ -462,6 +528,11 @@ type Request struct {
 	MinShards, MaxShards uint32
 	High, Low            float64
 	Items                []byte
+	// Blob is the OpRestore snapshot payload (a view into the parse buffer,
+	// like Name and Items).
+	Blob []byte
+	// Addr is the OpMergeRemote peer address (a view into the parse buffer).
+	Addr []byte
 }
 
 // NumItems returns the batch item count.
@@ -488,6 +559,19 @@ func (c *cursor) u8() byte {
 	}
 	v := c.b[0]
 	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 2 {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b)
+	c.b = c.b[2:]
 	return v
 }
 
@@ -568,11 +652,33 @@ func ParseRequest(p []byte) (Request, error) {
 	}
 	c := cursor{b: p[headerLen:]}
 	switch req.Op {
-	case OpPing, OpNames:
+	case OpPing, OpNames, OpCheckpoint:
 		// empty body
-	case OpCreate, OpDrop, OpInfo:
+	case OpCreate, OpDrop, OpInfo, OpSnapshot:
 		req.Family = c.family()
 		req.Name = c.name()
+	case OpRestore:
+		req.Family = c.family()
+		req.Name = c.name()
+		n := c.u32()
+		if c.err == nil {
+			if n > MaxBlob || int(n) != len(c.b) {
+				return req, ErrBadBlob
+			}
+			req.Blob = c.b
+			c.b = nil
+		}
+	case OpMergeRemote:
+		req.Family = c.family()
+		req.Name = c.name()
+		n := c.u16()
+		if c.err == nil {
+			if n == 0 || n > MaxAddr || int(n) != len(c.b) {
+				return req, ErrBadAddr
+			}
+			req.Addr = c.b
+			c.b = nil
+		}
 	case OpResize:
 		req.Family = c.family()
 		req.Name = c.name()

@@ -157,6 +157,15 @@ type Registry struct {
 	// the loops of a dropped sketch; Close stops them before stopping any
 	// propagator, so a controller can never resize a closing sketch.
 	controllers []registryController
+
+	// ckptMu serialises checkpoint encodes and guards the reusable
+	// checkpoint scratch below, so steady-state checkpoints (a periodic
+	// Checkpointer) allocate nothing once the scratch has grown to the
+	// working size. See checkpoint.go.
+	ckptMu      sync.Mutex
+	ckptEntries []checkpointEntry
+	ckptNameBuf []byte
+	ckptBuf     []byte
 }
 
 // registryController pairs an attached controller with the sketch it
