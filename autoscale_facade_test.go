@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 // Registry autoscaling facade tests: Autoscale/AutoscaleAll attach one

@@ -212,16 +212,16 @@ func (r *Registry) restoreRecord(rec *snapshot.Record) error {
 	var tgt autoscale.Target
 	switch rec.Family {
 	case snapshot.FamilyTheta:
-		s := r.Theta(name)
+		s := r.getTheta(name)
 		sk, tgt = s, s
 	case snapshot.FamilyHLL:
-		s := r.HLL(name)
+		s := r.getHLL(name)
 		sk, tgt = s, s
 	case snapshot.FamilyQuantiles:
-		s := r.Quantiles(name)
+		s := r.getQuantiles(name)
 		sk, tgt = s, s
 	case snapshot.FamilyCountMin:
-		s := r.CountMin(name)
+		s := r.getCountMin(name)
 		sk, tgt = s, s
 	default:
 		return fmt.Errorf("%w: family %d", snapshot.ErrBadRecord, rec.Family)
@@ -286,6 +286,9 @@ func (r *Registry) attachController(tgt autoscale.Target, p autoscale.Policy) er
 		r.controllers = append(kept, detached...)
 		r.mu.Unlock()
 		return err
+	}
+	if r.memPressure != nil {
+		ctl.SetMemoryPressure(r.memPressure)
 	}
 	r.controllers = append(kept, registryController{ctl, tgt})
 	r.mu.Unlock()

@@ -1,5 +1,6 @@
 //go:build !race
 
+//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 // TestCheckpointZeroAllocSteadyState enforces the checkpoint encoder's

@@ -69,6 +69,10 @@ const (
 // Info is the served sketch metadata returned by Client.Info.
 type Info = wire.Info
 
+// OpsStats is the daemon's lifecycle sweeper / memory-budget counters
+// returned by Client.OpsStats.
+type OpsStats = wire.OpsStats
+
 // ErrClosed is returned by operations on a closed Client.
 var ErrClosed = errors.New("client: closed")
 
@@ -176,7 +180,8 @@ func (c *Client) pick() (*conn, error) {
 // *Error. On success the caller reads the result off the returned call and
 // releases it.
 func (c *Client) do(sp *reqSpec) (*call, error) {
-	if sp.op != wire.OpPing && sp.op != wire.OpNames && sp.op != wire.OpCheckpoint {
+	if sp.op != wire.OpPing && sp.op != wire.OpNames && sp.op != wire.OpCheckpoint &&
+		sp.op != wire.OpOpsStats {
 		// Validate client-side: an invalid name would be rejected as a
 		// protocol (not semantic) error and cost the connection.
 		if err := wire.ValidName(sp.name); err != nil {
@@ -408,6 +413,24 @@ func (c *Client) Checkpoint() error {
 	return c.doEmpty(&reqSpec{op: wire.OpCheckpoint})
 }
 
+// OpsStats reports the daemon's lifecycle sweeper and memory-budget
+// counters: sweeps run, idle-TTL evictions, budget sheds and shrinks, the
+// latest resident-bytes estimate, the configured budget, and the live
+// sketch count. Errors with a server-side *Error if the daemon was started
+// without an ops manager (no -idle-ttl / -mem-budget).
+func (c *Client) OpsStats() (OpsStats, error) {
+	ca, err := c.do(&reqSpec{op: wire.OpOpsStats})
+	if err != nil {
+		return OpsStats{}, err
+	}
+	st, perr := wire.ParseOpsStats(ca.body())
+	ca.release()
+	if perr != nil {
+		return OpsStats{}, fmt.Errorf("client: ops stats: %w", perr)
+	}
+	return st, nil
+}
+
 // reqSpec carries one request's parameters to the connection writer, which
 // encodes it under the per-connection buffer lock — keeping every call
 // site's hot path free of closures and per-request buffers.
@@ -601,6 +624,8 @@ func (cn *conn) roundTrip(sp *reqSpec) (*call, error) {
 		b = wire.AppendMergeRemote(b, id, sp.fam, sp.name, sp.addr)
 	case wire.OpCheckpoint:
 		b = wire.AppendCheckpointReq(b, id)
+	case wire.OpOpsStats:
+		b = wire.AppendOpsStatsReq(b, id)
 	}
 	cn.wbuf = b
 	_, werr := cn.bw.Write(b)

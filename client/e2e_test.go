@@ -174,8 +174,12 @@ func TestE2E(t *testing.T) {
 
 		// Mirror the identical stream in-process (order-independent for
 		// Θ/HLL/Count-Min, so a single sequential lane suffices).
-		mt, mh := mirror.Theta(names[client.Theta]), mirror.HLL(names[client.HLL])
-		mc, mq := mirror.CountMin(names[client.CountMin]), mirror.Quantiles(names[client.Quantiles])
+		mtH, _ := mirror.OpenTheta(names[client.Theta], fastsketches.Spec{})
+		mhH, _ := mirror.OpenHLL(names[client.HLL], fastsketches.Spec{})
+		mcH, _ := mirror.OpenCountMin(names[client.CountMin], fastsketches.Spec{})
+		mqH, _ := mirror.OpenQuantiles(names[client.Quantiles], fastsketches.Spec{})
+		mt, mh := mtH.Sketch(), mhH.Sketch()
+		mc, mq := mcH.Sketch(), mqH.Sketch()
 		for g := 0; g < writers; g++ {
 			for i := 0; i < perWriter; i++ {
 				k := uint64(g)*perWriter + uint64(i)
@@ -213,7 +217,9 @@ func TestE2E(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		local := mirror.ThetaQueryInto(names[client.Theta], mt.NewAccumulator())
+		mtAcc := mt.NewAccumulator()
+		mt.QueryInto(mtAcc)
+		local := mtAcc.Estimate()
 		truth := float64(writers * perWriter)
 		if math.Abs(served/local-1) > 0.05 ||
 			math.Abs(served/truth-1) > 0.05 || math.Abs(local/truth-1) > 0.05 {
@@ -234,7 +240,8 @@ func TestE2E(t *testing.T) {
 		if err := be.Flush(); err != nil {
 			t.Fatal(err)
 		}
-		me := mirror.Theta("e2e.theta.exact")
+		meH, _ := mirror.OpenTheta("e2e.theta.exact", fastsketches.Spec{})
+		me := meH.Sketch()
 		for i := 0; i < exactKeys; i++ {
 			me.Update(0, uint64(i))
 		}
@@ -248,7 +255,9 @@ func TestE2E(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if localExact := mirror.ThetaQueryInto("e2e.theta.exact", me.NewAccumulator()); servedExact != localExact {
+		meAcc := me.NewAccumulator()
+		me.QueryInto(meAcc)
+		if localExact := meAcc.Estimate(); servedExact != localExact {
 			t.Errorf("theta exact regime: served %v != in-process QueryInto %v", servedExact, localExact)
 		} else if servedExact != exactKeys {
 			t.Errorf("theta exact regime: estimate %v, want exactly %d", servedExact, exactKeys)
@@ -259,7 +268,9 @@ func TestE2E(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		local = mirror.HLLQueryInto(names[client.HLL], mh.NewAccumulator())
+		mhAcc := mh.NewAccumulator()
+		mh.QueryInto(mhAcc)
+		local = mhAcc.Estimate()
 		if served != local {
 			t.Errorf("hll: served %v != in-process QueryInto %v", served, local)
 		}
@@ -270,7 +281,7 @@ func TestE2E(t *testing.T) {
 			t.Fatal(err)
 		}
 		acc := mc.NewAccumulator()
-		mirror.CountMinQueryInto(names[client.CountMin], acc)
+		mc.QueryInto(acc)
 		if n != acc.N() || n != writers*perWriter {
 			t.Errorf("countmin: served N %d, in-process %d, ingested %d", n, acc.N(), writers*perWriter)
 		}
@@ -301,7 +312,7 @@ func TestE2E(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mirror.QuantilesQueryInto(names[client.Quantiles], qacc)
+			mq.QueryInto(qacc)
 			localRank := qacc.Rank(v)
 			if math.Abs(localRank-phi) > 0.05 {
 				t.Errorf("quantiles: served q(%v)=%v has in-process rank %v", phi, v, localRank)
@@ -434,7 +445,8 @@ func TestE2E(t *testing.T) {
 		// The in-process union of the same two streams is the reference: a
 		// single sketch fed both ranges must agree with the daemon-to-daemon
 		// fold per key (Count-Min counters are deterministic in the multiset).
-		ref := mirror.CountMin("e2e.mr")
+		refH, _ := mirror.OpenCountMin("e2e.mr", fastsketches.Spec{})
+		ref := refH.Sketch()
 		for i := uint64(0); i < 2*half; i++ {
 			ref.Update(0, i%701)
 		}

@@ -198,7 +198,11 @@ func TestClientCheckpointConfigured(t *testing.T) {
 	if err := fresh.RestoreFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if got := fresh.CountMin("hits").N(); got != n {
+	freshH, err := fresh.OpenCountMin("hits", fastsketches.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := freshH.Sketch().N(); got != n {
 		t.Fatalf("restored registry CountMin N = %d, want %d", got, n)
 	}
 }

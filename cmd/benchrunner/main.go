@@ -70,6 +70,7 @@ import (
 	"fastsketches/internal/benchfmt"
 	"fastsketches/internal/harness"
 	"fastsketches/internal/mergedbench"
+	"fastsketches/internal/ops"
 	"fastsketches/internal/server"
 	"fastsketches/internal/shard"
 	"fastsketches/internal/stats"
@@ -221,10 +222,11 @@ func main() {
 		"ingest":          ingestScenario,
 		"view":            viewScenario,
 		"checkpoint":      checkpointScenario,
+		"ops":             opsScenario,
 	}
 	// baseline is the fixed scenario set the CI bench-baseline job runs and
 	// benchdiff gates: the scale-out layers, not the paper figures.
-	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale", "server", "ingest", "view", "checkpoint"}
+	baselineOrder := []string{"sharded", "mergedquery", "reshard", "autoscale", "server", "ingest", "view", "checkpoint", "ops"}
 	finish := func() {
 		if *cpuProfilePath != "" {
 			pprof.StopCPUProfile()
@@ -257,7 +259,7 @@ func main() {
 	case "all":
 		order = []string{"table1", "figure3", "figure4", "figure1", "figure5a", "figure5b",
 			"figure6a", "figure6b", "figure7", "figure8", "table2", "quantiles-error", "sharded",
-			"mergedquery", "reshard", "autoscale", "server", "ingest", "view", "checkpoint"}
+			"mergedquery", "reshard", "autoscale", "server", "ingest", "view", "checkpoint", "ops"}
 	case "baseline":
 		order = baselineOrder
 	default:
@@ -1330,8 +1332,11 @@ func checkpointScenario(sc scale) {
 		os.Exit(1)
 	}
 	defer reg.Close()
-	th, h := reg.Theta("ck.users"), reg.HLL("ck.ips")
-	q, cm := reg.Quantiles("ck.lat"), reg.CountMin("ck.api")
+	thH, _ := reg.OpenTheta("ck.users", fastsketches.Spec{})
+	hH, _ := reg.OpenHLL("ck.ips", fastsketches.Spec{})
+	qH, _ := reg.OpenQuantiles("ck.lat", fastsketches.Spec{})
+	cmH, _ := reg.OpenCountMin("ck.api", fastsketches.Spec{})
+	th, h, q, cm := thH.Sketch(), hH.Sketch(), qH.Sketch(), cmH.Sketch()
 	for i := 0; i < uniques; i++ {
 		k := uint64(i)
 		th.Update(i%2, k)
@@ -1344,8 +1349,7 @@ func checkpointScenario(sc scale) {
 	// path's allocation, not the encoder's. A real resize (4→3) drains
 	// every published and partial writer buffer synchronously.
 	for _, err := range []error{
-		reg.ResizeTheta("ck.users", 3), reg.ResizeHLL("ck.ips", 3),
-		reg.ResizeQuantiles("ck.lat", 3), reg.ResizeCountMin("ck.api", 3),
+		thH.Resize(3), hH.Resize(3), qH.Resize(3), cmH.Resize(3),
 	} {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -1414,5 +1418,139 @@ func checkpointScenario(sc scale) {
 		Name:          "registry/restore",
 		NsPerOp:       float64(resRestore.NsPerOp()),
 		Informational: true, // dominated by registry construction: trajectory, not a gate
+	})
+}
+
+// opsScenario: the observability tax — or rather its absence. A registry
+// with a multi-tenant population is scraped continuously (the full /metrics
+// exposition rendered to a discarded writer) while the ingest and merged-
+// query hot paths are timed; both must stay zero-alloc per op (pinned), the
+// wait-free-counter contract that lets a scraper poll at any rate without
+// touching sketch throughput. The scrape itself and a lifecycle sweep are
+// recorded as informational trajectories (both allocate by design: the
+// exposition buffer and the sweep's info snapshot).
+func opsScenario(sc scale) {
+	const tenants = 8
+	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer reg.Close()
+
+	var cms [tenants]*fastsketches.CountMinHandle
+	for i := range cms {
+		h, err := reg.OpenCountMin(fmt.Sprintf("ops.tenant%d", i), fastsketches.Spec{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for j := uint64(0); j < 4096; j++ {
+			h.Update(0, j%512)
+		}
+		cms[i] = h
+	}
+	if _, err := reg.OpenTheta("ops.uniques", fastsketches.Spec{}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mc := autoscale.NewManualClock(time.Unix(1<<20, 0))
+	mgr, err := ops.NewManager(reg, ops.Config{IdleTTL: time.Hour, MemBudget: 1 << 40, Clock: mc})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	obs := &ops.IngestObserver{}
+	for i := int64(1); i <= 4096; i <<= 1 {
+		obs.ObserveChunk(i, i*300)
+	}
+	col := &ops.Collector{Reg: reg, Manager: mgr, Ingest: obs}
+
+	// Scrape and sweep costs in isolation, for the trajectory.
+	resScrape := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := col.WriteMetrics(io.Discard); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	})
+	resSweep := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mgr.Sweep()
+		}
+	})
+
+	// The gated contract: the ingest hot path under a concurrent-scrape
+	// antagonist. The scraper polls on a Prometheus-like cadence (its own
+	// allocations are real but bounded per second) while the timed loop
+	// hammers updates; benchmark alloc counters are process-wide, so the
+	// pinned zero comes from the update path running millions of ops against
+	// the antagonist's bounded hundreds of scrapes — any per-op allocation
+	// on the ingest side would show up as ≥ 1.
+	stop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = col.WriteMetrics(io.Discard)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	ing := cms[0]
+	resIngest := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ing.Update(0, uint64(i)%512)
+		}
+	})
+	acc := cms[1].NewAccumulator()
+	cms[1].QueryInto(acc) // warm the caller-owned accumulator
+	resQuery := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cms[1].QueryInto(acc)
+		}
+	})
+	close(stop)
+	<-scrapeDone
+
+	fmt.Println("metric\tns_op\tallocs_op")
+	fmt.Printf("scrape\t%d\t%d\n", resScrape.NsPerOp(), resScrape.AllocsPerOp())
+	fmt.Printf("sweep\t%d\t0\n", resSweep.NsPerOp())
+	fmt.Printf("ingest_under_scrape\t%d\t%d\n", resIngest.NsPerOp(), resIngest.AllocsPerOp())
+	fmt.Printf("query_under_scrape\t%d\t%d\n", resQuery.NsPerOp(), resQuery.AllocsPerOp())
+
+	record(benchfmt.Metric{Scenario: "ops",
+		Name:            "ingest/scrape-antagonist",
+		NsPerOp:         float64(resIngest.NsPerOp()),
+		AllocsPerOp:     benchfmt.Int64(resIngest.AllocsPerOp()),
+		BytesPerOp:      benchfmt.Int64(resIngest.AllocedBytesPerOp()),
+		PinnedZeroAlloc: true,
+	})
+	record(benchfmt.Metric{Scenario: "ops",
+		Name:          "query/scrape-antagonist",
+		NsPerOp:       float64(resQuery.NsPerOp()),
+		Informational: true, // op count too small to separate from the antagonist's allocs
+	})
+	record(benchfmt.Metric{Scenario: "ops",
+		Name:          "scrape/tenants=9",
+		NsPerOp:       float64(resScrape.NsPerOp()),
+		AllocsPerOp:   benchfmt.Int64(resScrape.AllocsPerOp()),
+		BytesPerOp:    benchfmt.Int64(resScrape.AllocedBytesPerOp()),
+		Informational: true, // exposition buffer allocates by design
+	})
+	record(benchfmt.Metric{Scenario: "ops",
+		Name:          "sweep/tenants=9",
+		NsPerOp:       float64(resSweep.NsPerOp()),
+		Informational: true,
 	})
 }

@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"fastsketches"
+	"fastsketches/internal/ops"
 	"fastsketches/internal/server"
+	"fastsketches/internal/wire"
 )
 
 func main() {
@@ -47,6 +49,10 @@ func main() {
 	restorePath := flag.String("restore", "", "checkpoint file to warm-start from (missing file is not an error)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file to write periodically and on shutdown")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics in Prometheus text format (empty = disabled)")
+	idleTTL := flag.Duration("idle-ttl", 0, "evict sketches idle (no completed ingest) this long (0 = disabled)")
+	memBudget := flag.Int64("mem-budget", 0, "resident sketch-bytes budget; over it, idle tenants shrink then shed (0 = unlimited)")
+	opsSweepEvery := flag.Duration("ops-sweep-every", 5*time.Second, "lifecycle sweep interval (with -idle-ttl or -mem-budget)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: sketchd [flags]\n")
@@ -95,8 +101,60 @@ func main() {
 		srv.SetCheckpoint(ck.CheckpointNow)
 		log.Printf("sketchd: checkpointing to %s every %v", *ckptPath, *ckptEvery)
 	}
+	var mgr *ops.Manager
+	if *idleTTL > 0 || *memBudget > 0 {
+		mgr, err = ops.NewManager(reg, ops.Config{
+			IdleTTL:    *idleTTL,
+			MemBudget:  *memBudget,
+			SweepEvery: *opsSweepEvery,
+			// Evictions and sheds must retire sketches through the server's
+			// quiescing drop — a bare registry drop would close a sketch
+			// under its live lane workers.
+			Drop: srv.DropSketch,
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("sketchd: %v", err)
+		}
+		mgr.Start()
+		srv.SetOps(func() wire.OpsStats {
+			st := mgr.Stats()
+			return wire.OpsStats{
+				Sweeps: st.Sweeps, Evictions: st.Evictions,
+				BudgetSheds: st.BudgetSheds, BudgetShrinks: st.BudgetShrinks,
+				ResidentBytes: st.ResidentBytes, BudgetBytes: st.BudgetBytes,
+				Sketches: st.Sketches,
+			}
+		})
+		log.Printf("sketchd: lifecycle sweeps every %v (idle-ttl %v, mem-budget %d)",
+			*opsSweepEvery, *idleTTL, *memBudget)
+	}
+	var ms *ops.MetricsServer
+	if *metricsAddr != "" {
+		obs := &ops.IngestObserver{}
+		srv.SetIngestObserver(obs.ObserveChunk)
+		ms, err = ops.ListenMetrics(*metricsAddr, &ops.Collector{
+			Reg: reg, Manager: mgr, Ingest: obs,
+		})
+		if err != nil {
+			log.Fatalf("sketchd: metrics: %v", err)
+		}
+		log.Printf("sketchd: metrics on http://%s/metrics", ms.Addr())
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// The sweeper stops before the server (no eviction may race the lane
+	// teardown) and the metrics listener stops before the registry closes
+	// (a scrape must never read a closing registry).
+	stopOps := func() {
+		if mgr != nil {
+			mgr.Stop()
+		}
+		if ms != nil {
+			ms.Close()
+		}
+	}
 
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
@@ -106,11 +164,13 @@ func main() {
 	case err := <-serveErr:
 		// A fatal accept error: still drain gracefully — handlers finish
 		// and ack in-flight work before the registry closes.
+		stopOps()
 		srv.Shutdown()
 		drainAndCheckpoint(reg, ck)
 		log.Fatalf("sketchd: serve: %v", err)
 	}
 
+	stopOps()
 	srv.Shutdown() // in-flight batches complete and are acked before this returns
 	drainAndCheckpoint(reg, ck)
 	log.Printf("sketchd: drained in-flight batches, registry closed; bye")

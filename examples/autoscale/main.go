@@ -44,24 +44,28 @@ func main() {
 	}
 	defer reg.Close()
 
-	requests := reg.CountMin("gateway/requests")
+	h, err := reg.OpenCountMin("gateway/requests", fastsketches.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	requests := h.Sketch()
 
 	// The policy: per-shard ingest above 200k req/s sustained for two
 	// 25ms samples doubles S (up to 8); per-shard ingest below 25k req/s
 	// with a drained backlog for two samples halves it (down to 2). The
 	// transitional staleness window of any resize is capped at 16·r.
-	ctls, err := reg.Autoscale("gateway/requests", autoscale.Policy{
+	// (A policy that doesn't depend on the live sketch could equally ride
+	// along declaratively as Spec.Autoscale on the Open call above.)
+	if err := h.Autoscale(autoscale.Policy{
 		MinShards: 2, MaxShards: 8,
 		HighWater: 200e3, LowWater: 25e3,
 		SustainedUp: 2, SustainedDown: 2,
 		SampleEvery:               25 * time.Millisecond,
 		Cooldown:                  75 * time.Millisecond,
 		MaxTransitionalRelaxation: 16 * requests.ShardRelaxation(),
-	})
-	if err != nil {
+	}); err != nil {
 		panic(err)
 	}
-	ctl := ctls[0]
 
 	// Traffic: all writers hammer hot endpoints for 700ms (the burst), then
 	// trickle for the rest of the run (the lull).
@@ -111,7 +115,7 @@ func main() {
 	close(stop)
 	wg.Wait()
 
-	st := ctl.Stats()
+	st, _ := h.AutoscaleStats()
 	fmt.Printf("\ncontroller: %d samples, %d scale-ups, %d scale-downs, final S=%d\n",
 		st.Samples, st.ScaleUps, st.ScaleDowns, requests.Shards())
 	fmt.Printf("total requests counted: %d (N() = %d, within the live staleness bound)\n",

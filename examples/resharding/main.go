@@ -5,8 +5,8 @@
 // merged query over a sharded sketch misses at most S·r = S·2·N·b completed
 // updates, while ingest throughput grows with S (one background propagator
 // per shard). A service whose load shifts — a tenant going viral, a nightly
-// lull — wants to walk that trade-off live. Registry.ResizeTheta (and the
-// other family facades) does exactly that: it builds a new shard group,
+// lull — wants to walk that trade-off live. Handle.Resize (on the typed
+// handle Registry.OpenTheta returns) does exactly that: it builds a new shard group,
 // atomically swaps the routing epoch while writers keep writing, drains the
 // old shards' final snapshots into a retained legacy state, and retires
 // them. Merged queries stay wait-free throughout and never lose or
@@ -39,7 +39,11 @@ func main() {
 	}
 	defer reg.Close()
 
-	visitors := reg.Theta("tenant-42/visitors")
+	h, err := reg.OpenTheta("tenant-42/visitors", fastsketches.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	visitors := h.Sketch()
 
 	// Writers ingest distinct keys non-stop; completed counts the ground
 	// truth the live estimates are compared against.
@@ -82,7 +86,7 @@ func main() {
 	// Grow 2→8 for ingest throughput. Resize returns once the old epoch is
 	// fully drained; writers never stopped.
 	start := time.Now()
-	if err := reg.ResizeTheta("tenant-42/visitors", 8); err != nil {
+	if err := h.Resize(8); err != nil {
 		panic(err)
 	}
 	fmt.Printf("resized 2→8 in %v (writers live throughout)\n", time.Since(start).Round(time.Microsecond))
@@ -92,7 +96,7 @@ func main() {
 	// Shrink 8→2 for fresher merged reads: the staleness bound S·r drops
 	// back, at the cost of fewer parallel propagators.
 	start = time.Now()
-	if err := reg.ResizeTheta("tenant-42/visitors", 2); err != nil {
+	if err := h.Resize(2); err != nil {
 		panic(err)
 	}
 	fmt.Printf("resized 8→2 in %v\n", time.Since(start).Round(time.Microsecond))

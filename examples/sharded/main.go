@@ -51,10 +51,21 @@ func main() {
 		panic(err)
 	}
 
-	// Tenants are created lazily on first use — no schema, just names.
-	visitors := reg.Theta("tenant-42/visitors")
-	latency := reg.Quantiles("tenant-42/latency-ms")
-	endpoints := reg.CountMin("tenant-42/endpoint-hits")
+	// Tenants are created lazily on first Open — no schema, just names and
+	// an (empty here) declarative Spec.
+	visitorsH, err := reg.OpenTheta("tenant-42/visitors", fastsketches.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	latencyH, err := reg.OpenQuantiles("tenant-42/latency-ms", fastsketches.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	endpointsH, err := reg.OpenCountMin("tenant-42/endpoint-hits", fastsketches.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	visitors, latency, endpoints := visitorsH.Sketch(), latencyH.Sketch(), endpointsH.Sketch()
 
 	fmt.Printf("registry: %d shards × %d lanes; merged-query staleness ≤ S·r = %d updates (Θ)\n",
 		shards, writers, visitors.Relaxation())

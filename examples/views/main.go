@@ -37,7 +37,11 @@ func main() {
 	}
 	defer reg.Close()
 
-	users := reg.Theta("dashboard/users")
+	h, err := reg.OpenTheta("dashboard/users", fastsketches.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	users := h.Sketch()
 	const ingested = 200_000
 	for i := 0; i < ingested; i++ {
 		users.Update(i%writers, uint64(i))
@@ -59,7 +63,7 @@ func main() {
 
 	// Enable the view: one synchronous refresh (so a view is available
 	// immediately), then a background refresher every 20ms.
-	n, err := reg.EnableView("dashboard/users", fastsketches.ViewConfig{
+	n, err := reg.ReplaceView("dashboard/users", fastsketches.ViewConfig{
 		RefreshEvery: 20 * time.Millisecond,
 	})
 	if err != nil {
@@ -86,7 +90,7 @@ func main() {
 		users.Estimate())
 
 	// Disable: queries return to the live fold, fully fresh, O(S) again.
-	reg.DisableView("dashboard/users")
+	reg.StopView("dashboard/users")
 	fmt.Println("view disabled — queries fold live snapshots again")
 	fmt.Println("\nThe trade mirrors the paper's: sharding bought ingest throughput with")
 	fmt.Println("merged-query staleness (S·r); the view buys query throughput with one")

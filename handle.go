@@ -1,0 +1,333 @@
+package fastsketches
+
+import (
+	"fmt"
+	"time"
+
+	"fastsketches/internal/autoscale"
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/shard"
+	"fastsketches/internal/theta"
+)
+
+// AutoscalePolicy parameterises an autoscaling controller — see
+// autoscale.Policy for every knob. Aliased here so Spec literals can name
+// it without importing the internal package.
+type AutoscalePolicy = autoscale.Policy
+
+// Spec declares a sketch's lifecycle in one place: its shard geometry, its
+// materialized view, its autoscaling policy, and how the ops layer's
+// eviction and budget sweeps may treat it. Open* applies the spec to the
+// named sketch (creating it on first use) and returns a typed Handle — the
+// one-call replacement for the per-family get/Resize/EnableView/Autoscale
+// call sprawl. The zero Spec is valid and declares nothing: the sketch is
+// created (or found) with the registry's defaults and left untouched.
+type Spec struct {
+	// Shards is the declared shard count S. 0 leaves the sketch at its
+	// current (or the registry's default) S; a positive value live-resizes
+	// the sketch whenever it differs — Open is declarative, so reopening
+	// with a different Shards walks the throughput/staleness trade-off
+	// exactly like Handle.Resize.
+	Shards int
+	// View, when non-nil, (re-)materializes the sketch's merged view under
+	// this config: the refresher is re-armed on every Open that declares it
+	// (idempotent per handle, mirroring ReplaceView). Nil leaves any
+	// existing view untouched.
+	View *ViewConfig
+	// Autoscale, when non-nil, attaches an autoscaling controller under
+	// this policy with replace semantics: a controller already driving the
+	// sketch is stopped and swapped, never stacked. Nil leaves any existing
+	// controller untouched.
+	Autoscale *AutoscalePolicy
+	// IdleTTL, when positive, overrides the ops sweeper's default idle TTL
+	// for this sketch: no ingest for longer than this and the sweeper drops
+	// it. 0 keeps the sketch on the sweeper's default (which may itself be
+	// "never evict"). Negative values are rejected.
+	IdleTTL time.Duration
+	// Pinned exempts the sketch from idle eviction and budget shedding
+	// entirely — the budget class for sketches that must survive quiet
+	// periods and memory pressure.
+	Pinned bool
+}
+
+// Sketch is the uniform surface the generic Handle requires of a family's
+// sharded sketch: the lane-disciplined ingest plane, the zero-alloc merged
+// query plane, live resizing, introspection, and the materialized-view
+// switches. All four family wrappers of the shard package satisfy it
+// through the embedded generic Sharded layer; family-specific queries
+// (Theta.Estimate, Quantiles.Quantile, CountMin.Estimate, UpdateString)
+// stay on the concrete type, reachable via Handle.Sketch.
+type Sketch[T any, A any] interface {
+	Update(lane int, item T)
+	UpdateBatch(lane int, items []T)
+	QueryInto(acc A)
+	MergeInto(acc A)
+	NewAccumulator() A
+	Resize(shards int) error
+	Shards() int
+	Relaxation() int
+	ShardRelaxation() int
+	Eager() bool
+	Pressure() PressureSample
+	SizeBytes() int64
+	EnableView(ViewConfig) error
+	DisableView() bool
+	ViewEnabled() bool
+	ViewLag() time.Duration
+	RefreshViewNow() bool
+}
+
+// Handle is a typed, family-generic handle on one registered sketch: T is
+// the item type, A the reusable merge accumulator, S the concrete sharded
+// sketch (so family-specific queries stay statically dispatched — no
+// interface boxing on the ingest or query hot paths). Obtain one from
+// OpenTheta / OpenHLL / OpenQuantiles / OpenCountMin; the per-family
+// aliases (ThetaHandle, …) spell the instantiations.
+//
+// A handle is a cheap value tied to the sketch it was opened on. After
+// Drop (from any handle, or Registry.Drop) the sketch's propagators are
+// stopped: queries through a retained handle still summarise the final
+// drained state, but updates would block forever — the same contract as a
+// retained *shard.Theta. Reopening the name yields a fresh sketch and
+// fresh handles.
+type Handle[T any, A any, S Sketch[T, A]] struct {
+	r      *Registry
+	family string
+	name   string
+	sk     S
+}
+
+// Per-family Handle instantiations — what the Open* constructors return.
+type (
+	// ThetaHandle is the distinct-count (Θ) sketch handle.
+	ThetaHandle = Handle[uint64, *theta.Union, *shard.Theta]
+	// HLLHandle is the HyperLogLog distinct-count sketch handle.
+	HLLHandle = Handle[uint64, *hll.Sketch, *shard.HLL]
+	// QuantilesHandle is the quantiles sketch handle.
+	QuantilesHandle = Handle[float64, *quantiles.Accumulator, *shard.Quantiles]
+	// CountMinHandle is the Count-Min frequency sketch handle.
+	CountMinHandle = Handle[uint64, *countmin.Sketch, *shard.CountMin]
+)
+
+// OpenTheta returns a typed handle on the named Θ distinct-count sketch,
+// creating the sketch on first use and applying spec (see Spec; the zero
+// Spec declares nothing). Open is idempotent: reopening a live name returns
+// a handle on the same sketch, re-applying only what the spec declares.
+func (r *Registry) OpenTheta(name string, spec Spec) (*ThetaHandle, error) {
+	sk := r.getTheta(name)
+	if err := r.applySpec("theta", name, sk, spec); err != nil {
+		return nil, err
+	}
+	return &ThetaHandle{r: r, family: "theta", name: name, sk: sk}, nil
+}
+
+// OpenHLL is OpenTheta for the named HLL sketch.
+func (r *Registry) OpenHLL(name string, spec Spec) (*HLLHandle, error) {
+	sk := r.getHLL(name)
+	if err := r.applySpec("hll", name, sk, spec); err != nil {
+		return nil, err
+	}
+	return &HLLHandle{r: r, family: "hll", name: name, sk: sk}, nil
+}
+
+// OpenQuantiles is OpenTheta for the named quantiles sketch.
+func (r *Registry) OpenQuantiles(name string, spec Spec) (*QuantilesHandle, error) {
+	sk := r.getQuantiles(name)
+	if err := r.applySpec("quantiles", name, sk, spec); err != nil {
+		return nil, err
+	}
+	return &QuantilesHandle{r: r, family: "quantiles", name: name, sk: sk}, nil
+}
+
+// OpenCountMin is OpenTheta for the named Count-Min sketch.
+func (r *Registry) OpenCountMin(name string, spec Spec) (*CountMinHandle, error) {
+	sk := r.getCountMin(name)
+	if err := r.applySpec("countmin", name, sk, spec); err != nil {
+		return nil, err
+	}
+	return &CountMinHandle{r: r, family: "countmin", name: name, sk: sk}, nil
+}
+
+// specTarget is the family-agnostic slice of a sharded sketch applySpec
+// drives: the autoscale resize target plus the view switches.
+type specTarget interface {
+	autoscale.Target
+	EnableView(ViewConfig) error
+	DisableView() bool
+}
+
+// applySpec applies one Spec to one sketch. Resize and view re-arming run
+// outside the registry lock (both serialise on the sketch's own resize
+// lock); only the lifecycle record takes r.mu, briefly.
+func (r *Registry) applySpec(family, name string, sk specTarget, spec Spec) error {
+	if spec.Shards < 0 {
+		return fmt.Errorf("%w: negative Spec.Shards", ErrConfig)
+	}
+	if spec.IdleTTL < 0 {
+		return fmt.Errorf("%w: negative Spec.IdleTTL", ErrConfig)
+	}
+	if spec.Shards > 0 && sk.Shards() != spec.Shards {
+		if err := sk.Resize(spec.Shards); err != nil {
+			return err
+		}
+	}
+	if spec.View != nil {
+		sk.DisableView()
+		if err := sk.EnableView(*spec.View); err != nil {
+			return err
+		}
+	}
+	if spec.Autoscale != nil {
+		if err := r.attachController(sk, *spec.Autoscale); err != nil {
+			return err
+		}
+	}
+	if spec.IdleTTL != 0 || spec.Pinned {
+		r.mu.Lock()
+		if !r.closed {
+			r.lifecycles[family+"/"+name] = lifecycleSpec{spec.IdleTTL, spec.Pinned}
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Family returns the handle's family string ("theta", "hll", "quantiles",
+// "countmin") — the discriminator Registry.Info/Drop and the wire protocol
+// use.
+func (h *Handle[T, A, S]) Family() string { return h.family }
+
+// Name returns the sketch's registered name.
+func (h *Handle[T, A, S]) Name() string { return h.name }
+
+// Sketch returns the concrete sharded sketch for family-specific calls —
+// Theta/HLL Estimate, Quantiles Quantile/Rank/N, CountMin per-key Estimate,
+// the UpdateString variants — all statically dispatched.
+func (h *Handle[T, A, S]) Sketch() S { return h.sk }
+
+// Update processes one item on writer lane lane. Lane l must be driven by
+// at most one goroutine at a time — the core framework's lane discipline.
+func (h *Handle[T, A, S]) Update(lane int, item T) { h.sk.Update(lane, item) }
+
+// UpdateBatch processes a batch of items on writer lane lane, partitioned
+// to the owning shards in one pass; steady-state it allocates nothing.
+func (h *Handle[T, A, S]) UpdateBatch(lane int, items []T) { h.sk.UpdateBatch(lane, items) }
+
+// QueryInto resets the caller-owned accumulator and folds every shard
+// snapshot into it — the zero-allocation merged query plane. The result
+// reflects all but at most Relaxation() of the updates that completed
+// before the call.
+func (h *Handle[T, A, S]) QueryInto(acc A) { h.sk.QueryInto(acc) }
+
+// MergeInto folds every shard snapshot into acc without resetting it —
+// cross-sketch aggregation over a shared accumulator.
+func (h *Handle[T, A, S]) MergeInto(acc A) { h.sk.MergeInto(acc) }
+
+// NewAccumulator builds a fresh family-dimensioned merge accumulator for
+// QueryInto/MergeInto. Reuse one per reader goroutine to stay
+// allocation-free.
+func (h *Handle[T, A, S]) NewAccumulator() A { return h.sk.NewAccumulator() }
+
+// Resize live-reshards the sketch to the given S; writers and queriers
+// stay active throughout (transitional staleness bound S_old·r + S_new·r).
+func (h *Handle[T, A, S]) Resize(shards int) error { return h.sk.Resize(shards) }
+
+// Shards returns the current shard count S.
+func (h *Handle[T, A, S]) Shards() int { return h.sk.Shards() }
+
+// Relaxation returns the merged-query staleness bound S·r (transiently
+// S_old·r + S_new·r while a resize drains).
+func (h *Handle[T, A, S]) Relaxation() int { return h.sk.Relaxation() }
+
+// ShardRelaxation returns the single-shard bound r = 2·N·b governing
+// per-key queries.
+func (h *Handle[T, A, S]) ShardRelaxation() int { return h.sk.ShardRelaxation() }
+
+// Eager reports whether merged queries currently reflect every completed
+// update (every shard still in its exact eager phase).
+func (h *Handle[T, A, S]) Eager() bool { return h.sk.Eager() }
+
+// Pressure returns the sketch's cumulative ingest-pressure counters,
+// wait-free and monotonic across resizes.
+func (h *Handle[T, A, S]) Pressure() PressureSample { return h.sk.Pressure() }
+
+// SizeBytes estimates the sketch's resident heap footprint — the figure
+// the memory-budget accountant sums (see shard.Sharded.SizeBytes).
+func (h *Handle[T, A, S]) SizeBytes() int64 { return h.sk.SizeBytes() }
+
+// EnableView materializes the sketch's merged view under cfg; merged
+// queries then fold one published accumulator — O(1) in S — at staleness
+// S·r plus one refresh interval.
+func (h *Handle[T, A, S]) EnableView(cfg ViewConfig) error { return h.sk.EnableView(cfg) }
+
+// DisableView stops the view refresher, reporting whether one was running;
+// merged queries fold live shard snapshots again.
+func (h *Handle[T, A, S]) DisableView() bool { return h.sk.DisableView() }
+
+// ViewEnabled reports whether a materialized view is serving merged
+// queries.
+func (h *Handle[T, A, S]) ViewEnabled() bool { return h.sk.ViewEnabled() }
+
+// ViewLag returns the age of the view's latest published refresh; zero
+// when no view is enabled.
+func (h *Handle[T, A, S]) ViewLag() time.Duration { return h.sk.ViewLag() }
+
+// Autoscale attaches an autoscaling controller under p with replace
+// semantics — any controller already driving this sketch is stopped and
+// swapped, never stacked (the idempotent per-sketch form of
+// Registry.ReplaceAutoscale).
+func (h *Handle[T, A, S]) Autoscale(p AutoscalePolicy) error {
+	return h.r.attachController(h.sk, p)
+}
+
+// StopAutoscale stops and detaches every controller driving this sketch,
+// reporting how many were stopped.
+func (h *Handle[T, A, S]) StopAutoscale() int {
+	return h.r.stopControllersFor(h.sk)
+}
+
+// Info returns the sketch's live metadata (geometry, staleness bounds,
+// pressure counters, resident size, lifecycle), or ok=false after Drop.
+func (h *Handle[T, A, S]) Info() (SketchInfo, bool) {
+	return h.r.Info(h.family, h.name)
+}
+
+// AutoscaleStats returns the live counters of the controller driving this
+// sketch, or ok=false when none is attached.
+func (h *Handle[T, A, S]) AutoscaleStats() (autoscale.Stats, bool) {
+	return h.r.AutoscaleStats(h.family, h.name)
+}
+
+// Drop closes and removes the sketch from the registry, reporting whether
+// it still existed — see Registry.Drop for the retained-handle contract.
+func (h *Handle[T, A, S]) Drop() bool {
+	return h.r.Drop(h.family, h.name)
+}
+
+// stopControllersFor stops and detaches every controller whose target is
+// the given sketch, returning how many were stopped — Handle.StopAutoscale
+// without the name-spanning cross-family semantics of StopAutoscale.
+func (r *Registry) stopControllersFor(tgt any) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	var stop []*autoscale.Controller
+	kept := r.controllers[:0]
+	for _, rc := range r.controllers {
+		if any(rc.target) == tgt {
+			stop = append(stop, rc.ctl)
+		} else {
+			kept = append(kept, rc)
+		}
+	}
+	r.controllers = kept
+	r.mu.Unlock()
+	for _, ctl := range stop {
+		ctl.Stop()
+	}
+	return len(stop)
+}

@@ -28,6 +28,12 @@
 // since the view fold's cost — and therefore the query staleness — grows
 // with S.
 //
+// A second optional signal, installed with SetMemoryPressure, wires a
+// process-wide memory budget into the loop: while the signal reports
+// over-budget, scale-ups are vetoed (growing S allocates another shard's
+// state) and otherwise-quiet samples qualify as down-pressure (shrinking S
+// frees shard state). The ops layer installs it from its budget accountant.
+//
 // # Why it cannot flap
 //
 // Three mechanisms damp oscillation. The water marks are separated: policy
@@ -269,6 +275,9 @@ type Stats struct {
 	// HeldViewLag counts up-qualifying samples vetoed because the target's
 	// materialized-view refresh lag exceeded ViewLagHighWater.
 	HeldViewLag int64
+	// HeldMemory counts up-qualifying samples vetoed because the installed
+	// memory-pressure signal (SetMemoryPressure) reported over-budget.
+	HeldMemory int64
 	// LastPerShardRate / LastBacklogPerShard are the most recent pressure
 	// readings (items/sec and items, per shard).
 	LastPerShardRate, LastBacklogPerShard float64
@@ -291,6 +300,7 @@ type Controller struct {
 
 	mu           sync.Mutex
 	p            Policy // normalised
+	memPressure  func() bool
 	lastAt       time.Time
 	lastIngested int64
 	haveBaseline bool
@@ -320,6 +330,19 @@ func (c *Controller) Policy() Policy {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.p
+}
+
+// SetMemoryPressure installs (or, with nil, removes) the memory-budget
+// signal: while f reports true the controller vetoes scale-ups (growing S
+// allocates another shard's state; vetoes are counted in Stats.HeldMemory)
+// and treats otherwise-quiet samples as down-pressure, since shrinking S
+// frees shard state. f is called once per tick under the controller's lock
+// and must be fast and safe for concurrent use — typically a single atomic
+// load comparing resident bytes against a budget.
+func (c *Controller) SetMemoryPressure(f func() bool) {
+	c.mu.Lock()
+	c.memPressure = f
+	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the controller's counters.
@@ -369,6 +392,8 @@ func (c *Controller) Tick() Decision {
 		}
 	}
 
+	memHigh := c.memPressure != nil && c.memPressure()
+
 	rawUp := rate > c.p.HighWater ||
 		(c.p.BacklogHighWater > 0 && backlog >= c.p.BacklogHighWater)
 	up := rawUp
@@ -380,12 +405,18 @@ func (c *Controller) Tick() Decision {
 		c.st.HeldViewLag++
 		up = false
 	}
+	if up && memHigh {
+		// Over the memory budget: a scale-up would allocate another shard's
+		// worth of state. Hold the growth until the accountant reports room.
+		c.st.HeldMemory++
+		up = false
+	}
 	// A scale-down must see a drained propagation plane: a quiet rate with
 	// a standing backlog means the propagators are behind, not the load low.
 	// Sustained view lag with ingest pressure absent and a drained backlog
 	// also qualifies: fewer shards make each refresh cheaper and merged
-	// reads fresher.
-	down := !rawUp && (rate < c.p.LowWater || lagHigh) && pr.Backlog() == 0
+	// reads fresher. So does memory pressure: shrinking S frees shard state.
+	down := !rawUp && (rate < c.p.LowWater || lagHigh || memHigh) && pr.Backlog() == 0
 	switch {
 	case up:
 		c.upStreak, c.downStreak = c.upStreak+1, 0

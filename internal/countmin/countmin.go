@@ -66,6 +66,17 @@ func (s *Sketch) Depth() int { return s.depth }
 // Seed returns the hash seed.
 func (s *Sketch) Seed() uint64 { return s.seed }
 
+// SizeBytes estimates the sketch's resident heap footprint in bytes: the
+// struct header, the row-slice headers, and the depth×width counter grid —
+// the memory-budget accounting hook of the sharded layer.
+func (s *Sketch) SizeBytes() int {
+	b := 72 + 24*len(s.rows)
+	for _, row := range s.rows {
+		b += 8 * cap(row)
+	}
+	return b
+}
+
 // N returns the total weight processed.
 func (s *Sketch) N() uint64 { return s.n }
 

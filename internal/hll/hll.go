@@ -41,6 +41,11 @@ func (s *Sketch) P() int { return s.p }
 // Seed returns the hash seed.
 func (s *Sketch) Seed() uint64 { return s.seed }
 
+// SizeBytes estimates the sketch's resident heap footprint in bytes: the
+// struct header plus the register array — the memory-budget accounting hook
+// of the sharded layer.
+func (s *Sketch) SizeBytes() int { return 48 + cap(s.regs) }
+
 // Update processes a stream element identified by a uint64 key.
 func (s *Sketch) Update(key uint64) {
 	s.UpdateHash(murmur.HashUint64(key, s.seed))

@@ -65,11 +65,15 @@ func newSuite(shards, uniques int, schedule []int) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	th, _ := reg.OpenTheta("bench", fastsketches.Spec{})
+	hl, _ := reg.OpenHLL("bench", fastsketches.Spec{})
+	qu, _ := reg.OpenQuantiles("bench", fastsketches.Spec{})
+	cm, _ := reg.OpenCountMin("bench", fastsketches.Spec{})
 	s := &Suite{
-		Theta:     reg.Theta("bench"),
-		HLL:       reg.HLL("bench"),
-		Quantiles: reg.Quantiles("bench"),
-		CountMin:  reg.CountMin("bench"),
+		Theta:     th.Sketch(),
+		HLL:       hl.Sketch(),
+		Quantiles: qu.Sketch(),
+		CountMin:  cm.Sketch(),
 	}
 	// cuts[p] is the stream position where schedule[p] takes effect,
 	// splitting the stream into len(schedule)+1 roughly equal phases.
@@ -79,10 +83,8 @@ func newSuite(shards, uniques int, schedule []int) (*Suite, error) {
 	}
 	for i := 0; i < uniques; i++ {
 		if newS, ok := cuts[i]; ok {
-			for _, resize := range []func(string, int) error{
-				reg.ResizeTheta, reg.ResizeHLL, reg.ResizeQuantiles, reg.ResizeCountMin,
-			} {
-				if err := resize("bench", newS); err != nil {
+			for _, fam := range []string{"theta", "hll", "quantiles", "countmin"} {
+				if err := reg.ResizeSketch(fam, "bench", newS); err != nil {
 					return nil, err
 				}
 			}

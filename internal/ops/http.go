@@ -1,0 +1,54 @@
+package ops
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// contentType is the Prometheus text exposition format version the
+// Collector emits.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the Collector's exposition.
+// Each request renders a fresh scrape; nothing is cached between scrapes.
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		_ = c.WriteMetrics(w)
+	})
+}
+
+// MetricsServer is a minimal stdlib HTTP server exposing a Collector at
+// /metrics (and, for convenience, at /). Create with ListenMetrics; Close
+// stops the listener.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ListenMetrics binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// Collector's exposition at /metrics in the background. The returned
+// server reports its bound address via Addr — useful with port 0.
+func ListenMetrics(addr string, c *Collector) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", c.Handler())
+	mux.Handle("/", c.Handler())
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ms := &MetricsServer{srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight scrapes.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -24,6 +24,15 @@ type Accumulator struct {
 // NewAccumulator returns an empty accumulator.
 func NewAccumulator() *Accumulator { return &Accumulator{} }
 
+// SizeBytes estimates the accumulator's resident heap footprint in bytes:
+// the struct header plus the merged-summary and scratch slices at their
+// retained capacity — the memory-budget accounting hook of the sharded
+// layer. A freshly built accumulator reports only the header; the figure
+// grows to the working-set capacity after the first merge pass.
+func (a *Accumulator) SizeBytes() int {
+	return 96 + 8*(cap(a.cur.values)+cap(a.cur.cum)+cap(a.scratchV)+cap(a.scratchC))
+}
+
 // Reset empties the accumulator, retaining capacity.
 func (a *Accumulator) Reset() {
 	a.cur.values = a.cur.values[:0]

@@ -87,6 +87,16 @@ type Server struct {
 	// checkpoint write. Guarded by mu; nil means checkpointing is not
 	// configured and the op answers with a typed error.
 	ckpt func() error
+
+	// opsStats, when set (SetOps), serves OpOpsStats with the lifecycle
+	// sweeper's counters. Guarded by mu; nil answers with a typed error.
+	opsStats func() wire.OpsStats
+
+	// ingestObs, when set (SetIngestObserver), is called by each lane worker
+	// after it applies one ingest chunk: n items in d nanoseconds. Guarded by
+	// mu for installation; lane apply closures capture it at lane-set
+	// creation, so install it before serving traffic.
+	ingestObs func(n, d int64)
 }
 
 type laneKey struct {
@@ -232,15 +242,39 @@ func (s *Server) laneSetFor(fam wire.Family, name []byte) (*laneSet, error) {
 	var apply func(lane int, items []byte)
 	switch fam {
 	case wire.FamilyTheta:
-		apply = applyWords(s.writers, s.reg.Theta(key.name).UpdateBatch)
+		h, err := s.reg.OpenTheta(key.name, fastsketches.Spec{})
+		if err != nil {
+			return nil, err
+		}
+		apply = applyWords(s.writers, h.UpdateBatch)
 	case wire.FamilyHLL:
-		apply = applyWords(s.writers, s.reg.HLL(key.name).UpdateBatch)
+		h, err := s.reg.OpenHLL(key.name, fastsketches.Spec{})
+		if err != nil {
+			return nil, err
+		}
+		apply = applyWords(s.writers, h.UpdateBatch)
 	case wire.FamilyQuantiles:
-		apply = applyFloats(s.writers, s.reg.Quantiles(key.name).UpdateBatch)
+		h, err := s.reg.OpenQuantiles(key.name, fastsketches.Spec{})
+		if err != nil {
+			return nil, err
+		}
+		apply = applyFloats(s.writers, h.UpdateBatch)
 	case wire.FamilyCountMin:
-		apply = applyWords(s.writers, s.reg.CountMin(key.name).UpdateBatch)
+		h, err := s.reg.OpenCountMin(key.name, fastsketches.Spec{})
+		if err != nil {
+			return nil, err
+		}
+		apply = applyWords(s.writers, h.UpdateBatch)
 	default:
 		return nil, wire.ErrBadFamily
+	}
+	if obs := s.ingestObs; obs != nil {
+		inner := apply
+		apply = func(lane int, items []byte) {
+			start := time.Now()
+			inner(lane, items)
+			obs(int64(len(items)/wire.ItemSize), time.Since(start).Nanoseconds())
+		}
 	}
 	ls := newLaneSet(s.writers, apply)
 	s.lanes[key] = ls
@@ -470,36 +504,36 @@ func (cs *connState) theta(name []byte) *shard.Theta {
 	if sk, ok := cs.thetas[string(name)]; ok {
 		return sk
 	}
-	sk := cs.s.reg.Theta(string(name))
-	cs.thetas[string(name)] = sk
-	return sk
+	h, _ := cs.s.reg.OpenTheta(string(name), fastsketches.Spec{})
+	cs.thetas[string(name)] = h.Sketch()
+	return h.Sketch()
 }
 
 func (cs *connState) hll(name []byte) *shard.HLL {
 	if sk, ok := cs.hlls[string(name)]; ok {
 		return sk
 	}
-	sk := cs.s.reg.HLL(string(name))
-	cs.hlls[string(name)] = sk
-	return sk
+	h, _ := cs.s.reg.OpenHLL(string(name), fastsketches.Spec{})
+	cs.hlls[string(name)] = h.Sketch()
+	return h.Sketch()
 }
 
 func (cs *connState) quantiles(name []byte) *shard.Quantiles {
 	if sk, ok := cs.quants[string(name)]; ok {
 		return sk
 	}
-	sk := cs.s.reg.Quantiles(string(name))
-	cs.quants[string(name)] = sk
-	return sk
+	h, _ := cs.s.reg.OpenQuantiles(string(name), fastsketches.Spec{})
+	cs.quants[string(name)] = h.Sketch()
+	return h.Sketch()
 }
 
 func (cs *connState) countmin(name []byte) *shard.CountMin {
 	if sk, ok := cs.cms[string(name)]; ok {
 		return sk
 	}
-	sk := cs.s.reg.CountMin(string(name))
-	cs.cms[string(name)] = sk
-	return sk
+	h, _ := cs.s.reg.OpenCountMin(string(name), fastsketches.Spec{})
+	cs.cms[string(name)] = h.Sketch()
+	return h.Sketch()
 }
 
 func (cs *connState) laneSet(fam wire.Family, name []byte) (*laneSet, error) {
@@ -601,13 +635,13 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 			RefreshEvery: time.Duration(int64(req.Arg)),
 			MaxAge:       time.Duration(int64(req.Arg2)),
 		}
-		if _, err := cs.s.reg.EnableView(string(req.Name), cfg); err != nil {
+		if _, err := cs.s.reg.ReplaceView(string(req.Name), cfg); err != nil {
 			return wire.AppendError(out, req.ID, err.Error())
 		}
 		return wire.AppendOK(out, req.ID)
 
 	case wire.OpDisableView:
-		if cs.s.reg.DisableView(string(req.Name)) == 0 {
+		if cs.s.reg.StopView(string(req.Name)) == 0 {
 			return wire.AppendError(out, req.ID, fmt.Sprintf("no view enabled on %q", req.Name))
 		}
 		return wire.AppendOK(out, req.ID)
@@ -655,6 +689,13 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 			return wire.AppendError(out, req.ID, err.Error())
 		}
 		return wire.AppendOK(out, req.ID)
+
+	case wire.OpOpsStats:
+		fn := cs.s.opsStatsFn()
+		if fn == nil {
+			return wire.AppendError(out, req.ID, "ops manager not configured on this server")
+		}
+		return wire.AppendOKOpsStats(out, req.ID, fn())
 	}
 	return wire.AppendError(out, req.ID, wire.ErrBadOp.Error())
 }

@@ -358,7 +358,8 @@ func TestResizeUnderFire(t *testing.T) {
 	}
 	// Every acked update completed; the live N may trail by at most the
 	// current relaxation bound and never exceed the ingested total.
-	sk := reg.CountMin("fire")
+	skH, _ := reg.OpenCountMin("fire", fastsketches.Spec{})
+	sk := skH.Sketch()
 	if n := sk.N(); int64(n) > want || int64(n) < want-int64(sk.Relaxation()) {
 		t.Fatalf("N = %d outside [%d - S·r, %d] (S·r=%d)", n, want, want, sk.Relaxation())
 	}
@@ -420,7 +421,8 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	}()
 
 	<-started // at least one batch acked: the drain has something to prove
-	sk := reg.CountMin("drain")
+	skH, _ := reg.OpenCountMin("drain", fastsketches.Spec{})
+	sk := skH.Sketch()
 	srv.Shutdown()
 	<-ingestDone // conn failed under the shutdown deadline; `acked` is final
 	if err := <-serveDone; err != ErrServerClosed {

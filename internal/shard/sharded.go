@@ -21,9 +21,15 @@ import (
 // steady state and safe to call concurrently from many goroutines folding
 // into distinct dst accumulators, because the published legacy accumulator
 // is immutable and shared by all queriers.
+// SizeBytes estimates the accumulator's resident heap footprint in bytes —
+// the unit the sharded layer multiplies out into a per-sketch resident-size
+// estimate for memory-budget accounting. It must be cheap (no walking of
+// per-entry state) and safe to call concurrently with reads of an immutable
+// published accumulator.
 type Accumulator[A any] interface {
 	Reset()
 	FoldInto(dst A)
+	SizeBytes() int
 }
 
 // Mergeable is the uniform contract a family's concurrent composable
@@ -435,6 +441,37 @@ func (s *Sharded[T, A, C]) Pressure() core.PressureSample {
 		p = p.Add(st.old.g.pressure())
 	}
 	return p.Add(st.g.pressure())
+}
+
+// SizeBytes estimates the sketch's resident heap footprint in bytes, for
+// memory-budget accounting: one family-dimensioned accumulator's footprint
+// per live shard (current epoch plus a draining epoch's shards while a
+// Resize is in flight, plus two double-buffered view accumulators when a
+// materialized view is enabled), plus the retained legacy accumulator's own
+// footprint. It is an estimate, not an exact byte count — per-shard
+// composables are approximated by the family's accumulator because both
+// hold the same family-parameter-dimensioned state (a Θ slot table, an HLL
+// register array, a Count-Min grid, a quantiles summary) — but it tracks
+// the real footprint within a small constant factor, scales linearly with S
+// (what a budget-driven Resize-down reclaims), and is wait-free toward
+// writers: one epoch load plus a pooled-accumulator round trip.
+func (s *Sharded[T, A, C]) SizeBytes() int64 {
+	st := s.st.Load()
+	units := int64(len(st.comps))
+	if st.old != nil {
+		units += int64(len(st.old.comps))
+	}
+	if s.vr.Load() != nil {
+		units += 2 // double-buffered view accumulators
+	}
+	acc := s.acquire() // pooled: reflects the family's working-set capacity
+	unit := int64(acc.SizeBytes())
+	s.release(acc)
+	total := unit * units
+	if st.hasLegacy {
+		total += int64(st.legacy.SizeBytes())
+	}
+	return total
 }
 
 // ShardRelaxation returns the single-shard staleness bound: the per-shard

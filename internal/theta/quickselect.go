@@ -47,6 +47,13 @@ func NewQuickSelect(lgK int, seed uint64) *QuickSelect {
 // Seed returns the hash seed.
 func (s *QuickSelect) Seed() uint64 { return s.seed }
 
+// SizeBytes estimates the sketch's resident heap footprint: the struct
+// header plus its open-addressing slot table and rebuild scratch. Capacity,
+// not length, is counted — the memory is resident either way.
+func (s *QuickSelect) SizeBytes() int {
+	return 96 + 8*(cap(s.slots)+cap(s.scratch))
+}
+
 // K returns the nominal entry count (2^lgK).
 func (s *QuickSelect) K() int { return s.k }
 

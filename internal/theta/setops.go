@@ -45,6 +45,10 @@ func (u *Union) Result() *QuickSelect {
 // Reset empties the union accumulator.
 func (u *Union) Reset() { u.gadget.Reset() }
 
+// SizeBytes estimates the union's resident heap footprint in bytes — the
+// memory-budget accounting hook of the sharded layer.
+func (u *Union) SizeBytes() int { return u.gadget.SizeBytes() }
+
 // FoldInto folds the receiver's accumulated union into dst without mutating
 // the receiver — the retired-state drain hook of the sharded layer's live
 // resharding: a legacy Union published by a completed Resize is folded into

@@ -1,0 +1,59 @@
+package wire
+
+import "testing"
+
+// TestOpsStatsRoundTrip: the empty-body OpOpsStats request and its
+// seven-counter response survive encode → frame → parse bit-exactly.
+func TestOpsStatsRoundTrip(t *testing.T) {
+	req, err := ParseRequest(frame(t, AppendOpsStatsReq(nil, 31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpOpsStats || req.ID != 31 || len(req.Name) != 0 {
+		t.Fatalf("bad ops-stats request: %+v", req)
+	}
+
+	in := OpsStats{
+		Sweeps:        12,
+		Evictions:     3,
+		BudgetSheds:   1,
+		BudgetShrinks: 2,
+		ResidentBytes: 7_654_321,
+		BudgetBytes:   10_000_000,
+		Sketches:      42,
+	}
+	status, id, body, err := ParseResponse(frame(t, AppendOKOpsStats(nil, 32, in)))
+	if err != nil || status != StatusOK || id != 32 {
+		t.Fatalf("ops-stats response: status=%d id=%d err=%v", status, id, err)
+	}
+	got, err := ParseOpsStats(body)
+	if err != nil || got != in {
+		t.Fatalf("ops stats = %+v (err %v), want %+v", got, err, in)
+	}
+}
+
+// TestOpsStatsTruncated: a short or oversized body is rejected, not
+// misparsed.
+func TestOpsStatsTruncated(t *testing.T) {
+	_, _, body, err := ParseResponse(frame(t, AppendOKOpsStats(nil, 33, OpsStats{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(body) - 1} {
+		if _, err := ParseOpsStats(body[:n]); err == nil {
+			t.Errorf("ParseOpsStats accepted %d-byte body", n)
+		}
+	}
+	if _, err := ParseOpsStats(append(body, 0)); err == nil {
+		t.Error("ParseOpsStats accepted oversized body")
+	}
+}
+
+// TestOpsStatsRequestRejectsTrailing: like the other empty-body ops, a
+// trailing byte invalidates the request.
+func TestOpsStatsRequestRejectsTrailing(t *testing.T) {
+	raw := AppendOpsStatsReq(nil, 34)[4:]
+	if _, err := ParseRequest(append(raw, 0xff)); err == nil {
+		t.Error("trailing byte accepted on OpOpsStats request")
+	}
+}

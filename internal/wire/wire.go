@@ -40,6 +40,7 @@
 //	OpRestore      fold a portable snapshot into the named sketch  → empty
 //	OpMergeRemote  pull a sketch from another daemon and fold it   → empty
 //	OpCheckpoint   write the server's checkpoint file now          → empty
+//	OpOpsStats     lifecycle sweeper / memory-budget counters      → OpsStats
 //
 // Batch items are fixed 8-byte words: uint64 keys for Θ/HLL/Count-Min,
 // IEEE-754 bits (math.Float64bits) for quantiles values. Fixed-size items
@@ -120,6 +121,7 @@ const (
 	OpRestore
 	OpMergeRemote
 	OpCheckpoint
+	OpOpsStats
 	opMax
 )
 
@@ -371,6 +373,14 @@ func AppendCheckpointReq(dst []byte, id uint32) []byte {
 	return endFrame(appendHeader(dst, byte(OpCheckpoint), id), m)
 }
 
+// AppendOpsStatsReq appends an OpOpsStats request frame: report the
+// server's lifecycle sweeper and memory-budget counters (fails as a typed
+// error when the server runs without an ops manager configured).
+func AppendOpsStatsReq(dst []byte, id uint32) []byte {
+	dst, m := beginFrame(dst)
+	return endFrame(appendHeader(dst, byte(OpOpsStats), id), m)
+}
+
 // AppendOKBytes appends a success response whose body is an opaque byte
 // blob (the OpSnapshot response). Callers cap len(body) so the frame stays
 // within MaxFrame.
@@ -506,6 +516,53 @@ func AppendOKInfo(dst []byte, id uint32, inf Info) []byte {
 	dst = append(dst, viewed)
 	dst = binary.LittleEndian.AppendUint64(dst, inf.ViewLagNs)
 	return endFrame(dst, m)
+}
+
+// OpsStats is the OpOpsStats response: the server-side lifecycle sweeper's
+// counters (sweeps run, idle-TTL evictions, memory-budget sheds and
+// shrinks) and its latest gauges (estimated resident sketch bytes, the
+// configured budget, and the live sketch count).
+type OpsStats struct {
+	Sweeps        int64
+	Evictions     int64
+	BudgetSheds   int64
+	BudgetShrinks int64
+	ResidentBytes int64
+	BudgetBytes   int64
+	Sketches      int64
+}
+
+const opsStatsLen = 7 * 8
+
+// AppendOKOpsStats appends the OpOpsStats success response.
+func AppendOKOpsStats(dst []byte, id uint32, st OpsStats) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, StatusOK, id)
+	for _, v := range [...]int64{
+		st.Sweeps, st.Evictions, st.BudgetSheds, st.BudgetShrinks,
+		st.ResidentBytes, st.BudgetBytes, st.Sketches,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return endFrame(dst, m)
+}
+
+// ParseOpsStats decodes an OpOpsStats response body.
+func ParseOpsStats(body []byte) (OpsStats, error) {
+	if len(body) != opsStatsLen {
+		return OpsStats{}, ErrTruncated
+	}
+	c := cursor{b: body}
+	st := OpsStats{
+		Sweeps:        int64(c.u64()),
+		Evictions:     int64(c.u64()),
+		BudgetSheds:   int64(c.u64()),
+		BudgetShrinks: int64(c.u64()),
+		ResidentBytes: int64(c.u64()),
+		BudgetBytes:   int64(c.u64()),
+		Sketches:      int64(c.u64()),
+	}
+	return st, c.done()
 }
 
 // Request is one parsed request. Name and Items are views into the parse
@@ -652,7 +709,7 @@ func ParseRequest(p []byte) (Request, error) {
 	}
 	c := cursor{b: p[headerLen:]}
 	switch req.Op {
-	case OpPing, OpNames, OpCheckpoint:
+	case OpPing, OpNames, OpCheckpoint, OpOpsStats:
 		// empty body
 	case OpCreate, OpDrop, OpInfo, OpSnapshot:
 		req.Family = c.family()

@@ -7,12 +7,19 @@ import (
 	"time"
 
 	"fastsketches/internal/autoscale"
+	"fastsketches/internal/core"
 	"fastsketches/internal/countmin"
 	"fastsketches/internal/hll"
 	"fastsketches/internal/quantiles"
 	"fastsketches/internal/shard"
 	"fastsketches/internal/theta"
 )
+
+// PressureSample is the wait-free cumulative ingest-pressure counter pair
+// every sketch exposes (see Handle.Pressure): Ingested counts items handed
+// to the propagation plane, Merged items folded into shard snapshots;
+// Backlog() is their difference. Both are monotonic across resizes.
+type PressureSample = core.PressureSample
 
 // RegistryConfig parameterises a Registry and the sharded sketches it
 // creates. The zero value serves 4-shard, single-lane sketches with the
@@ -127,9 +134,11 @@ func (c *RegistryConfig) shardConfig() shard.Config {
 //		Shards: 8, Writers: 4,
 //	})
 //	defer reg.Close()
-//	reg.Theta("users.daily").Update(lane, userID)   // ingestion path
-//	reg.CountMin("api.calls").Update(lane, endpoint)
-//	est := reg.Theta("users.daily").Estimate()      // merged live query
+//	users, _ := reg.OpenTheta("users.daily", fastsketches.Spec{})
+//	calls, _ := reg.OpenCountMin("api.calls", fastsketches.Spec{})
+//	users.Update(lane, userID)             // ingestion path
+//	calls.Update(lane, endpoint)
+//	est := users.Sketch().Estimate()       // merged live query
 //
 // Accessors are safe to call from any goroutine (creation is serialised);
 // the returned sketches follow the lane discipline of the core framework —
@@ -157,6 +166,13 @@ type Registry struct {
 	// the loops of a dropped sketch; Close stops them before stopping any
 	// propagator, so a controller can never resize a closing sketch.
 	controllers []registryController
+	// lifecycles records the per-sketch lifecycle declared through
+	// Open*/Spec (idle TTL, pinning), keyed "family/name" — read by the ops
+	// layer's eviction and budget sweeps via Infos.
+	lifecycles map[string]lifecycleSpec
+	// memPressure is the memory-budget signal installed by
+	// SetAutoscaleMemoryPressure, propagated to every attached controller.
+	memPressure func() bool
 
 	// ckptMu serialises checkpoint encodes and guards the reusable
 	// checkpoint scratch below, so steady-state checkpoints (a periodic
@@ -181,11 +197,12 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		return nil, err
 	}
 	return &Registry{
-		cfg:    cfg,
-		thetas: make(map[string]*shard.Theta),
-		hlls:   make(map[string]*shard.HLL),
-		quants: make(map[string]*shard.Quantiles),
-		cms:    make(map[string]*shard.CountMin),
+		cfg:        cfg,
+		thetas:     make(map[string]*shard.Theta),
+		hlls:       make(map[string]*shard.HLL),
+		quants:     make(map[string]*shard.Quantiles),
+		cms:        make(map[string]*shard.CountMin),
+		lifecycles: make(map[string]lifecycleSpec),
 	}, nil
 }
 
@@ -217,10 +234,11 @@ func getOrCreate[T any](r *Registry, m map[string]T, name string, mk func() T) T
 	return sk
 }
 
-// Theta returns the named sharded distinct-count sketch, creating it on
-// first use. Configuration errors are impossible here: the registry config
-// was validated by NewRegistry.
-func (r *Registry) Theta(name string) *shard.Theta {
+// getTheta returns the named sharded distinct-count sketch, creating it on
+// first use — the internal accessor behind OpenTheta and the deprecated
+// Theta facade. Configuration errors are impossible here: the registry
+// config was validated by NewRegistry.
+func (r *Registry) getTheta(name string) *shard.Theta {
 	return getOrCreate(r, r.thetas, name, func() *shard.Theta {
 		sk, err := shard.NewTheta(r.cfg.ThetaLgK, r.cfg.shardConfig())
 		if err != nil {
@@ -230,8 +248,8 @@ func (r *Registry) Theta(name string) *shard.Theta {
 	})
 }
 
-// HLL returns the named sharded HLL sketch, creating it on first use.
-func (r *Registry) HLL(name string) *shard.HLL {
+// getHLL returns the named sharded HLL sketch, creating it on first use.
+func (r *Registry) getHLL(name string) *shard.HLL {
 	return getOrCreate(r, r.hlls, name, func() *shard.HLL {
 		sk, err := shard.NewHLL(r.cfg.HLLPrecision, r.cfg.shardConfig())
 		if err != nil {
@@ -241,9 +259,9 @@ func (r *Registry) HLL(name string) *shard.HLL {
 	})
 }
 
-// Quantiles returns the named sharded quantiles sketch, creating it on
+// getQuantiles returns the named sharded quantiles sketch, creating it on
 // first use.
-func (r *Registry) Quantiles(name string) *shard.Quantiles {
+func (r *Registry) getQuantiles(name string) *shard.Quantiles {
 	return getOrCreate(r, r.quants, name, func() *shard.Quantiles {
 		sk, err := shard.NewQuantiles(r.cfg.QuantilesK, r.cfg.shardConfig())
 		if err != nil {
@@ -253,9 +271,9 @@ func (r *Registry) Quantiles(name string) *shard.Quantiles {
 	})
 }
 
-// CountMin returns the named sharded frequency sketch, creating it on first
-// use.
-func (r *Registry) CountMin(name string) *shard.CountMin {
+// getCountMin returns the named sharded frequency sketch, creating it on
+// first use.
+func (r *Registry) getCountMin(name string) *shard.CountMin {
 	return getOrCreate(r, r.cms, name, func() *shard.CountMin {
 		sk, err := shard.NewCountMin(r.cfg.CountMinEpsilon, r.cfg.CountMinDelta, r.cfg.shardConfig())
 		if err != nil {
@@ -265,6 +283,31 @@ func (r *Registry) CountMin(name string) *shard.CountMin {
 	})
 }
 
+// Theta returns the named sharded distinct-count sketch, creating it on
+// first use.
+//
+// Deprecated: use OpenTheta, whose Handle carries the same ingest/query
+// methods plus the lifecycle knobs (view, autoscale, TTL, budget class) in
+// one declarative Spec.
+func (r *Registry) Theta(name string) *shard.Theta { return r.getTheta(name) }
+
+// HLL returns the named sharded HLL sketch, creating it on first use.
+//
+// Deprecated: use OpenHLL.
+func (r *Registry) HLL(name string) *shard.HLL { return r.getHLL(name) }
+
+// Quantiles returns the named sharded quantiles sketch, creating it on
+// first use.
+//
+// Deprecated: use OpenQuantiles.
+func (r *Registry) Quantiles(name string) *shard.Quantiles { return r.getQuantiles(name) }
+
+// CountMin returns the named sharded frequency sketch, creating it on first
+// use.
+//
+// Deprecated: use OpenCountMin.
+func (r *Registry) CountMin(name string) *shard.CountMin { return r.getCountMin(name) }
+
 // ResizeTheta live-reshards the named Θ sketch to the given shard count,
 // creating the sketch on first use. Writers and queriers stay active
 // throughout: updates atomically switch to the new shard group, the old
@@ -272,25 +315,26 @@ func (r *Registry) CountMin(name string) *shard.CountMin {
 // retained legacy state, and merged queries never miss or double-count a
 // retired update. During the transition a merged query's staleness bound is
 // transiently S_old·r + S_new·r (both epochs' live snapshots are folded);
-// once ResizeTheta returns it is the new S·r. Use it to move a hot tenant
-// along the throughput/staleness trade-off without restarting: grow S for
-// ingest throughput, shrink S for fresher merged reads.
+// once ResizeTheta returns it is the new S·r.
 //
-// Like every registry accessor it panics if called after Close (the
-// registry must not be used after Close); calling Resize on a sketch
-// handle retained from before Close returns an error instead.
+// Deprecated: use OpenTheta and Handle.Resize (or Spec.Shards), or
+// ResizeSketch to resize by family string without creating on miss.
 func (r *Registry) ResizeTheta(name string, shards int) error {
-	return r.Theta(name).Resize(shards)
+	return r.getTheta(name).Resize(shards)
 }
 
 // ResizeHLL is ResizeTheta for the named HLL sketch.
+//
+// Deprecated: use OpenHLL and Handle.Resize, or ResizeSketch.
 func (r *Registry) ResizeHLL(name string, shards int) error {
-	return r.HLL(name).Resize(shards)
+	return r.getHLL(name).Resize(shards)
 }
 
 // ResizeQuantiles is ResizeTheta for the named quantiles sketch.
+//
+// Deprecated: use OpenQuantiles and Handle.Resize, or ResizeSketch.
 func (r *Registry) ResizeQuantiles(name string, shards int) error {
-	return r.Quantiles(name).Resize(shards)
+	return r.getQuantiles(name).Resize(shards)
 }
 
 // ResizeCountMin is ResizeTheta for the named Count-Min sketch. Per-key
@@ -299,40 +343,70 @@ func (r *Registry) ResizeQuantiles(name string, shards int) error {
 // underestimate), but the overestimation bound after a resize widens to
 // ε·N over the retired stream rather than ε·N_shard — see
 // shard.CountMin.Estimate.
+//
+// Deprecated: use OpenCountMin and Handle.Resize, or ResizeSketch.
 func (r *Registry) ResizeCountMin(name string, shards int) error {
-	return r.CountMin(name).Resize(shards)
+	return r.getCountMin(name).Resize(shards)
 }
 
 // ThetaQueryInto answers the named Θ sketch's merged distinct-count query
 // by resetting the caller-owned acc and folding every shard snapshot into
 // it — the zero-allocation query plane for callers that keep an accumulator
-// per reader goroutine. Build acc with reg.Theta(name).NewAccumulator().
-// The S·r staleness bound of Estimate applies unchanged; the estimate is
-// read off acc, which stays valid until its next reuse.
+// per reader goroutine.
+//
+// Deprecated: use OpenTheta and Handle.QueryInto; the estimate is read off
+// the accumulator, exactly as here.
 func (r *Registry) ThetaQueryInto(name string, acc *theta.Union) float64 {
-	r.Theta(name).QueryInto(acc)
+	r.getTheta(name).QueryInto(acc)
 	return acc.Estimate()
 }
 
 // HLLQueryInto is ThetaQueryInto for the named HLL sketch.
+//
+// Deprecated: use OpenHLL and Handle.QueryInto.
 func (r *Registry) HLLQueryInto(name string, acc *hll.Sketch) float64 {
-	r.HLL(name).QueryInto(acc)
+	r.getHLL(name).QueryInto(acc)
 	return acc.Estimate()
 }
 
 // QuantilesQueryInto resets the caller-owned acc and folds the named
 // quantiles sketch's shard summaries into it; query acc (Quantile, Rank, N)
 // until its next reuse.
+//
+// Deprecated: use OpenQuantiles and Handle.QueryInto.
 func (r *Registry) QuantilesQueryInto(name string, acc *quantiles.Accumulator) {
-	r.Quantiles(name).QueryInto(acc)
+	r.getQuantiles(name).QueryInto(acc)
 }
 
 // CountMinQueryInto resets the caller-owned acc and folds the named
 // Count-Min sketch's counters into it — the aggregate (S·r-bounded) view;
-// per-key estimates that only need the owning shard should use
-// CountMin(name).Estimate instead.
+// per-key estimates that only need the owning shard should use the handle's
+// Sketch().Estimate instead.
+//
+// Deprecated: use OpenCountMin and Handle.QueryInto.
 func (r *Registry) CountMinQueryInto(name string, acc *countmin.Sketch) {
-	r.CountMin(name).QueryInto(acc)
+	r.getCountMin(name).QueryInto(acc)
+}
+
+// ResizeSketch live-reshards the named sketch of the given family (one of
+// "theta", "hll", "quantiles", "countmin") without creating it on a miss —
+// the by-family admin resize serving and ops layers use. It returns
+// ErrConfig when no such sketch is registered; otherwise it carries exactly
+// the Resize semantics documented on ResizeTheta.
+func (r *Registry) ResizeSketch(family, name string, shards int) error {
+	r.mu.RLock()
+	sk, ok := r.lookup(family, name)
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		panic("fastsketches: Registry used after Close")
+	}
+	if !ok {
+		return fmt.Errorf("%w: no %s sketch %q to resize", ErrConfig, family, name)
+	}
+	// Resize outside r.mu: the drain can take a writer-grace period, and
+	// holding the registry lock across it would stall Open/Drop/Infos.
+	return sk.(interface{ Resize(int) error }).Resize(shards)
 }
 
 // ViewConfig configures a materialized merged view — see shard.ViewConfig:
@@ -364,23 +438,33 @@ func (r *Registry) viewTargetsLocked(name string) []viewSketch {
 	return targets
 }
 
-// EnableView materializes the merged state of every sketch currently
+// EnableView materializes the merged view of every sketch currently
+// registered under name, across all four families.
+//
+// Deprecated: use ReplaceView (identical semantics — this facade forwards
+// to it), or Spec.View on Open* to declare the view per handle.
+func (r *Registry) EnableView(name string, cfg ViewConfig) (int, error) {
+	return r.ReplaceView(name, cfg)
+}
+
+// ReplaceView materializes the merged state of every sketch currently
 // registered under name, across all four families: a background refresher
 // per sketch re-folds all shard snapshots every cfg.RefreshEvery and
 // publishes the result atomically, after which the per-family queries
-// (Estimate, Quantile, Rank, N, *QueryInto) transparently fold the single
+// (Estimate, Quantile, Rank, N, QueryInto) transparently fold the single
 // published view — O(1) in the shard count — instead of S shard snapshots.
 // The staleness bound of those queries widens from S·r to S·r plus one
 // refresh interval; per-key CountMin estimates keep reading their owning
 // shard directly and are unaffected. Returns how many sketches gained a
 // view.
 //
-// Like Autoscale, only sketches that already exist are covered. The call is
-// idempotent per sketch: a sketch whose view is already enabled is re-armed
-// under the new config (its old refresher is stopped first). Views are
+// Only sketches that already exist are covered. The call is idempotent per
+// sketch: a sketch whose view is already enabled is re-armed under the new
+// config (its old refresher is stopped first) — the replace-not-stack
+// semantics remote admin planes need, mirroring ReplaceAutoscale. Views are
 // disabled automatically when their sketch is dropped or the registry
-// closes; like every registry accessor, EnableView panics after Close.
-func (r *Registry) EnableView(name string, cfg ViewConfig) (int, error) {
+// closes; like every registry accessor, ReplaceView panics after Close.
+func (r *Registry) ReplaceView(name string, cfg ViewConfig) (int, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -403,10 +487,21 @@ func (r *Registry) EnableView(name string, cfg ViewConfig) (int, error) {
 }
 
 // DisableView stops the view refresher of every sketch registered under
+// name, across all families.
+//
+// Deprecated: use StopView (identical semantics — this facade forwards to
+// it), or Handle.DisableView per sketch.
+func (r *Registry) DisableView(name string) int {
+	return r.StopView(name)
+}
+
+// StopView stops the view refresher of every sketch registered under
 // name, across all families, and reports how many views were disabled.
 // Subsequent merged queries fold live shard snapshots again (bound back to
-// S·r).
-func (r *Registry) DisableView(name string) int {
+// S·r). It mirrors StopAutoscale, completing the non-deprecated
+// name-spanning admin surface (the wire protocol addresses views by name
+// only, with no family discriminator).
+func (r *Registry) StopView(name string) int {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -435,6 +530,10 @@ func (r *Registry) DisableView(name string) int {
 // first to create one); sketches registered under the name later are not
 // picked up retroactively. Each call attaches fresh controllers — attach a
 // policy once per sketch unless two competing loops are genuinely wanted.
+//
+// Deprecated: use ReplaceAutoscale (idempotent per name) or Spec.Autoscale
+// on Open* (idempotent per handle); stacking controllers is almost never
+// what an admin plane wants.
 func (r *Registry) Autoscale(name string, p autoscale.Policy) ([]*autoscale.Controller, error) {
 	return r.autoscale(p, func(n string) bool { return n == name })
 }
@@ -442,8 +541,56 @@ func (r *Registry) Autoscale(name string, p autoscale.Policy) ([]*autoscale.Cont
 // AutoscaleAll is Autoscale over every sketch currently registered, any
 // name, all families — one controller per sketch, all under the same
 // policy.
+//
+// Deprecated: attach policies per handle with Spec.Autoscale on Open*, or
+// per name with ReplaceAutoscale, so controller lifecycle stays idempotent.
 func (r *Registry) AutoscaleAll(p autoscale.Policy) ([]*autoscale.Controller, error) {
 	return r.autoscale(p, func(string) bool { return true })
+}
+
+// SetAutoscaleMemoryPressure installs f as the memory-budget signal on
+// every attached autoscale controller, current and future: while f reports
+// true, controllers veto scale-ups and treat quiet samples as
+// down-pressure (see autoscale.Controller.SetMemoryPressure). The ops
+// layer's budget accountant installs it so the budget acts through the
+// control loop before the accountant has to shed. Pass nil to remove the
+// signal.
+func (r *Registry) SetAutoscaleMemoryPressure(f func() bool) {
+	r.mu.Lock()
+	r.memPressure = f
+	ctls := make([]*autoscale.Controller, 0, len(r.controllers))
+	for _, rc := range r.controllers {
+		ctls = append(ctls, rc.ctl)
+	}
+	r.mu.Unlock()
+	for _, ctl := range ctls {
+		ctl.SetMemoryPressure(f)
+	}
+}
+
+// AutoscaleStats returns a live counter snapshot of the autoscale
+// controller attached to the named sketch of the given family, reporting
+// ok=false when the sketch has no controller (or does not exist). When
+// several controllers drive one sketch (stacked via the deprecated
+// Autoscale), the first attached wins — the idempotent attach paths
+// (ReplaceAutoscale, Spec.Autoscale) guarantee at most one.
+func (r *Registry) AutoscaleStats(family, name string) (autoscale.Stats, bool) {
+	r.mu.RLock()
+	sk, ok := r.lookup(family, name)
+	var ctl *autoscale.Controller
+	if ok {
+		for _, rc := range r.controllers {
+			if any(rc.target) == any(sk) {
+				ctl = rc.ctl
+				break
+			}
+		}
+	}
+	r.mu.RUnlock()
+	if ctl == nil {
+		return autoscale.Stats{}, false
+	}
+	return ctl.Stats(), true
 }
 
 // detachControllersLocked removes from r.controllers every entry whose
@@ -559,6 +706,9 @@ func (r *Registry) autoscaleLocked(p autoscale.Policy, match func(name string) b
 		if err != nil {
 			return nil, err
 		}
+		if r.memPressure != nil {
+			ctl.SetMemoryPressure(r.memPressure)
+		}
 		ctls = append(ctls, ctl)
 		r.controllers = append(r.controllers, registryController{ctl, tgt})
 	}
@@ -598,6 +748,26 @@ type SketchInfo struct {
 	// bound. Zero when no view is enabled.
 	ViewEnabled bool
 	ViewLag     time.Duration
+	// Ingested / Merged / Backlog are the sketch's wait-free cumulative
+	// pressure counters (see PressureSample), monotonic across resizes:
+	// items handed to the propagation plane, items folded into shard
+	// snapshots, and their difference. The ops layer differentiates
+	// successive Ingested readings into the idle-eviction signal.
+	Ingested, Merged, Backlog int64
+	// SizeBytes is the sketch's estimated resident heap footprint — the
+	// unit the memory-budget accountant sums (see shard.Sharded.SizeBytes).
+	SizeBytes int64
+	// IdleTTL and Pinned echo the lifecycle declared through Open*/Spec:
+	// the per-sketch idle-eviction override (0 = use the sweeper's default)
+	// and whether eviction/shedding must skip this sketch entirely.
+	IdleTTL time.Duration
+	Pinned  bool
+}
+
+// lifecycleSpec is the per-sketch lifecycle state declared through Spec.
+type lifecycleSpec struct {
+	idleTTL time.Duration
+	pinned  bool
 }
 
 // shardedIntrospect is the slice of the generic Sharded layer the metadata
@@ -609,17 +779,37 @@ type shardedIntrospect interface {
 	Eager() bool
 	ViewEnabled() bool
 	ViewLag() time.Duration
+	Pressure() core.PressureSample
+	SizeBytes() int64
 }
 
-func (r *Registry) info(family, name string, sk shardedIntrospect) SketchInfo {
+// infoEntry is the under-lock snapshot Infos takes: the identity, the
+// sketch pointer, and the lifecycle record. Everything else — every
+// per-sketch introspection call and the final sort — happens outside the
+// registry lock, so a slow enumeration (a /metrics scrape walking thousands
+// of sketches) can never stall Open/Drop.
+type infoEntry struct {
+	family, name string
+	sk           shardedIntrospect
+	lc           lifecycleSpec
+}
+
+func (r *Registry) info(e infoEntry) SketchInfo {
+	pr := e.sk.Pressure()
 	return SketchInfo{
-		Family: family, Name: name,
-		Shards: sk.Shards(), Writers: r.cfg.Writers,
-		Relaxation:      sk.Relaxation(),
-		ShardRelaxation: sk.ShardRelaxation(),
-		Eager:           sk.Eager(),
-		ViewEnabled:     sk.ViewEnabled(),
-		ViewLag:         sk.ViewLag(),
+		Family: e.family, Name: e.name,
+		Shards: e.sk.Shards(), Writers: r.cfg.Writers,
+		Relaxation:      e.sk.Relaxation(),
+		ShardRelaxation: e.sk.ShardRelaxation(),
+		Eager:           e.sk.Eager(),
+		ViewEnabled:     e.sk.ViewEnabled(),
+		ViewLag:         e.sk.ViewLag(),
+		Ingested:        pr.Ingested,
+		Merged:          pr.Merged,
+		Backlog:         pr.Backlog(),
+		SizeBytes:       e.sk.SizeBytes(),
+		IdleTTL:         e.lc.idleTTL,
+		Pinned:          e.lc.pinned,
 	}
 }
 
@@ -648,31 +838,51 @@ func (r *Registry) lookup(family, name string) (shardedIntrospect, bool) {
 func (r *Registry) Info(family, name string) (SketchInfo, bool) {
 	r.mu.RLock()
 	sk, ok := r.lookup(family, name)
+	lc := r.lifecycles[family+"/"+name]
 	r.mu.RUnlock()
 	if !ok {
 		return SketchInfo{}, false
 	}
-	return r.info(family, name, sk), true
+	return r.info(infoEntry{family, name, sk, lc}), true
+}
+
+// snapshotLocked appends one infoEntry per sketch of family fam to dst.
+// Caller holds r.mu (any mode).
+func snapshotLocked[S shardedIntrospect](r *Registry, dst []infoEntry, fam string, m map[string]S) []infoEntry {
+	for n, sk := range m {
+		dst = append(dst, infoEntry{fam, n, sk, r.lifecycles[fam+"/"+n]})
+	}
+	return dst
+}
+
+// snapshot collects the identity/pointer pairs of every registered sketch
+// under one brief RLock — the only part of an enumeration that needs the
+// registry lock at all.
+func (r *Registry) snapshot() []infoEntry {
+	r.mu.RLock()
+	entries := make([]infoEntry, 0, len(r.thetas)+len(r.hlls)+len(r.quants)+len(r.cms))
+	entries = snapshotLocked(r, entries, "theta", r.thetas)
+	entries = snapshotLocked(r, entries, "hll", r.hlls)
+	entries = snapshotLocked(r, entries, "quantiles", r.quants)
+	entries = snapshotLocked(r, entries, "countmin", r.cms)
+	r.mu.RUnlock()
+	return entries
 }
 
 // Infos returns every registered sketch's metadata, sorted by family then
-// name — the enumeration hook serving layers expose as their admin listing.
+// name — the enumeration hook serving layers expose as their admin listing
+// and the ops layer walks every metrics scrape and sweep. Only the map
+// snapshot happens under the registry lock; the per-sketch introspection
+// (pressure loads, size estimates, view lag) and the sort run outside it,
+// so a slow enumeration cannot stall Open/Drop. A sketch dropped
+// concurrently may still appear in the result — its counters summarise its
+// final drained state, the same staleness any enumeration has.
 func (r *Registry) Infos() []SketchInfo {
-	r.mu.RLock()
-	out := make([]SketchInfo, 0, len(r.thetas)+len(r.hlls)+len(r.quants)+len(r.cms))
-	for n, sk := range r.thetas {
-		out = append(out, r.info("theta", n, sk))
+	entries := r.snapshot()
+	out := make([]SketchInfo, len(entries))
+	for i, e := range entries {
+		out[i] = r.info(e)
 	}
-	for n, sk := range r.hlls {
-		out = append(out, r.info("hll", n, sk))
-	}
-	for n, sk := range r.quants {
-		out = append(out, r.info("quantiles", n, sk))
-	}
-	for n, sk := range r.cms {
-		out = append(out, r.info("countmin", n, sk))
-	}
-	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Family != out[j].Family {
 			return out[i].Family < out[j].Family
@@ -711,6 +921,7 @@ func (r *Registry) Drop(family, name string) bool {
 	case "countmin":
 		delete(r.cms, name)
 	}
+	delete(r.lifecycles, family+"/"+name)
 	// Stop this sketch's controllers before its propagators: a live
 	// controller mid-Tick could otherwise ask a closing sketch to resize.
 	var stop []*autoscale.Controller
@@ -732,22 +943,28 @@ func (r *Registry) Drop(family, name string) bool {
 	return true
 }
 
-// Names lists every registered sketch, sorted, as "family/name".
+// Names lists every registered sketch, sorted, as "family/name". Like
+// Infos, only the map walk runs under the registry lock; the string
+// concatenations and the sort happen outside it.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.thetas)+len(r.hlls)+len(r.quants)+len(r.cms))
+	keys := make([][2]string, 0, len(r.thetas)+len(r.hlls)+len(r.quants)+len(r.cms))
 	for n := range r.thetas {
-		out = append(out, "theta/"+n)
+		keys = append(keys, [2]string{"theta", n})
 	}
 	for n := range r.hlls {
-		out = append(out, "hll/"+n)
+		keys = append(keys, [2]string{"hll", n})
 	}
 	for n := range r.quants {
-		out = append(out, "quantiles/"+n)
+		keys = append(keys, [2]string{"quantiles", n})
 	}
 	for n := range r.cms {
-		out = append(out, "countmin/"+n)
+		keys = append(keys, [2]string{"countmin", n})
+	}
+	r.mu.RUnlock()
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k[0] + "/" + k[1]
 	}
 	sort.Strings(out)
 	return out

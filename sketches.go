@@ -39,17 +39,24 @@
 // # Sharded multi-tenant registry
 //
 // A service ingesting many keyed streams uses the Registry: named sketches
-// created on first use, each striped across S independent concurrent
-// sketches (its own propagator and writer lanes per shard) with queries
-// merging per-shard snapshots on demand:
+// opened (get-or-create) through typed handles, each striped across S
+// independent concurrent sketches (its own propagator and writer lanes per
+// shard) with queries merging per-shard snapshots on demand:
 //
 //	reg, _ := fastsketches.NewRegistry(fastsketches.RegistryConfig{
 //		Shards: 8, Writers: 4,
 //	})
 //	defer reg.Close()
-//	reg.Theta("tenant-42/visitors").Update(lane, userID)
-//	reg.Quantiles("tenant-42/latency").Update(lane, ms)
-//	est := reg.Theta("tenant-42/visitors").Estimate() // merged, wait-free
+//	visitors, _ := reg.OpenTheta("tenant-42/visitors", fastsketches.Spec{})
+//	latency, _ := reg.OpenQuantiles("tenant-42/latency", fastsketches.Spec{})
+//	visitors.Update(lane, userID)
+//	latency.Update(lane, ms)
+//	est := visitors.Sketch().Estimate() // merged, wait-free
+//
+// The Spec is declarative — shard count, materialized view, autoscale
+// policy, and ops lifecycle (IdleTTL, Pinned) are (re)applied on every
+// Open that sets them, and a zero Spec changes nothing, so reopening a
+// live name is a cheap handle fetch.
 //
 // The staleness contract extends shard-wise: each shard is r-relaxed with
 // r = 2·Writers·b (Theorem 1), and a merged query folds one wait-free
@@ -70,17 +77,18 @@
 //
 // # Live resharding
 //
-// The shard count is not frozen at construction: ResizeTheta (and the
-// other family facades, or Resize on the sketch itself) grows or shrinks
-// a named sketch's shard group while writers and queriers stay active —
+// The shard count is not frozen at construction: Handle.Resize (or a
+// reopen with Spec.Shards set, or Resize on the sketch itself) grows or
+// shrinks a named sketch's shard group while writers and queriers stay
+// active —
 // an atomic routing-epoch swap followed by an exact drain of the old
 // shards into a retained legacy state. No completed update is lost or
 // double-counted across a resize; merged queries transiently carry the
 // combined bound S_old·r + S_new·r while a drain is in flight and settle
 // at the new S·r once Resize returns:
 //
-//	reg.ResizeTheta("tenant-42/visitors", 16) // going viral: throughput ↑
-//	reg.ResizeTheta("tenant-42/visitors", 2)  // nightly lull: staleness ↓
+//	visitors.Resize(16) // going viral: throughput ↑
+//	visitors.Resize(2)  // nightly lull: staleness ↓
 //
 // See docs/ARCHITECTURE.md for the layer map, the bound derivations and
 // the epoch protocol, and examples/resharding for a runnable walkthrough.
