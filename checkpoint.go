@@ -41,6 +41,12 @@ type checkpointable interface {
 	Shards() int
 	AppendSnapshot([]byte) []byte
 	ViewSettings() (shard.ViewConfig, bool)
+	WindowSettings() (shard.WindowConfig, bool)
+	// AppendWindowedSnapshot appends the base blob (everything outside the
+	// closed ring slots) and returns the slot and decay-plane blobs captured
+	// under the same rotation-consistent hold; with no window enabled it
+	// degrades to the plain cumulative AppendSnapshot with an empty tail.
+	AppendWindowedSnapshot([]byte) ([]byte, [][]byte, []byte)
 }
 
 // restorable is the slice of a family wrapper the restore path drives.
@@ -50,6 +56,8 @@ type restorable interface {
 	ImportSnapshot([]byte) error
 	EnableView(shard.ViewConfig) error
 	DisableView() bool
+	DisableWindow() bool
+	RestoreWindow(shard.WindowConfig, [][]byte, []byte) error
 }
 
 // checkpointEntry is one sketch's collected checkpoint inputs, gathered
@@ -138,6 +146,26 @@ func (r *Registry) appendCheckpointLocked(dst []byte) []byte {
 			rec.MaxShards = uint32(e.policy.MaxShards)
 			rec.HighWater = e.policy.HighWater
 			rec.LowWater = e.policy.LowWater
+		}
+		if wc, ok := e.sk.WindowSettings(); ok {
+			// Windowed sketches serialise slot-by-slot: the base blob holds
+			// everything outside the closed ring (live shards, carry, legacy,
+			// in the cumulative plane), the tail each closed interval plus
+			// the decay plane, so a restore rebuilds the ring — and hence
+			// windowed queries — not just the cumulative total.
+			rec.HasWindow = true
+			rec.WindowIntervalNs = int64(wc.Interval)
+			rec.WindowSlots = uint32(wc.Slots)
+			rec.WindowDecay = wc.Decay
+			var m snapshot.Marks
+			dst, m = snapshot.BeginRecord(dst, &rec)
+			var slots [][]byte
+			var decayed []byte
+			dst, slots, decayed = e.sk.AppendWindowedSnapshot(dst)
+			dst = snapshot.EndBlob(dst, &m)
+			dst = snapshot.AppendWindowTail(dst, slots, decayed)
+			dst = snapshot.EndRecord(dst, m)
+			continue
 		}
 		var m snapshot.Marks
 		dst, m = snapshot.BeginRecord(dst, &rec)
@@ -241,6 +269,21 @@ func (r *Registry) restoreRecord(rec *snapshot.Record) error {
 			RefreshEvery: time.Duration(rec.ViewRefreshNs),
 			MaxAge:       time.Duration(rec.ViewMaxAgeNs),
 		}); err != nil {
+			return err
+		}
+	}
+	if rec.HasWindow {
+		// Disable-then-restore: restoring over a live window folds the old
+		// window's closed slots into the cumulative legacy (DisableWindow's
+		// collapse) and rebuilds the ring from the record, so the cumulative
+		// total never loses counts and the windowed view matches the
+		// checkpoint.
+		sk.DisableWindow()
+		if err := sk.RestoreWindow(shard.WindowConfig{
+			Interval: time.Duration(rec.WindowIntervalNs),
+			Slots:    int(rec.WindowSlots),
+			Decay:    rec.WindowDecay,
+		}, rec.WindowSlotBlobs, rec.WindowDecayedBlob); err != nil {
 			return err
 		}
 	}

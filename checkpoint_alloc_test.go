@@ -1,6 +1,5 @@
 //go:build !race
 
-//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 // TestCheckpointZeroAllocSteadyState enforces the checkpoint encoder's
@@ -27,8 +26,8 @@ func TestCheckpointZeroAllocSteadyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	th, h := reg.Theta("za.theta"), reg.HLL("za.hll")
-	q, cm := reg.Quantiles("za.q"), reg.CountMin("za.cm")
+	th, h := openTheta(t, reg, "za.theta"), openHLL(t, reg, "za.hll")
+	q, cm := openQuantiles(t, reg, "za.q"), openCountMin(t, reg, "za.cm")
 	for i := 0; i < 20_000; i++ {
 		k := uint64(i)
 		th.Update(i%2, k)
@@ -43,10 +42,7 @@ func TestCheckpointZeroAllocSteadyState(t *testing.T) {
 	// encoder's. A real resize (4→3) drains every published and partial
 	// writer buffer synchronously, so no propagator fires mid-measurement.
 	if err := errors.Join(
-		reg.ResizeTheta("za.theta", 3),
-		reg.ResizeHLL("za.hll", 3),
-		reg.ResizeQuantiles("za.q", 3),
-		reg.ResizeCountMin("za.cm", 3),
+		th.Resize(3), h.Resize(3), q.Resize(3), cm.Resize(3),
 	); err != nil {
 		t.Fatal(err)
 	}

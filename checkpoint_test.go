@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 import (
@@ -19,6 +18,44 @@ import (
 	"fastsketches/internal/theta"
 )
 
+// Typed-handle open helpers: every sketch in this file is reached through
+// the declarative Open* path.
+func openTheta(t testing.TB, reg *fastsketches.Registry, name string) *fastsketches.ThetaHandle {
+	t.Helper()
+	h, err := reg.OpenTheta(name, fastsketches.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func openHLL(t testing.TB, reg *fastsketches.Registry, name string) *fastsketches.HLLHandle {
+	t.Helper()
+	h, err := reg.OpenHLL(name, fastsketches.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func openQuantiles(t testing.TB, reg *fastsketches.Registry, name string) *fastsketches.QuantilesHandle {
+	t.Helper()
+	h, err := reg.OpenQuantiles(name, fastsketches.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func openCountMin(t testing.TB, reg *fastsketches.Registry, name string) *fastsketches.CountMinHandle {
+	t.Helper()
+	h, err := reg.OpenCountMin(name, fastsketches.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 // populated builds a registry holding all four families with a quiesced
 // (exact) stream: n distinct keys into theta/hll, n items into quantiles,
 // and n countmin updates over keySpace keys. The final resize drains every
@@ -31,8 +68,8 @@ func populated(t *testing.T, n int) *fastsketches.Registry {
 	if err != nil {
 		t.Fatal(err)
 	}
-	th, h := reg.Theta("ck.theta"), reg.HLL("ck.hll")
-	q, cm := reg.Quantiles("ck.q"), reg.CountMin("ck.cm")
+	th, h := openTheta(t, reg, "ck.theta"), openHLL(t, reg, "ck.hll")
+	q, cm := openQuantiles(t, reg, "ck.q"), openCountMin(t, reg, "ck.cm")
 	for i := 0; i < n; i++ {
 		k := uint64(i)
 		th.Update(i%2, k)
@@ -41,8 +78,7 @@ func populated(t *testing.T, n int) *fastsketches.Registry {
 		cm.Update(i%2, k%61)
 	}
 	if err := errors.Join(
-		reg.ResizeTheta("ck.theta", 2), reg.ResizeHLL("ck.hll", 2),
-		reg.ResizeQuantiles("ck.q", 2), reg.ResizeCountMin("ck.cm", 2),
+		th.Resize(2), h.Resize(2), q.Resize(2), cm.Resize(2),
 	); err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +92,12 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 
 	// Serving configuration rides the checkpoint: a view on the HLL and an
 	// autoscale policy on the Count-Min.
-	if _, err := src.EnableView("ck.hll", fastsketches.ViewConfig{
+	if _, err := src.ReplaceView("ck.hll", fastsketches.ViewConfig{
 		RefreshEvery: 40 * time.Millisecond, MaxAge: -1,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := src.Autoscale("ck.cm", autoscale.Policy{
+	if _, err := src.ReplaceAutoscale("ck.cm", autoscale.Policy{
 		MinShards: 1, MaxShards: 16, HighWater: 5e5, LowWater: 1e4,
 	}); err != nil {
 		t.Fatal(err)
@@ -101,25 +137,33 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 	}
 
 	// Exact families agree exactly with the source.
-	if got := dst.ThetaQueryInto("ck.theta", dst.Theta("ck.theta").NewAccumulator()); got != n {
+	thAcc := openTheta(t, dst, "ck.theta").NewAccumulator()
+	openTheta(t, dst, "ck.theta").QueryInto(thAcc)
+	if got := thAcc.Estimate(); got != n {
 		t.Errorf("restored theta estimate %v, want exactly %d (eager regime)", got, n)
 	}
-	srcHLL := src.HLLQueryInto("ck.hll", src.HLL("ck.hll").NewAccumulator())
-	if got := dst.HLLQueryInto("ck.hll", dst.HLL("ck.hll").NewAccumulator()); got != srcHLL {
-		t.Errorf("restored hll estimate %v, want %v", got, srcHLL)
+	srcAcc := openHLL(t, src, "ck.hll").NewAccumulator()
+	openHLL(t, src, "ck.hll").QueryInto(srcAcc)
+	dstAcc := openHLL(t, dst, "ck.hll").NewAccumulator()
+	openHLL(t, dst, "ck.hll").QueryInto(dstAcc)
+	if got, want := dstAcc.Estimate(), srcAcc.Estimate(); got != want {
+		t.Errorf("restored hll estimate %v, want %v", got, want)
 	}
-	cmAcc := dst.CountMin("ck.cm").NewAccumulator()
-	dst.CountMinQueryInto("ck.cm", cmAcc)
+	dstCM := openCountMin(t, dst, "ck.cm")
+	cmAcc := dstCM.NewAccumulator()
+	dstCM.QueryInto(cmAcc)
 	if cmAcc.N() != n {
 		t.Errorf("restored countmin N %d, want exactly %d", cmAcc.N(), n)
 	}
+	srcCM := openCountMin(t, src, "ck.cm")
 	for key := uint64(0); key < 61; key++ {
-		if g, w := dst.CountMin("ck.cm").Estimate(key), src.CountMin("ck.cm").Estimate(key); g != w {
+		if g, w := dstCM.Sketch().Estimate(key), srcCM.Sketch().Estimate(key); g != w {
 			t.Errorf("countmin key %d: restored %d, source %d", key, g, w)
 		}
 	}
-	qAcc := dst.Quantiles("ck.q").NewAccumulator()
-	dst.QuantilesQueryInto("ck.q", qAcc)
+	dstQ := openQuantiles(t, dst, "ck.q")
+	qAcc := dstQ.NewAccumulator()
+	dstQ.QueryInto(qAcc)
 	if qAcc.N() != n {
 		t.Errorf("restored quantiles N %d, want %d", qAcc.N(), n)
 	}
@@ -155,8 +199,9 @@ func TestCheckpointAfterCloseCapturesDrainedState(t *testing.T) {
 	if err := dst.Restore(bytes.NewReader(ckpt)); err != nil {
 		t.Fatal(err)
 	}
-	acc := dst.CountMin("ck.cm").NewAccumulator()
-	dst.CountMinQueryInto("ck.cm", acc)
+	cmh := openCountMin(t, dst, "ck.cm")
+	acc := cmh.NewAccumulator()
+	cmh.QueryInto(acc)
 	if acc.N() != n {
 		t.Errorf("post-Close checkpoint N %d, want exactly %d", acc.N(), n)
 	}
@@ -193,7 +238,10 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	if err := dst.RestoreFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if got := dst.ThetaQueryInto("ck.theta", dst.Theta("ck.theta").NewAccumulator()); got != n {
+	thh := openTheta(t, dst, "ck.theta")
+	thAcc := thh.NewAccumulator()
+	thh.QueryInto(thAcc)
+	if got := thAcc.Estimate(); got != n {
 		t.Errorf("restored theta estimate %v, want %d", got, n)
 	}
 
@@ -236,8 +284,8 @@ func TestCheckpointUnderFire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	cm := reg.CountMin("fire.cm")
-	reg.Theta("fire.drop") // a sketch to Drop mid-checkpoint
+	cm := openCountMin(t, reg, "fire.cm")
+	openTheta(t, reg, "fire.drop") // a sketch to Drop mid-checkpoint
 
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -253,17 +301,17 @@ func TestCheckpointUnderFire(t *testing.T) {
 	go func() {
 		defer close(chaosDone)
 		for s := 1; s <= 6; s++ {
-			if err := reg.ResizeCountMin("fire.cm", s); err != nil {
+			if err := cm.Resize(s); err != nil {
 				t.Errorf("resize under checkpoint fire: %v", err)
 				return
 			}
-			if _, err := reg.EnableView("fire.cm", fastsketches.ViewConfig{
+			if _, err := reg.ReplaceView("fire.cm", fastsketches.ViewConfig{
 				RefreshEvery: time.Millisecond,
 			}); err != nil {
 				t.Errorf("enable view under checkpoint fire: %v", err)
 				return
 			}
-			reg.DisableView("fire.cm")
+			reg.StopView("fire.cm")
 		}
 		reg.Drop("theta", "fire.drop")
 	}()
@@ -278,8 +326,9 @@ func TestCheckpointUnderFire(t *testing.T) {
 		if err := dst.Restore(bytes.NewReader(ckpt)); err != nil {
 			t.Fatalf("checkpoint %d taken under fire does not restore: %v", k, err)
 		}
-		acc := dst.CountMin("fire.cm").NewAccumulator()
-		dst.CountMinQueryInto("fire.cm", acc)
+		dstCM := openCountMin(t, dst, "fire.cm")
+		acc := dstCM.NewAccumulator()
+		dstCM.QueryInto(acc)
 		if acc.N() > writers*perWriter {
 			t.Fatalf("checkpoint %d holds N=%d > ingested %d", k, acc.N(), writers*perWriter)
 		}
@@ -289,7 +338,7 @@ func TestCheckpointUnderFire(t *testing.T) {
 	<-chaosDone
 
 	// Quiesce and verify the final checkpoint is exact.
-	if err := reg.ResizeCountMin("fire.cm", 3); err != nil {
+	if err := cm.Resize(3); err != nil {
 		t.Fatal(err)
 	}
 	dst, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2})
@@ -300,8 +349,9 @@ func TestCheckpointUnderFire(t *testing.T) {
 	if err := dst.Restore(bytes.NewReader(reg.AppendCheckpoint(nil))); err != nil {
 		t.Fatal(err)
 	}
-	acc := dst.CountMin("fire.cm").NewAccumulator()
-	dst.CountMinQueryInto("fire.cm", acc)
+	dstCM := openCountMin(t, dst, "fire.cm")
+	acc := dstCM.NewAccumulator()
+	dstCM.QueryInto(acc)
 	if acc.N() != writers*perWriter {
 		t.Errorf("final checkpoint N %d, want exactly %d", acc.N(), writers*perWriter)
 	}
@@ -313,7 +363,7 @@ func TestCheckpointUnderFire(t *testing.T) {
 // its goroutine baseline.
 func TestRestoreReplacesControllers(t *testing.T) {
 	src := populated(t, 500)
-	if _, err := src.Autoscale("ck.cm", autoscale.Policy{
+	if _, err := src.ReplaceAutoscale("ck.cm", autoscale.Policy{
 		MinShards: 1, MaxShards: 8, HighWater: 1e6,
 	}); err != nil {
 		t.Fatal(err)
@@ -404,7 +454,10 @@ func TestCheckpointerManualClock(t *testing.T) {
 	if err := dst.RestoreFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if got := dst.ThetaQueryInto("ck.theta", dst.Theta("ck.theta").NewAccumulator()); got != 300 {
+	finalTh := openTheta(t, dst, "ck.theta")
+	finalAcc := finalTh.NewAccumulator()
+	finalTh.QueryInto(finalAcc)
+	if got := finalAcc.Estimate(); got != 300 {
 		t.Errorf("final checkpoint theta estimate %v, want 300", got)
 	}
 
@@ -425,8 +478,8 @@ func FuzzCheckpointRestore(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	th := seedReg.Theta("fz.t")
-	cm := seedReg.CountMin("fz.cm")
+	th := openTheta(f, seedReg, "fz.t")
+	cm := openCountMin(f, seedReg, "fz.cm")
 	for i := 0; i < 500; i++ {
 		th.Update(0, uint64(i))
 		cm.Update(0, uint64(i%17))

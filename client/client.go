@@ -292,6 +292,36 @@ func (c *Client) DisableView(name string) error {
 	return c.doEmpty(&reqSpec{op: wire.OpDisableView, name: name})
 }
 
+// EnableWindow declares a sliding window on every sketch registered under
+// name, across all families: the server keeps the last slots closed
+// intervals of length interval plus the live one, and the Window* queries
+// answer over exactly that span while cumulative queries keep serving the
+// whole stream. A windowed answer reflects all but at most S·r of the
+// window's acked updates, with the window boundary placed by the last
+// rotation — at most one interval (plus rotation lag) old. slots 0 takes
+// the server default; decay in (0,1) additionally maintains the Count-Min
+// exponentially time-decayed plane (families without linearly scalable
+// counters get the same window sans decay). Idempotent with replace
+// semantics: an equal declaration keeps the ring, a different one collapses
+// the old window into the cumulative state (no counts lost) and re-arms.
+func (c *Client) EnableWindow(name string, interval time.Duration, slots int, decay float64) error {
+	if interval <= 0 {
+		return fmt.Errorf("client: window interval %v must be positive", interval)
+	}
+	if slots < 0 {
+		return fmt.Errorf("client: window slots %d must be non-negative", slots)
+	}
+	return c.doEmpty(&reqSpec{op: wire.OpEnableWindow, name: name,
+		arg: uint64(interval.Nanoseconds()), slots: uint32(slots), arg2: math.Float64bits(decay)})
+}
+
+// DisableWindow collapses the windows of every sketch registered under name
+// back into their cumulative state — no counted update is lost; subsequent
+// Window* queries on the name fail until a window is declared again.
+func (c *Client) DisableWindow(name string) error {
+	return c.doEmpty(&reqSpec{op: wire.OpDisableWindow, name: name})
+}
+
 // Drop closes and removes the named sketch server-side; the name becomes
 // free for a fresh sketch.
 func (c *Client) Drop(fam Family, name string) error {
@@ -364,6 +394,55 @@ func (c *Client) Count(name string, key uint64) (uint64, error) {
 // aggregate read under the combined S·r bound).
 func (c *Client) CountMinN(name string) (uint64, error) {
 	return c.doU64(&reqSpec{op: wire.OpQuery, fam: CountMin, q: wire.QueryN, name: name})
+}
+
+// ThetaWindowEstimate answers the named Θ sketch's distinct-count query
+// over its declared sliding window. Errors with a server-side *Error when
+// no window is declared on the sketch.
+func (c *Client) ThetaWindowEstimate(name string) (float64, error) {
+	return c.doF64(&reqSpec{op: wire.OpQuery, fam: Theta, q: wire.QueryWindowEstimate, name: name})
+}
+
+// HLLWindowEstimate is ThetaWindowEstimate for the named HLL sketch.
+func (c *Client) HLLWindowEstimate(name string) (float64, error) {
+	return c.doF64(&reqSpec{op: wire.OpQuery, fam: HLL, q: wire.QueryWindowEstimate, name: name})
+}
+
+// WindowQuantile returns an element of the named quantiles sketch's
+// windowed state with normalized rank ≈ phi. Errors when no window is
+// declared.
+func (c *Client) WindowQuantile(name string, phi float64) (float64, error) {
+	return c.doF64(&reqSpec{op: wire.OpQuery, fam: Quantiles, q: wire.QueryWindowQuantile,
+		name: name, arg: math.Float64bits(phi)})
+}
+
+// WindowQuantilesN returns the item count of the named quantiles sketch's
+// windowed state. Errors when no window is declared.
+func (c *Client) WindowQuantilesN(name string) (uint64, error) {
+	return c.doU64(&reqSpec{op: wire.OpQuery, fam: Quantiles, q: wire.QueryWindowN, name: name})
+}
+
+// WindowCount returns the named Count-Min sketch's windowed frequency
+// estimate of key: counts from the live interval and the last slots closed
+// intervals only. Errors when no window is declared.
+func (c *Client) WindowCount(name string, key uint64) (uint64, error) {
+	return c.doU64(&reqSpec{op: wire.OpQuery, fam: CountMin, q: wire.QueryWindowCount,
+		name: name, arg: key})
+}
+
+// WindowCountMinN returns the named Count-Min sketch's windowed total
+// weight. Errors when no window is declared.
+func (c *Client) WindowCountMinN(name string) (uint64, error) {
+	return c.doU64(&reqSpec{op: wire.OpQuery, fam: CountMin, q: wire.QueryWindowN, name: name})
+}
+
+// DecayedCount returns the named Count-Min sketch's exponentially
+// time-decayed frequency estimate of key: a count observed k rotations ago
+// contributes with weight decay^k, the live interval with weight 1. Errors
+// unless a window with decay in (0,1) is declared.
+func (c *Client) DecayedCount(name string, key uint64) (uint64, error) {
+	return c.doU64(&reqSpec{op: wire.OpQuery, fam: CountMin, q: wire.QueryDecayedCount,
+		name: name, arg: key})
 }
 
 // Snapshot exports the named sketch's merged state as a portable snapshot
@@ -441,6 +520,7 @@ type reqSpec struct {
 	name       string
 	arg        uint64
 	arg2       uint64
+	slots      uint32
 	minS, maxS uint32
 	high, low  float64
 	items      []uint64
@@ -612,6 +692,10 @@ func (cn *conn) roundTrip(sp *reqSpec) (*call, error) {
 		b = wire.AppendEnableView(b, id, sp.name, sp.arg, sp.arg2)
 	case wire.OpDisableView:
 		b = wire.AppendDisableView(b, id, sp.name)
+	case wire.OpEnableWindow:
+		b = wire.AppendEnableWindow(b, id, sp.name, sp.arg, sp.slots, math.Float64frombits(sp.arg2))
+	case wire.OpDisableWindow:
+		b = wire.AppendDisableWindow(b, id, sp.name)
 	case wire.OpBatch:
 		b = wire.AppendBatch(b, id, sp.fam, sp.name, sp.items)
 	case wire.OpQuery:

@@ -46,6 +46,9 @@ func main() {
 	quantK := flag.Int("quantiles-k", 0, "quantiles summary parameter per shard (0 = default)")
 	cmEps := flag.Float64("cm-eps", 0, "Count-Min epsilon (0 = default)")
 	cmDelta := flag.Float64("cm-delta", 0, "Count-Min delta (0 = default)")
+	winInterval := flag.Duration("window-interval", 0, "default sliding-window rotation interval for every sketch (0 = no default window)")
+	winSlots := flag.Int("window-slots", 0, "default window's closed-interval capacity (0 = library default; requires -window-interval)")
+	winDecay := flag.Float64("window-decay", 0, "default Count-Min exponential decay factor in [0,1) (0 = none; requires -window-interval)")
 	restorePath := flag.String("restore", "", "checkpoint file to warm-start from (missing file is not an error)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file to write periodically and on shutdown")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint)")
@@ -65,6 +68,7 @@ func main() {
 		MaxError: *maxError, BufferSize: *bufferSize,
 		ThetaLgK: *thetaLgK, HLLPrecision: *hllP, QuantilesK: *quantK,
 		CountMinEpsilon: *cmEps, CountMinDelta: *cmDelta,
+		WindowInterval: *winInterval, WindowSlots: *winSlots, WindowDecay: *winDecay,
 	})
 	if err != nil {
 		log.Fatalf("sketchd: %v", err)

@@ -1,0 +1,200 @@
+package fastsketches
+
+import (
+	"fastsketches/internal/autoscale"
+	"fastsketches/internal/countmin"
+	"fastsketches/internal/hll"
+	"fastsketches/internal/quantiles"
+	"fastsketches/internal/shard"
+	"fastsketches/internal/theta"
+)
+
+// The deprecated per-family registry surface, kept in one place until
+// removal. Every method here predates the typed-handle API and survives only
+// for compatibility: each is a thin forwarder over the Open*/Handle path (or
+// the name-spanning Replace*/Stop* admin calls), so there is exactly one code
+// path — the declarative one — behind both surfaces. New code should open a
+// handle:
+//
+//	h, err := reg.OpenTheta(name, fastsketches.Spec{})   // instead of reg.Theta(name)
+//	h.Resize(s)                                          // instead of reg.ResizeTheta(name, s)
+//	h.QueryInto(acc)                                     // instead of reg.ThetaQueryInto(name, acc)
+//
+// and declare views, windows, autoscaling and lifecycle through Spec.
+//
+// The zero Spec declares nothing and cannot fail, so the forwarders' Open
+// errors are unreachable; they panic rather than silently alter the original
+// signatures.
+
+// openTheta is the shared forwarder body: open with the zero Spec, which
+// cannot fail.
+func (r *Registry) openTheta(name string) *ThetaHandle {
+	h, err := r.OpenTheta(name, Spec{})
+	if err != nil {
+		panic(err) // unreachable: the zero Spec declares nothing
+	}
+	return h
+}
+
+func (r *Registry) openHLL(name string) *HLLHandle {
+	h, err := r.OpenHLL(name, Spec{})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (r *Registry) openQuantiles(name string) *QuantilesHandle {
+	h, err := r.OpenQuantiles(name, Spec{})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (r *Registry) openCountMin(name string) *CountMinHandle {
+	h, err := r.OpenCountMin(name, Spec{})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Theta returns the named sharded distinct-count sketch, creating it on
+// first use.
+//
+// Deprecated: use OpenTheta, whose Handle carries the same ingest/query
+// methods plus the lifecycle knobs (view, window, autoscale, TTL, budget
+// class) in one declarative Spec.
+func (r *Registry) Theta(name string) *shard.Theta { return r.openTheta(name).Sketch() }
+
+// HLL returns the named sharded HLL sketch, creating it on first use.
+//
+// Deprecated: use OpenHLL.
+func (r *Registry) HLL(name string) *shard.HLL { return r.openHLL(name).Sketch() }
+
+// Quantiles returns the named sharded quantiles sketch, creating it on
+// first use.
+//
+// Deprecated: use OpenQuantiles.
+func (r *Registry) Quantiles(name string) *shard.Quantiles { return r.openQuantiles(name).Sketch() }
+
+// CountMin returns the named sharded frequency sketch, creating it on first
+// use.
+//
+// Deprecated: use OpenCountMin.
+func (r *Registry) CountMin(name string) *shard.CountMin { return r.openCountMin(name).Sketch() }
+
+// ResizeTheta live-reshards the named Θ sketch to the given shard count,
+// creating the sketch on first use — see Handle.Resize for the transition
+// semantics (writers and queriers stay active; transiently S_old·r +
+// S_new·r).
+//
+// Deprecated: use OpenTheta and Handle.Resize (or Spec.Shards), or
+// ResizeSketch to resize by family string without creating on miss.
+func (r *Registry) ResizeTheta(name string, shards int) error {
+	return r.openTheta(name).Resize(shards)
+}
+
+// ResizeHLL is ResizeTheta for the named HLL sketch.
+//
+// Deprecated: use OpenHLL and Handle.Resize, or ResizeSketch.
+func (r *Registry) ResizeHLL(name string, shards int) error {
+	return r.openHLL(name).Resize(shards)
+}
+
+// ResizeQuantiles is ResizeTheta for the named quantiles sketch.
+//
+// Deprecated: use OpenQuantiles and Handle.Resize, or ResizeSketch.
+func (r *Registry) ResizeQuantiles(name string, shards int) error {
+	return r.openQuantiles(name).Resize(shards)
+}
+
+// ResizeCountMin is ResizeTheta for the named Count-Min sketch. Per-key
+// estimates keep their one-sided guarantee across the resize, but the
+// overestimation bound widens to ε·N over the retired stream — see
+// shard.CountMin.Estimate.
+//
+// Deprecated: use OpenCountMin and Handle.Resize, or ResizeSketch.
+func (r *Registry) ResizeCountMin(name string, shards int) error {
+	return r.openCountMin(name).Resize(shards)
+}
+
+// ThetaQueryInto answers the named Θ sketch's merged distinct-count query
+// by resetting the caller-owned acc and folding every shard snapshot into
+// it — the zero-allocation query plane for callers that keep an accumulator
+// per reader goroutine.
+//
+// Deprecated: use OpenTheta and Handle.QueryInto; the estimate is read off
+// the accumulator, exactly as here.
+func (r *Registry) ThetaQueryInto(name string, acc *theta.Union) float64 {
+	r.openTheta(name).QueryInto(acc)
+	return acc.Estimate()
+}
+
+// HLLQueryInto is ThetaQueryInto for the named HLL sketch.
+//
+// Deprecated: use OpenHLL and Handle.QueryInto.
+func (r *Registry) HLLQueryInto(name string, acc *hll.Sketch) float64 {
+	r.openHLL(name).QueryInto(acc)
+	return acc.Estimate()
+}
+
+// QuantilesQueryInto resets the caller-owned acc and folds the named
+// quantiles sketch's shard summaries into it; query acc (Quantile, Rank, N)
+// until its next reuse.
+//
+// Deprecated: use OpenQuantiles and Handle.QueryInto.
+func (r *Registry) QuantilesQueryInto(name string, acc *quantiles.Accumulator) {
+	r.openQuantiles(name).QueryInto(acc)
+}
+
+// CountMinQueryInto resets the caller-owned acc and folds the named
+// Count-Min sketch's counters into it — the aggregate (S·r-bounded) view;
+// per-key estimates that only need the owning shard should use the handle's
+// Sketch().Estimate instead.
+//
+// Deprecated: use OpenCountMin and Handle.QueryInto.
+func (r *Registry) CountMinQueryInto(name string, acc *countmin.Sketch) {
+	r.openCountMin(name).QueryInto(acc)
+}
+
+// EnableView materializes the merged view of every sketch currently
+// registered under name, across all four families.
+//
+// Deprecated: use ReplaceView (identical semantics — this facade forwards
+// to it), or Spec.View on Open* to declare the view per handle.
+func (r *Registry) EnableView(name string, cfg ViewConfig) (int, error) {
+	return r.ReplaceView(name, cfg)
+}
+
+// DisableView stops the view refresher of every sketch registered under
+// name, across all families.
+//
+// Deprecated: use StopView (identical semantics — this facade forwards to
+// it), or Handle.DisableView per sketch.
+func (r *Registry) DisableView(name string) int {
+	return r.StopView(name)
+}
+
+// Autoscale attaches an autoscaling controller to every sketch currently
+// registered under name, across all four families, and starts their
+// sampling loops — see ReplaceAutoscale for the control-loop semantics.
+// Each call attaches fresh controllers: repeated calls stack them.
+//
+// Deprecated: use ReplaceAutoscale (idempotent per name) or Spec.Autoscale
+// on Open* (idempotent per handle); stacking controllers is almost never
+// what an admin plane wants.
+func (r *Registry) Autoscale(name string, p autoscale.Policy) ([]*autoscale.Controller, error) {
+	return r.autoscale(p, func(n string) bool { return n == name })
+}
+
+// AutoscaleAll is Autoscale over every sketch currently registered, any
+// name, all families — one controller per sketch, all under the same
+// policy.
+//
+// Deprecated: attach policies per handle with Spec.Autoscale on Open*, or
+// per name with ReplaceAutoscale, so controller lifecycle stays idempotent.
+func (r *Registry) AutoscaleAll(p autoscale.Policy) ([]*autoscale.Controller, error) {
+	return r.autoscale(p, func(string) bool { return true })
+}

@@ -41,6 +41,16 @@ type Spec struct {
 	// sketch is stopped and swapped, never stacked. Nil leaves any existing
 	// controller untouched.
 	Autoscale *AutoscalePolicy
+	// Window, when non-nil, declares a sliding window (and, for Count-Min,
+	// exponential time decay) under this config: windowed queries cover the
+	// live rotation interval plus the last Slots closed intervals, while the
+	// cumulative plane keeps serving the whole stream. Open is declarative
+	// with replace semantics, but an equal declaration is a no-op: reopening
+	// with the same Interval/Slots/Decay keeps the running window and its
+	// ring (no history loss), a different config collapses the old window
+	// into the cumulative plane and re-arms a fresh one. Nil leaves any
+	// existing window untouched.
+	Window *WindowConfig
 	// IdleTTL, when positive, overrides the ops sweeper's default idle TTL
 	// for this sketch: no ingest for longer than this and the sweeper drops
 	// it. 0 keeps the sketch on the sweeper's default (which may itself be
@@ -77,6 +87,14 @@ type Sketch[T any, A any] interface {
 	ViewEnabled() bool
 	ViewLag() time.Duration
 	RefreshViewNow() bool
+	EnableWindow(WindowConfig) error
+	DisableWindow() bool
+	WindowEnabled() bool
+	WindowSettings() (WindowConfig, bool)
+	WindowStats() (WindowInfo, bool)
+	WindowQueryInto(acc A) bool
+	WindowMergeInto(acc A) bool
+	RotateNow() bool
 }
 
 // Handle is a typed, family-generic handle on one registered sketch: T is
@@ -151,11 +169,14 @@ func (r *Registry) OpenCountMin(name string, spec Spec) (*CountMinHandle, error)
 }
 
 // specTarget is the family-agnostic slice of a sharded sketch applySpec
-// drives: the autoscale resize target plus the view switches.
+// drives: the autoscale resize target plus the view and window switches.
 type specTarget interface {
 	autoscale.Target
 	EnableView(ViewConfig) error
 	DisableView() bool
+	EnableWindow(WindowConfig) error
+	DisableWindow() bool
+	WindowSettings() (WindowConfig, bool)
 }
 
 // applySpec applies one Spec to one sketch. Resize and view re-arming run
@@ -177,6 +198,21 @@ func (r *Registry) applySpec(family, name string, sk specTarget, spec Spec) erro
 		sk.DisableView()
 		if err := sk.EnableView(*spec.View); err != nil {
 			return err
+		}
+	}
+	if spec.Window != nil {
+		want, err := spec.Window.Normalise()
+		if err != nil {
+			return err
+		}
+		// Equal declaration → no-op, so routinely reopening a windowed
+		// sketch never discards its ring of closed intervals; only a changed
+		// config re-arms (collapse into the cumulative plane, fresh ring).
+		if cur, ok := sk.WindowSettings(); !ok || !cur.Same(want) {
+			sk.DisableWindow()
+			if err := sk.EnableWindow(*spec.Window); err != nil {
+				return err
+			}
 		}
 	}
 	if spec.Autoscale != nil {
@@ -273,6 +309,42 @@ func (h *Handle[T, A, S]) ViewEnabled() bool { return h.sk.ViewEnabled() }
 // ViewLag returns the age of the view's latest published refresh; zero
 // when no view is enabled.
 func (h *Handle[T, A, S]) ViewLag() time.Duration { return h.sk.ViewLag() }
+
+// EnableWindow declares a sliding window under cfg: windowed queries then
+// cover the live rotation interval plus the last cfg.Slots closed intervals,
+// while the cumulative plane keeps serving the whole stream. A windowed
+// query reflects all but at most Relaxation() of the window's updates, plus
+// whatever the live interval has accumulated beyond one rotation interval.
+func (h *Handle[T, A, S]) EnableWindow(cfg WindowConfig) error { return h.sk.EnableWindow(cfg) }
+
+// DisableWindow stops the window's rotator and collapses its closed slots
+// into the cumulative plane (no counted update is lost), reporting whether a
+// window was enabled.
+func (h *Handle[T, A, S]) DisableWindow() bool { return h.sk.DisableWindow() }
+
+// WindowEnabled reports whether a sliding window is declared on this sketch.
+func (h *Handle[T, A, S]) WindowEnabled() bool { return h.sk.WindowEnabled() }
+
+// WindowStats returns a wait-free sample of the window plane — shape,
+// rotation count, live-interval age and rotation lag — and whether a window
+// is enabled.
+func (h *Handle[T, A, S]) WindowStats() (WindowInfo, bool) { return h.sk.WindowStats() }
+
+// WindowQueryInto resets the caller-owned accumulator and folds the windowed
+// state — the closed-slot suffix-merge plus the live shard snapshots — into
+// it: the zero-allocation windowed query plane, O(1) in the closed-slot
+// count. Returns false (leaving acc reset) when no window is enabled.
+func (h *Handle[T, A, S]) WindowQueryInto(acc A) bool { return h.sk.WindowQueryInto(acc) }
+
+// WindowMergeInto folds the windowed state into acc without resetting it —
+// cross-sketch windowed aggregation. Returns false (acc untouched) when no
+// window is enabled.
+func (h *Handle[T, A, S]) WindowMergeInto(acc A) bool { return h.sk.WindowMergeInto(acc) }
+
+// RotateNow forces one window rotation immediately, independent of the
+// rotation clock — deterministic interval boundaries for tests and batch
+// pipelines. Returns false when no window is enabled.
+func (h *Handle[T, A, S]) RotateNow() bool { return h.sk.RotateNow() }
 
 // Autoscale attaches an autoscaling controller under p with replace
 // semantics — any controller already driving this sketch is stopped and

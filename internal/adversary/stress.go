@@ -110,6 +110,11 @@ type StressReport struct {
 	// Refreshes counts materialized-view refresh publications completed
 	// during the run (view-under-fire scenarios only).
 	Refreshes int64
+	// Rotations counts window rotations completed during the run, and
+	// Expulsions how many of them expelled a full ring's oldest slot
+	// (window-under-fire scenarios only). Expulsions > 0 certifies the run
+	// actually exercised the eviction path, not just a filling ring.
+	Rotations, Expulsions int64
 }
 
 // ResizeStressConfig parameterises a resize-under-fire stress run: the
@@ -777,6 +782,265 @@ type ViewStressConfig struct {
 }
 
 func (c *ViewStressConfig) normalise() { c.StressConfig.normalise() }
+
+// WindowStressConfig parameterises a window-rotation-under-fire stress run:
+// the base workload of StressConfig ingested into a sharded Count-Min with a
+// declared sliding window, a conductor goroutine expelling ring slots by
+// explicit rotation, and an optional live-resize schedule racing both.
+type WindowStressConfig struct {
+	StressConfig
+	// Slots is the ring's closed-interval capacity W. Default 4 — small
+	// enough that a default run expels many slots, so the eviction path
+	// (oldest slot folded into legacy) is genuinely under fire.
+	Slots int
+	// Decay, when in (0,1), additionally maintains the exponential decay
+	// plane through every rotation, racing its scale-and-fold against the
+	// writers. 0 leaves decay off.
+	Decay float64
+	// Schedule is the successive shard counts Resize moves through while the
+	// rotator keeps firing; empty means no resizes (pure rotation stress).
+	Schedule []int
+}
+
+func (c *WindowStressConfig) normalise() {
+	c.StressConfig.normalise()
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+}
+
+// bounds returns the envelope bounds for a window-under-fire run. A window
+// rotation is an epoch swap at constant S: while its drain is in flight a
+// query folds both epochs' live snapshots, so the in-rotation staleness is
+// 2·S·r — the rotation-interval analogue of the resize transitional bound.
+// With a resize schedule racing the rotator the worst transient is a
+// rotation at the schedule's widest shard count, 2·max(S)·r, which also
+// dominates every resize transitional (S_old+S_new)·r. Once the last resize
+// has drained and the rotator has quiesced, queries are held to the tight
+// steady-state S_final·r.
+func (c *WindowStressConfig) bounds() (transitional, final int64) {
+	perShard := int64(2 * c.Writers * c.BufferSize) // r = 2·N·b (OptParSketch)
+	maxS, finalS := int64(c.Shards), int64(c.Shards)
+	for _, s := range c.Schedule {
+		if int64(s) > maxS {
+			maxS = int64(s)
+		}
+		finalS = int64(s)
+	}
+	return 2 * maxS * perShard, finalS * perShard
+}
+
+// StressWindowRotateUnderFire plays the adversary against the sliding-window
+// serving plane: writers hammer a sharded Count-Min whose windowed total
+// WindowN() is raced by queriers while a conductor goroutine rotates the
+// ring explicitly (RotateNow over a manual clock, so no rotation ever fires
+// behind the checker's back) and a resizer walks the shard-count schedule
+// underneath both. Every windowed answer is checked against the documented
+// window bound — the relaxation of the live fold plus everything the ring
+// has expelled, i.e. "S·r plus what fell off the back of the window":
+//
+//	c1 − floor − bound ≤ answer ≤ c2
+//
+// where c1/c2 are the ground-truth completed/started counts bracketing the
+// query, floor is an upper bound on the updates the ring has expelled so
+// far — the started count read right after rotation k−W completed, published
+// BEFORE rotation k performs the expulsion and read by queriers AFTER their
+// answer, so the loaded floor always covers the expulsions the answer could
+// have missed — and bound is the transitional 2·max(S)·r while rotations or
+// resizes may be in flight, tightening to S_final·r once both have quiesced.
+// A lower breach means a rotation lost live-interval weight (e.g. dropped
+// the carry a resize drained into the open interval); an upper breach means
+// a slot was double-counted (e.g. folded into both the suffix-merge and the
+// live epoch). The queriers alternate the pooled (WindowN) and caller-owned
+// (WindowQueryInto) planes, and with Decay set additionally probe the
+// decayed plane, which must never exceed the cumulative stream.
+func StressWindowRotateUnderFire(cfg WindowStressConfig) (StressReport, error) {
+	cfg.normalise()
+	sk, err := shard.NewCountMin(0.001, 0.01, shard.Config{
+		Shards:     cfg.Shards,
+		Writers:    cfg.Writers,
+		BufferSize: cfg.BufferSize,
+		MaxError:   1.0, // lazy path throughout, as in the resize stress
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	defer sk.Close()
+
+	// Manual clock never advanced: the background rotator never fires, so
+	// every rotation below is the conductor's doing and the expelled-slot
+	// floor is always published before the expulsion it covers.
+	clk := autoscale.NewManualClock(time.Unix(1<<20, 0))
+	if err := sk.EnableWindow(shard.WindowConfig{
+		Interval: time.Hour, Slots: cfg.Slots, Decay: cfg.Decay, Clock: clk,
+	}); err != nil {
+		return StressReport{}, err
+	}
+
+	transitional, final := cfg.bounds()
+	rep := StressReport{Bound: int(transitional)}
+
+	var completed, started atomic.Int64
+	// expelledFloor is an upper bound on the update weight the ring has
+	// expelled into the cumulative legacy plane: started-count snapshots
+	// taken right after each rotation, republished one ring-length later,
+	// just before the rotation that expels that slot.
+	var expelledFloor atomic.Int64
+	var resizesDone, doneResizing atomic.Bool
+	var worst atomic.Int64
+	stop := make(chan struct{})
+	writersDone := make(chan struct{})
+	var wg, qwg sync.WaitGroup
+
+	for q := 0; q < cfg.Queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			acc := sk.NewAccumulator()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				bound := transitional
+				post := doneResizing.Load()
+				if post {
+					bound = final
+				}
+				c1 := completed.Load()
+				var got int64
+				i++
+				if i%2 == 0 {
+					n, ok := sk.WindowN() // pooled windowed plane
+					if !ok {
+						// The window is never disabled during the run, so a
+						// failed resolve is itself a violation — the serving
+						// plane lost the declared window.
+						atomic.AddInt64(&rep.LowerViolations, 1)
+						continue
+					}
+					got = int64(n)
+				} else {
+					if !sk.WindowQueryInto(acc) { // caller-owned windowed plane
+						atomic.AddInt64(&rep.LowerViolations, 1)
+						continue
+					}
+					got = int64(acc.N())
+				}
+				// Read AFTER the answer: the floor only grows, and at every
+				// instant it covers all expulsions performed so far, so a
+				// post-answer read can only over-cover — never under.
+				floor := expelledFloor.Load()
+				c2 := started.Load()
+				atomic.AddInt64(&rep.Queries, 1)
+				if post {
+					atomic.AddInt64(&rep.PostResizeQueries, 1)
+				}
+				raiseMax(&worst, c1-floor-bound-got)
+				if got < c1-floor-bound {
+					atomic.AddInt64(&rep.LowerViolations, 1)
+				}
+				if got > c2 {
+					atomic.AddInt64(&rep.UpperViolations, 1)
+				}
+				if cfg.Decay > 0 && i%8 == 0 {
+					// Decay plane under fire: no closed-form ground truth,
+					// but a decayed count can never exceed the cumulative
+					// stream (weights only shrink).
+					if d, ok := sk.DecayedCount(uint64(i % 64)); ok && int64(d) > started.Load() {
+						atomic.AddInt64(&rep.UpperViolations, 1)
+					}
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	const hotKeys = 64
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				started.Add(1)
+				sk.Update(w, uint64((w*cfg.UpdatesPerWriter+i)%hotKeys))
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	rcfg := ResizeStressConfig{StressConfig: cfg.StressConfig, Schedule: cfg.Schedule}
+	errc := make(chan error, 1)
+	go func() {
+		if len(cfg.Schedule) == 0 {
+			resizesDone.Store(true)
+			errc <- nil
+			return
+		}
+		errc <- resizer(rcfg, sk.Resize, &completed, writersDone, &resizesDone, &rep.Resizes)
+	}()
+
+	// The conductor: publish the floor the imminent expulsion is covered by,
+	// rotate, then snapshot started for the rotation that will expel this
+	// slot one ring-length from now. It is the sole rotator, so after its
+	// loop exits no rotation can be in flight and the steady-state bound
+	// applies to every later query.
+	conductorDone := make(chan struct{})
+	go func() {
+		defer close(conductorDone)
+		var startedAfter []int64 // startedAfter[k-1]: started right after rotation k
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			finished := false
+			select {
+			case <-writersDone:
+				finished = true
+			default:
+			}
+			if finished && resizesDone.Load() {
+				doneResizing.Store(true)
+				return
+			}
+			k := len(startedAfter) + 1
+			if k > cfg.Slots {
+				expelledFloor.Store(startedAfter[k-cfg.Slots-1])
+				rep.Expulsions++
+			}
+			if !sk.RotateNow() {
+				return
+			}
+			startedAfter = append(startedAfter, started.Load())
+			rep.Rotations++
+			runtime.Gosched()
+		}
+	}()
+
+	wg.Wait()
+	close(writersDone)
+	err = <-errc
+
+	// Let the settled phase produce checked queries: the conductor flips
+	// doneResizing once the last resize has drained and its own last
+	// rotation has returned, and the queriers then take answers against the
+	// tight S_final·r bound. Bounded; a wedged plane surfaces as
+	// PostResizeQueries == 0, not a hang.
+	for deadline := time.Now().Add(30 * time.Second); err == nil &&
+		atomic.LoadInt64(&rep.PostResizeQueries) < int64(cfg.Queriers) &&
+		time.Now().Before(deadline); {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-conductorDone
+	qwg.Wait()
+	rep.WorstDeficit = worst.Load()
+	return rep, err
+}
 
 // StressViewUnderFire plays the adversary against the materialized-view
 // serving plane: writers hammer a sharded Count-Min whose merged queries are

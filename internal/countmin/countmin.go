@@ -142,6 +142,36 @@ func (s *Sketch) Merge(other *Sketch) {
 // so concurrent folds into distinct accumulators are safe.
 func (s *Sketch) FoldInto(dst *Sketch) { dst.Merge(s) }
 
+// ScaleBy multiplies every counter and the total weight by f ∈ [0,1),
+// flooring — the exponential-decay hook of the windowed layer: scaling a
+// sketch by λ on every rotation makes a count observed k rotations ago
+// contribute with weight λ^k. Flooring keeps counters integral and can only
+// shrink them, so the one-sided overestimation guarantee is preserved
+// relative to the identically decayed true weights. The scaled n is capped
+// at the smallest scaled row sum, so every row still covers the claimed
+// weight and an exported decayed sketch passes ImportFrom validation.
+func (s *Sketch) ScaleBy(f float64) {
+	if f < 0 || f >= 1 {
+		panic(fmt.Sprintf("countmin: ScaleBy factor %v outside [0,1)", f))
+	}
+	minSum := uint64(math.MaxUint64)
+	for r := range s.rows {
+		var sum uint64
+		for c := range s.rows[r] {
+			v := uint64(float64(s.rows[r][c]) * f)
+			s.rows[r][c] = v
+			sum += v
+		}
+		if sum < minSum {
+			minSum = sum
+		}
+	}
+	if n := uint64(float64(s.n) * f); n < minSum {
+		minSum = n
+	}
+	s.n = minSum
+}
+
 // Reset restores the empty state.
 func (s *Sketch) Reset() {
 	s.n = 0

@@ -50,6 +50,16 @@ var sketchSeries = []sketchGauge{
 		func(i *fastsketches.SketchInfo) float64 { return i.ViewLag.Seconds() }},
 	{"fastsketches_sketch_resident_bytes", "Estimated resident heap footprint of the sketch.", "gauge",
 		func(i *fastsketches.SketchInfo) float64 { return float64(i.SizeBytes) }},
+	{"fastsketches_sketch_window_enabled", "1 when a sliding window is declared on the sketch.", "gauge",
+		func(i *fastsketches.SketchInfo) float64 { return b2f(i.WindowEnabled) }},
+	{"fastsketches_sketch_window_slots", "Declared window capacity in closed rotation intervals; 0 with no window.", "gauge",
+		func(i *fastsketches.SketchInfo) float64 { return float64(i.WindowSlots) }},
+	{"fastsketches_sketch_window_rotations_total", "Window ring rotations since the window was declared.", "counter",
+		func(i *fastsketches.SketchInfo) float64 { return float64(i.WindowRotations) }},
+	{"fastsketches_sketch_window_live_age_seconds", "Age of the window's live interval; 0 with no window.", "gauge",
+		func(i *fastsketches.SketchInfo) float64 { return i.WindowLiveAge.Seconds() }},
+	{"fastsketches_sketch_window_rotation_lag_seconds", "How far the live interval has outlived the rotation interval; sustained non-zero means the rotator is stalled.", "gauge",
+		func(i *fastsketches.SketchInfo) float64 { return i.WindowRotationLag.Seconds() }},
 }
 
 func b2f(b bool) float64 {

@@ -646,6 +646,23 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 		}
 		return wire.AppendOK(out, req.ID)
 
+	case wire.OpEnableWindow:
+		cfg := fastsketches.WindowConfig{
+			Interval: time.Duration(int64(req.Arg)),
+			Slots:    int(req.Slots),
+			Decay:    math.Float64frombits(req.Arg2),
+		}
+		if _, err := cs.s.reg.ReplaceWindow(string(req.Name), cfg); err != nil {
+			return wire.AppendError(out, req.ID, err.Error())
+		}
+		return wire.AppendOK(out, req.ID)
+
+	case wire.OpDisableWindow:
+		if cs.s.reg.StopWindow(string(req.Name)) == 0 {
+			return wire.AppendError(out, req.ID, fmt.Sprintf("no window enabled on %q", req.Name))
+		}
+		return wire.AppendOK(out, req.ID)
+
 	case wire.OpDrop:
 		if !cs.s.drop(req.Family, req.Name) {
 			return wire.AppendError(out, req.ID, fmt.Sprintf("no %s sketch %q", req.Family, req.Name))
@@ -664,11 +681,16 @@ func (cs *connState) serve(req *wire.Request, out []byte) []byte {
 		}
 		return wire.AppendOKInfo(out, req.ID, wire.Info{
 			Shards: inf.Shards, Writers: inf.Writers,
-			Relaxation:      uint64(inf.Relaxation),
-			ShardRelaxation: uint64(inf.ShardRelaxation),
-			Eager:           inf.Eager,
-			ViewEnabled:     inf.ViewEnabled,
-			ViewLagNs:       uint64(inf.ViewLag.Nanoseconds()),
+			Relaxation:       uint64(inf.Relaxation),
+			ShardRelaxation:  uint64(inf.ShardRelaxation),
+			Eager:            inf.Eager,
+			ViewEnabled:      inf.ViewEnabled,
+			ViewLagNs:        uint64(inf.ViewLag.Nanoseconds()),
+			WindowEnabled:    inf.WindowEnabled,
+			WindowSlots:      uint32(inf.WindowSlots),
+			WindowIntervalNs: uint64(inf.WindowInterval.Nanoseconds()),
+			WindowRotations:  inf.WindowRotations,
+			WindowLiveAgeNs:  uint64(inf.WindowLiveAge.Nanoseconds()),
 		})
 
 	case wire.OpSnapshot:

@@ -84,7 +84,11 @@ func (c *CountMin) EstimateString(key string) uint64 {
 }
 
 // estimateHashed sums the owning-shard estimates of every state component
-// that can hold counts for the key: current epoch, draining epoch, legacy.
+// that can hold counts for the key: current epoch, draining epoch, legacy,
+// and — when a sliding window is enabled — the window's closed-slot
+// suffix-merge and resize-carry planes (closed intervals live there, not in
+// the shards). Each extra term is one sequential Count-Min read of an
+// immutable published accumulator, so the read stays wait-free.
 func (c *CountMin) estimateHashed(routeHash, key uint64) uint64 {
 	st := c.st.Load()
 	est := st.comps[st.g.route(routeHash)].Estimate(key)
@@ -93,6 +97,14 @@ func (c *CountMin) estimateHashed(routeHash, key uint64) uint64 {
 	}
 	if st.hasLegacy {
 		est += st.legacy.Estimate(key)
+	}
+	if w := st.win; w != nil {
+		if w.hasMerged {
+			est += w.merged.Estimate(key)
+		}
+		if w.hasCarry {
+			est += w.carry.Estimate(key)
+		}
 	}
 	return est
 }
@@ -106,6 +118,14 @@ func (c *CountMin) N() uint64 {
 	var total uint64
 	if st.hasLegacy {
 		total += st.legacy.N()
+	}
+	if w := st.win; w != nil {
+		if w.hasMerged {
+			total += w.merged.N()
+		}
+		if w.hasCarry {
+			total += w.carry.N()
+		}
 	}
 	if st.old != nil {
 		for _, comp := range st.old.comps {

@@ -74,6 +74,12 @@ type epochState[T any, A Accumulator[A], C Mergeable[T, A]] struct {
 	// either live (walking old's frameworks) or in basePressure, never both,
 	// because both travel on the same immutable epoch pointer.
 	basePressure core.PressureSample
+	// win is the published sliding-window query plane; nil unless a window
+	// is enabled (see window.go). Like legacy, it is immutable once
+	// published and travels on the epoch pointer, so a rotation — which
+	// moves the closing interval's state from live shard snapshots into the
+	// window's suffix-merge — is atomic from the reader's perspective.
+	win *epochWindow[A]
 }
 
 // lanePad keeps each lane's seqlock word on its own cache line so writer
@@ -139,9 +145,13 @@ type Sharded[T any, A Accumulator[A], C Mergeable[T, A]] struct {
 	// vr is the refresher runtime while a view is enabled; nil otherwise.
 	// Mutated only under resizeMu (EnableView/DisableView/Close).
 	vr atomic.Pointer[viewRuntime[A]]
+	// wr is the rotator runtime while a sliding window is enabled; nil
+	// otherwise. Mutated only under resizeMu (EnableWindow/DisableWindow/
+	// Close); its ring is mutated only under resizeMu too (see window.go).
+	wr atomic.Pointer[windowRuntime[A]]
 
-	// resizeMu serialises Resize, Close and view enable/disable; none is on
-	// a hot path.
+	// resizeMu serialises Resize, Close, rotation and view/window
+	// enable/disable; none is on a hot path.
 	resizeMu sync.Mutex
 	closed   bool
 }
@@ -303,7 +313,7 @@ func (s *Sharded[T, A, C]) Resize(shards int) error {
 
 	next := &epochState[T, A, C]{
 		old: old, legacy: old.legacy, hasLegacy: old.hasLegacy,
-		basePressure: old.basePressure,
+		basePressure: old.basePressure, win: old.win,
 	}
 	built := s.newEpoch(shards)
 	next.comps, next.g = built.comps, built.g
@@ -311,23 +321,43 @@ func (s *Sharded[T, A, C]) Resize(shards int) error {
 	s.awaitWriters() // grace period: no lane can still touch the old epoch
 	old.g.close()    // drain old buffers exactly into the old composables
 
-	// Fold prior legacy plus every retired shard's final snapshot into one
-	// fresh accumulator. It must be a fresh (never pooled, never released)
-	// instance: once published it is shared read-only by every query.
-	legacy := s.mkAcc()
-	if old.hasLegacy {
-		old.legacy.FoldInto(legacy)
-	}
-	for _, c := range old.comps {
-		c.SnapshotMergeInto(legacy)
-	}
 	retired := &epochState[T, A, C]{
 		comps: next.comps, g: next.g,
-		legacy: legacy, hasLegacy: true,
 		// The old epoch is fully drained (Ingested == Merged), so its final
 		// counters move into the base exactly once, on the same atomic store
 		// that retires its live frameworks.
 		basePressure: old.basePressure.Add(old.g.pressure()),
+	}
+	if w := old.win; w != nil {
+		// A window is enabled: the drained shards' state belongs to the
+		// still-open live interval, not to pre-window history, so it moves
+		// into the window's carry plane — the next rotation closes it into a
+		// ring slot along with the new shards' contributions. Legacy is
+		// untouched; windowed queries keep covering exactly the window.
+		carry := s.mkAcc()
+		if w.hasCarry {
+			w.carry.FoldInto(carry)
+		}
+		for _, c := range old.comps {
+			c.SnapshotMergeInto(carry)
+		}
+		win := *w
+		win.carry, win.hasCarry = carry, true
+		retired.win = &win
+		retired.legacy, retired.hasLegacy = old.legacy, old.hasLegacy
+	} else {
+		// Fold prior legacy plus every retired shard's final snapshot into
+		// one fresh accumulator. It must be a fresh (never pooled, never
+		// released) instance: once published it is shared read-only by every
+		// query.
+		legacy := s.mkAcc()
+		if old.hasLegacy {
+			old.legacy.FoldInto(legacy)
+		}
+		for _, c := range old.comps {
+			c.SnapshotMergeInto(legacy)
+		}
+		retired.legacy, retired.hasLegacy = legacy, true
 	}
 	s.st.Store(retired) // retire the old epoch atomically
 	return nil
@@ -358,12 +388,21 @@ func (s *Sharded[T, A, C]) MergeInto(acc A) {
 }
 
 // mergeEpoch folds one immutable epoch's entire reachable state — legacy ∪
+// window planes (closed ring slots' suffix-merge and any resize carry) ∪
 // draining old epoch ∪ current shard snapshots — into acc. Shared by the
 // live query path and the view refresher (which must always fold live
 // state, never its own published view).
 func mergeEpoch[T any, A Accumulator[A], C Mergeable[T, A]](st *epochState[T, A, C], acc A) {
 	if st.hasLegacy {
 		st.legacy.FoldInto(acc)
+	}
+	if w := st.win; w != nil {
+		if w.hasMerged {
+			w.merged.FoldInto(acc)
+		}
+		if w.hasCarry {
+			w.carry.FoldInto(acc)
+		}
 	}
 	if st.old != nil {
 		for _, c := range st.old.comps {
@@ -464,6 +503,11 @@ func (s *Sharded[T, A, C]) SizeBytes() int64 {
 	if s.vr.Load() != nil {
 		units += 2 // double-buffered view accumulators
 	}
+	if w := st.win; w != nil {
+		// Closed ring slots plus the published suffix-merge, carry and decay
+		// planes, each one family-dimensioned accumulator.
+		units += int64(w.cfg.Slots) + 3
+	}
 	acc := s.acquire() // pooled: reflects the family's working-set capacity
 	unit := int64(acc.SizeBytes())
 	s.release(acc)
@@ -505,20 +549,35 @@ func (s *Sharded[T, A, C]) Eager() bool {
 
 // Close stops all shard propagators and drains every buffer; afterwards
 // merged queries summarise the entire ingested stream with no relaxation
-// residue. A materialized view, if enabled, is disabled first (stopping its
-// refresher goroutine — Close never leaks it), so post-Close queries fold
-// the drained shards live and are exact. Call once, after all writer
-// goroutines stop; Close is serialised with Resize and idempotent.
+// residue. A materialized view and a sliding-window rotator, if enabled,
+// are stopped first (Close never leaks their goroutines), so post-Close
+// queries fold the drained shards live and are exact. Call once, after all
+// writer goroutines stop; Close is serialised with Resize and idempotent.
 func (s *Sharded[T, A, C]) Close() {
 	s.resizeMu.Lock()
-	defer s.resizeMu.Unlock()
 	if s.closed {
+		s.resizeMu.Unlock()
 		return
 	}
 	s.closed = true
-	if vr := s.vr.Load(); vr != nil {
+	vr := s.vr.Load()
+	if vr != nil {
 		s.vr.Store(nil)
-		s.stopView(vr)
+	}
+	wr := s.wr.Load()
+	if wr != nil {
+		s.wr.Store(nil)
 	}
 	s.st.Load().g.close()
+	// The runtimes are detached; stop them outside resizeMu — the rotator
+	// loop acquires resizeMu per tick (RotateNow), so waiting for it while
+	// holding the lock would deadlock. A tick that slips in between sees
+	// wr == nil (or closed) and is a no-op.
+	s.resizeMu.Unlock()
+	if vr != nil {
+		s.stopView(vr)
+	}
+	if wr != nil {
+		s.stopWindow(wr)
+	}
 }

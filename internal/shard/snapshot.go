@@ -48,7 +48,7 @@ func (s *Sharded[T, A, C]) ImportLegacy(fill func(A) error) error {
 	next := &epochState[T, A, C]{
 		comps: cur.comps, g: cur.g, old: cur.old,
 		legacy: legacy, hasLegacy: true,
-		basePressure: cur.basePressure,
+		basePressure: cur.basePressure, win: cur.win,
 	}
 	s.st.Store(next)
 	// A materialized view, if enabled, picks the import up on its next

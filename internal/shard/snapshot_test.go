@@ -232,7 +232,13 @@ func TestSnapshotUnderResizeFire(t *testing.T) {
 	close(stop)
 	<-resizerDone
 
-	// After the stream completes, a final quiesce + snapshot is exact.
+	// After the stream completes, a final quiesce + snapshot is exact. Two
+	// resizes to different widths: the racing resizer may have left S at
+	// either target (a same-size Resize no-ops without draining), but it
+	// cannot have left it at both, so at least one performs a real drain.
+	if err := src.Resize(4); err != nil {
+		t.Fatal(err)
+	}
 	if err := src.Resize(3); err != nil {
 		t.Fatal(err)
 	}

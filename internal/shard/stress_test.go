@@ -267,6 +267,72 @@ func TestStressResizeUnderFire(t *testing.T) {
 	}
 }
 
+func TestStressWindowRotateUnderFire(t *testing.T) {
+	// Window-rotation-under-fire: queriers race the windowed total WindowN()
+	// on both query planes while writers hammer the sketch, a conductor
+	// expels ring slots by explicit rotation (manual clock, so no rotation
+	// ever fires behind the checker's back), and — in the "resizing" variant
+	// — a resizer cycles the shard group through grow → collapse → grow
+	// underneath the rotator. Every answer must stay inside the documented
+	// window envelope c1 − floor − bound ≤ got ≤ c2: floor the expelled-slot
+	// ground truth (the "S·r + one rotation interval" bound with the
+	// interval term made exact), bound the transitional 2·max(S)·r while
+	// rotations or resizes may be in flight and the tight S_final·r once
+	// both have quiesced. A lower breach means a rotation or its interplay
+	// with a resize drain lost live-interval weight; an upper breach means a
+	// slot was double-counted across the suffix-merge, carry and live
+	// planes. The decayed plane is enabled throughout, racing its
+	// scale-and-fold against every rotation.
+	base := adversary.StressConfig{
+		Shards: 2, Writers: 4, BufferSize: 4,
+		UpdatesPerWriter: 20000, Queriers: 4,
+	}
+	if testing.Short() {
+		base.UpdatesPerWriter = 4000
+		base.Queriers = 2
+	}
+	for name, schedule := range map[string][]int{
+		"rotation-only":   nil,
+		"spanning-resize": {8, 1, 6},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := adversary.WindowStressConfig{
+				StressConfig: base,
+				Slots:        4,
+				Decay:        0.5,
+				Schedule:     schedule,
+			}
+			rep, err := adversary.StressWindowRotateUnderFire(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("window stress: %d rotations (%d expulsions), %d resizes, %d queries (%d post-settle), bound %d, worst deficit %d",
+				rep.Rotations, rep.Expulsions, rep.Resizes, rep.Queries, rep.PostResizeQueries, rep.Bound, rep.WorstDeficit)
+			if rep.Queries == 0 {
+				t.Fatal("queriers never ran")
+			}
+			if rep.Expulsions == 0 {
+				t.Fatalf("only %d rotations, none expelled a slot: the ring eviction path was never under fire",
+					rep.Rotations)
+			}
+			if rep.Resizes != int64(len(schedule)) {
+				t.Errorf("completed %d resizes, want %d", rep.Resizes, len(schedule))
+			}
+			if rep.LowerViolations != 0 {
+				t.Errorf("%d/%d windowed answers missed more than the bound %d past the expelled floor (worst deficit %d) — a rotation lost live-interval weight",
+					rep.LowerViolations, rep.Queries, rep.Bound, rep.WorstDeficit)
+			}
+			if rep.UpperViolations != 0 {
+				t.Errorf("%d/%d windowed answers exceeded started updates — a slot was double-counted",
+					rep.UpperViolations, rep.Queries)
+			}
+			if rep.PostResizeQueries == 0 {
+				t.Error("no queries ran against the settled post-rotation bound")
+			}
+		})
+	}
+}
+
 func TestStressViewUnderFire(t *testing.T) {
 	// View-under-fire: merged queries are served from a materialized view
 	// whose refreshes are paced explicitly by a conductor (manual clock, so

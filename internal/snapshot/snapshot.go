@@ -20,12 +20,29 @@
 //	nameLen  uint8          (1..MaxName)
 //	name     nameLen bytes
 //	shards   uint32 LE      (the S the sketch served with)
-//	flags    uint8          (bit 0: view block present, bit 1: policy block)
+//	flags    uint8          (bit 0: view block, bit 1: policy block,
+//	                         bit 2: window block + tail)
 //	view     [refreshNs int64, maxAgeNs int64]            if flags bit 0
 //	policy   [minShards u32, maxShards u32,
 //	          highWater f64 bits, lowWater f64 bits]      if flags bit 1
+//	window   [intervalNs int64, slots u32,
+//	          decay f64 bits]                             if flags bit 2
 //	blobLen  uint32 LE
 //	blob     blobLen bytes  (the family's ExportTo body)
+//	tail     window slot blobs                            if flags bit 2
+//
+// A windowed record's blob holds the base state (everything outside the
+// closed ring slots); the tail serialises the ring slot-by-slot, oldest
+// first, plus the optional decay plane:
+//
+//	slotCount uint32 LE    (≤ window slots)
+//	slots     slotCount × [len uint32 LE, blob]
+//	decayed   uint8        (0 or 1)
+//	dblob     [len uint32 LE, blob]                       if decayed = 1
+//
+// Records without the window flag are byte-identical to format revisions
+// that predate it, and readers reject unknown flag bits, so the extension
+// needs no version bump.
 //
 // # Portable records
 //
@@ -88,9 +105,15 @@ const (
 
 	flagView   = 1 << 0
 	flagPolicy = 1 << 1
+	flagWindow = 1 << 2
 
 	viewBlockLen   = 8 + 8
 	policyBlockLen = 4 + 4 + 8 + 8
+	windowBlockLen = 8 + 4 + 8
+
+	// MaxWindowSlots caps a record's window slot count, mirroring the
+	// window layer's own ring bound.
+	MaxWindowSlots = 1 << 16
 )
 
 // The codec's typed errors. Parse functions return one of these (possibly
@@ -124,7 +147,21 @@ type Record struct {
 	HasPolicy            bool
 	MinShards, MaxShards uint32
 	HighWater, LowWater  float64
-	// Blob is the family's ExportTo body.
+	// HasWindow records whether a sliding window was enabled, with its
+	// rotation interval in nanoseconds, closed-slot capacity and decay
+	// factor (0 = no decay plane).
+	HasWindow        bool
+	WindowIntervalNs int64
+	WindowSlots      uint32
+	WindowDecay      float64
+	// WindowSlotBlobs are the closed ring slots' ExportTo bodies, oldest
+	// first; WindowDecayedBlob is the decay plane's body (nil when the
+	// record has no decay plane). Views into the parse buffer on decode.
+	WindowSlotBlobs   [][]byte
+	WindowDecayedBlob []byte
+	// Blob is the family's ExportTo body. For a windowed record it holds
+	// the base state only (live shards, carry, legacy); the closed slots
+	// travel in the tail.
 	Blob []byte
 }
 
@@ -161,6 +198,9 @@ func BeginRecord(dst []byte, rec *Record) ([]byte, Marks) {
 	if rec.HasPolicy {
 		flags |= flagPolicy
 	}
+	if rec.HasWindow {
+		flags |= flagWindow
+	}
 	dst = append(dst, flags)
 	if rec.HasView {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.ViewRefreshNs))
@@ -172,15 +212,51 @@ func BeginRecord(dst []byte, rec *Record) ([]byte, Marks) {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.HighWater))
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.LowWater))
 	}
+	if rec.HasWindow {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.WindowIntervalNs))
+		dst = binary.LittleEndian.AppendUint32(dst, rec.WindowSlots)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.WindowDecay))
+	}
 	m.blob = len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, 0)
 	return dst, m
 }
 
-// EndRecord backfills the record and blob length prefixes of a record opened
-// with BeginRecord, after the caller appended the blob.
-func EndRecord(dst []byte, m Marks) []byte {
+// EndBlob backfills the blob length prefix of a record opened with
+// BeginRecord, after the caller appended the blob in place. Only needed for
+// windowed records, where the window tail follows the blob and EndRecord can
+// no longer infer the blob's extent from the buffer length; the caller then
+// appends the tail (AppendWindowTail) and closes with EndRecord as usual.
+func EndBlob(dst []byte, m *Marks) []byte {
 	binary.LittleEndian.PutUint32(dst[m.blob:], uint32(len(dst)-m.blob-4))
+	m.blob = -1
+	return dst
+}
+
+// AppendWindowTail appends a windowed record's tail — the closed ring slots
+// oldest first and the optional decay plane — between EndBlob and EndRecord.
+// A nil decayed means no decay plane.
+func AppendWindowTail(dst []byte, slots [][]byte, decayed []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(slots)))
+	for _, sl := range slots {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sl)))
+		dst = append(dst, sl...)
+	}
+	if decayed == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(decayed)))
+	return append(dst, decayed...)
+}
+
+// EndRecord backfills the record and blob length prefixes of a record opened
+// with BeginRecord, after the caller appended the blob (and, for windowed
+// records that already ran EndBlob, the window tail).
+func EndRecord(dst []byte, m Marks) []byte {
+	if m.blob >= 0 {
+		binary.LittleEndian.PutUint32(dst[m.blob:], uint32(len(dst)-m.blob-4))
+	}
 	binary.LittleEndian.PutUint32(dst[m.rec:], uint32(len(dst)-m.rec-4))
 	return dst
 }
@@ -191,6 +267,10 @@ func EndRecord(dst []byte, m Marks) []byte {
 func AppendRecord(dst []byte, rec *Record) []byte {
 	dst, m := BeginRecord(dst, rec)
 	dst = append(dst, rec.Blob...)
+	if rec.HasWindow {
+		dst = EndBlob(dst, &m)
+		dst = AppendWindowTail(dst, rec.WindowSlotBlobs, rec.WindowDecayedBlob)
+	}
 	return EndRecord(dst, m)
 }
 
@@ -222,7 +302,9 @@ func ParseRecord(data []byte) (Record, []byte, error) {
 		return rec, nil, fmt.Errorf("%w: short record length", ErrTruncated)
 	}
 	recLen := binary.LittleEndian.Uint32(data[0:])
-	if recLen > MaxBlob+fixedLen+MaxName+viewBlockLen+policyBlockLen {
+	// A windowed record's tail carries the closed slots and decay plane;
+	// grant it the same budget again as the base blob.
+	if recLen > 2*MaxBlob+fixedLen+MaxName+viewBlockLen+policyBlockLen+windowBlockLen {
 		return rec, nil, fmt.Errorf("%w: record length %d", ErrBadRecord, recLen)
 	}
 	if len(data)-4 < int(recLen) {
@@ -249,7 +331,7 @@ func ParseRecord(data []byte) (Record, []byte, error) {
 	rec.Shards = binary.LittleEndian.Uint32(body[0:])
 	flags := body[4]
 	body = body[5:]
-	if flags&^(flagView|flagPolicy) != 0 {
+	if flags&^(flagView|flagPolicy|flagWindow) != 0 {
 		return rec, nil, fmt.Errorf("%w: unknown flags %#x", ErrBadRecord, flags)
 	}
 	if flags&flagView != 0 {
@@ -272,15 +354,83 @@ func ParseRecord(data []byte) (Record, []byte, error) {
 		rec.LowWater = math.Float64frombits(binary.LittleEndian.Uint64(body[16:]))
 		body = body[policyBlockLen:]
 	}
+	if flags&flagWindow != 0 {
+		if len(body) < windowBlockLen {
+			return rec, nil, fmt.Errorf("%w: short window block", ErrTruncated)
+		}
+		rec.HasWindow = true
+		rec.WindowIntervalNs = int64(binary.LittleEndian.Uint64(body[0:]))
+		rec.WindowSlots = binary.LittleEndian.Uint32(body[8:])
+		rec.WindowDecay = math.Float64frombits(binary.LittleEndian.Uint64(body[12:]))
+		body = body[windowBlockLen:]
+	}
 	if len(body) < 4 {
 		return rec, nil, fmt.Errorf("%w: short blob length", ErrTruncated)
 	}
 	blobLen := binary.LittleEndian.Uint32(body[0:])
 	body = body[4:]
-	if int(blobLen) != len(body) {
-		return rec, nil, fmt.Errorf("%w: blob length %d does not match record remainder %d", ErrBadRecord, blobLen, len(body))
+	if !rec.HasWindow {
+		// Without a window tail the blob is the record remainder, exactly.
+		if int(blobLen) != len(body) {
+			return rec, nil, fmt.Errorf("%w: blob length %d does not match record remainder %d", ErrBadRecord, blobLen, len(body))
+		}
+		rec.Blob = body
+		return rec, rest, nil
 	}
-	rec.Blob = body
+	if blobLen > MaxBlob || int(blobLen) > len(body) {
+		return rec, nil, fmt.Errorf("%w: blob length %d exceeds record remainder %d", ErrBadRecord, blobLen, len(body))
+	}
+	rec.Blob = body[:blobLen]
+	body = body[blobLen:]
+	// Window tail: closed slots oldest first, then the optional decay plane.
+	// It must consume the record remainder exactly.
+	if len(body) < 4 {
+		return rec, nil, fmt.Errorf("%w: short window slot count", ErrTruncated)
+	}
+	slotCount := binary.LittleEndian.Uint32(body[0:])
+	body = body[4:]
+	if slotCount > MaxWindowSlots || slotCount > rec.WindowSlots {
+		return rec, nil, fmt.Errorf("%w: window slot count %d exceeds capacity %d", ErrBadRecord, slotCount, rec.WindowSlots)
+	}
+	if slotCount > 0 {
+		rec.WindowSlotBlobs = make([][]byte, slotCount)
+		for i := range rec.WindowSlotBlobs {
+			if len(body) < 4 {
+				return rec, nil, fmt.Errorf("%w: short window slot length", ErrTruncated)
+			}
+			n := binary.LittleEndian.Uint32(body[0:])
+			body = body[4:]
+			if n > MaxBlob || int(n) > len(body) {
+				return rec, nil, fmt.Errorf("%w: window slot length %d exceeds remainder %d", ErrBadRecord, n, len(body))
+			}
+			rec.WindowSlotBlobs[i] = body[:n]
+			body = body[n:]
+		}
+	}
+	if len(body) < 1 {
+		return rec, nil, fmt.Errorf("%w: short window decay marker", ErrTruncated)
+	}
+	hasDecayed := body[0]
+	body = body[1:]
+	switch hasDecayed {
+	case 0:
+	case 1:
+		if len(body) < 4 {
+			return rec, nil, fmt.Errorf("%w: short window decay length", ErrTruncated)
+		}
+		n := binary.LittleEndian.Uint32(body[0:])
+		body = body[4:]
+		if n > MaxBlob || int(n) != len(body) {
+			return rec, nil, fmt.Errorf("%w: window decay length %d does not match remainder %d", ErrBadRecord, n, len(body))
+		}
+		rec.WindowDecayedBlob = body
+		body = nil
+	default:
+		return rec, nil, fmt.Errorf("%w: bad window decay marker %d", ErrBadRecord, hasDecayed)
+	}
+	if len(body) != 0 {
+		return rec, nil, fmt.Errorf("%w: %d bytes after window tail", ErrBadRecord, len(body))
+	}
 	return rec, rest, nil
 }
 

@@ -31,6 +31,17 @@ func fullRecord() Record {
 	}
 }
 
+func windowedRecord() Record {
+	rec := fullRecord()
+	rec.HasWindow = true
+	rec.WindowIntervalNs = int64(30_000_000_000)
+	rec.WindowSlots = 4
+	rec.WindowDecay = 0.75
+	rec.WindowSlotBlobs = [][]byte{{10, 11}, {}, {12, 13, 14}}
+	rec.WindowDecayedBlob = []byte{20, 21, 22, 23}
+	return rec
+}
+
 func TestHeaderRoundTrip(t *testing.T) {
 	b := AppendHeader(nil, 7)
 	if len(b) != headerLen {
@@ -97,6 +108,120 @@ func TestRecordRoundTrip(t *testing.T) {
 	streamed = EndRecord(streamed, m)
 	if !bytes.Equal(streamed, b) {
 		t.Fatal("BeginRecord/EndRecord differs from AppendRecord")
+	}
+}
+
+func TestWindowedRecordRoundTrip(t *testing.T) {
+	want := windowedRecord()
+	b := AppendRecord(nil, &want)
+	got, rest, err := ParseRecord(append(b, 0xEE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("rest = %d bytes, want 1", len(rest))
+	}
+	if !got.HasWindow || got.WindowIntervalNs != want.WindowIntervalNs ||
+		got.WindowSlots != want.WindowSlots || got.WindowDecay != want.WindowDecay {
+		t.Fatalf("window block round trip: got %+v", got)
+	}
+	if !bytes.Equal(got.Blob, want.Blob) {
+		t.Fatalf("windowed base blob: got %v, want %v", got.Blob, want.Blob)
+	}
+	if len(got.WindowSlotBlobs) != len(want.WindowSlotBlobs) {
+		t.Fatalf("slot count: got %d, want %d", len(got.WindowSlotBlobs), len(want.WindowSlotBlobs))
+	}
+	for i := range want.WindowSlotBlobs {
+		if !bytes.Equal(got.WindowSlotBlobs[i], want.WindowSlotBlobs[i]) {
+			t.Errorf("slot %d: got %v, want %v", i, got.WindowSlotBlobs[i], want.WindowSlotBlobs[i])
+		}
+	}
+	if !bytes.Equal(got.WindowDecayedBlob, want.WindowDecayedBlob) {
+		t.Errorf("decay plane: got %v, want %v", got.WindowDecayedBlob, want.WindowDecayedBlob)
+	}
+
+	// No decay plane: the marker byte is 0 and the parsed blob stays nil.
+	want.WindowDecayedBlob = nil
+	got, _, err = ParseRecord(AppendRecord(nil, &want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WindowDecayedBlob != nil {
+		t.Fatalf("nil decay plane round-tripped to %v", got.WindowDecayedBlob)
+	}
+
+	// The streamed form — BeginRecord, blob in place, EndBlob, window tail,
+	// EndRecord — is the checkpoint writer's path and must be byte-identical
+	// to AppendRecord.
+	want = windowedRecord()
+	streamed, m := BeginRecord(nil, &want)
+	streamed = append(streamed, want.Blob...)
+	streamed = EndBlob(streamed, &m)
+	streamed = AppendWindowTail(streamed, want.WindowSlotBlobs, want.WindowDecayedBlob)
+	streamed = EndRecord(streamed, m)
+	if !bytes.Equal(streamed, b) {
+		t.Fatal("BeginRecord/EndBlob/AppendWindowTail/EndRecord differs from AppendRecord")
+	}
+}
+
+func TestWindowedRecordErrors(t *testing.T) {
+	rec := windowedRecord()
+	valid := AppendRecord(nil, &rec)
+	// reframe truncates the encoding to n bytes and fixes up the record
+	// length prefix so the parser blames the window tail, not the framing.
+	reframe := func(n int) []byte {
+		b := append([]byte(nil), valid[:n]...)
+		binary.LittleEndian.PutUint32(b, uint32(n-4))
+		return b
+	}
+	// Cut inside the decay length field → truncated; cut inside the decay
+	// body or a slot body → the announced length no longer matches, a
+	// corruption error.
+	if _, _, err := ParseRecord(reframe(len(valid) - 6)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated decay length: err = %v, want %v", err, ErrTruncated)
+	}
+	if _, _, err := ParseRecord(reframe(len(valid) - 2)); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("truncated decay plane: err = %v, want %v", err, ErrBadRecord)
+	}
+	cutSlotBody := len(valid) - len(rec.WindowDecayedBlob) - 4 - 1 - 1
+	if _, _, err := ParseRecord(reframe(cutSlotBody)); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("truncated slot body: err = %v, want %v", err, ErrBadRecord)
+	}
+
+	mut := func(f func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	// The slot count sits right after the base blob's length-prefixed body;
+	// locate it from the back: decayed blob + its length + marker + slot
+	// bodies + their lengths + the count itself.
+	slotCountOff := len(valid) - len(rec.WindowDecayedBlob) - 4 - 1
+	for _, sl := range rec.WindowSlotBlobs {
+		slotCountOff -= len(sl) + 4
+	}
+	slotCountOff -= 4
+	over := mut(func(b []byte) {
+		binary.LittleEndian.PutUint32(b[slotCountOff:], rec.WindowSlots+1)
+	})
+	if _, _, err := ParseRecord(over); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("slot count beyond capacity: err = %v, want %v", err, ErrBadRecord)
+	}
+	marker := mut(func(b []byte) {
+		b[len(b)-len(rec.WindowDecayedBlob)-4-1] = 7
+	})
+	if _, _, err := ParseRecord(marker); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("bad decay marker: err = %v, want %v", err, ErrBadRecord)
+	}
+	// Bytes after a complete window tail (no decay plane, so the tail's end
+	// is the marker byte) are corruption, not slack.
+	noDecay := rec
+	noDecay.WindowDecayedBlob = nil
+	trailing := AppendRecord(nil, &noDecay)
+	trailing = append(trailing, 0xAB)
+	binary.LittleEndian.PutUint32(trailing, uint32(len(trailing)-4))
+	if _, _, err := ParseRecord(trailing); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("bytes after window tail: err = %v, want %v", err, ErrBadRecord)
 	}
 }
 
@@ -185,6 +310,8 @@ func FuzzSnapshotDecode(f *testing.F) {
 	rec := fullRecord()
 	f.Add(AppendRecord(AppendHeader(nil, 1), &rec))
 	f.Add(AppendPortable(nil, &rec))
+	win := windowedRecord()
+	f.Add(AppendRecord(AppendHeader(nil, 1), &win))
 
 	// Valid family bodies so the fuzzer explores deep into each decoder.
 	u := theta.NewUnion(6, murmur.DefaultSeed)

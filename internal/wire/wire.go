@@ -41,6 +41,8 @@
 //	OpMergeRemote  pull a sketch from another daemon and fold it   → empty
 //	OpCheckpoint   write the server's checkpoint file now          → empty
 //	OpOpsStats     lifecycle sweeper / memory-budget counters      → OpsStats
+//	OpEnableWindow   declare a sliding window on the named sketches  → empty
+//	OpDisableWindow  collapse the named sketches' windows            → empty
 //
 // Batch items are fixed 8-byte words: uint64 keys for Θ/HLL/Count-Min,
 // IEEE-754 bits (math.Float64bits) for quantiles values. Fixed-size items
@@ -122,6 +124,8 @@ const (
 	OpMergeRemote
 	OpCheckpoint
 	OpOpsStats
+	OpEnableWindow
+	OpDisableWindow
 	opMax
 )
 
@@ -159,19 +163,36 @@ type Query uint8
 // The query kinds. Estimate serves Θ/HLL distinct counts; Quantile, Rank
 // and N serve the quantiles family (N also serves Count-Min total weight);
 // Count is the Count-Min per-key frequency (single-shard staleness bound).
+//
+// The Window* kinds answer over the sketch's declared sliding window (the
+// last Slots closed intervals plus the live one) instead of the cumulative
+// stream, and DecayedCount over the Count-Min exponentially time-decayed
+// plane. They fail as typed errors when the named sketch has no window
+// declared (OpEnableWindow, Spec.Window, or the server's default window).
 const (
 	QueryEstimate Query = iota + 1
 	QueryQuantile
 	QueryRank
 	QueryN
 	QueryCount
+	QueryWindowEstimate
+	QueryWindowQuantile
+	QueryWindowN
+	QueryWindowCount
+	QueryDecayedCount
 	queryMax
 )
 
 // NeedsArg reports whether the query kind carries an 8-byte argument
-// (Quantile: phi bits, Rank: value bits, Count: key).
+// (Quantile/WindowQuantile: phi bits, Rank: value bits,
+// Count/WindowCount/DecayedCount: key).
 func NeedsArg(q Query) bool {
-	return q == QueryQuantile || q == QueryRank || q == QueryCount
+	switch q {
+	case QueryQuantile, QueryRank, QueryCount,
+		QueryWindowQuantile, QueryWindowCount, QueryDecayedCount:
+		return true
+	}
+	return false
 }
 
 // Response statuses.
@@ -337,6 +358,30 @@ func AppendDisableView(dst []byte, id uint32, name string) []byte {
 	return endFrame(appendName(dst, name), m)
 }
 
+// AppendEnableWindow appends an OpEnableWindow request frame: declare a
+// sliding window on every sketch registered under name. intervalNs is the
+// rotation interval in nanoseconds (required, > 0); slots the closed-interval
+// capacity (0 = server default); decay the Count-Min exponential decay factor
+// in [0,1) (0 = none; rejected by the server for families without a linearly
+// scalable state).
+func AppendEnableWindow(dst []byte, id uint32, name string, intervalNs uint64, slots uint32, decay float64) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(OpEnableWindow), id)
+	dst = appendName(dst, name)
+	dst = binary.LittleEndian.AppendUint64(dst, intervalNs)
+	dst = binary.LittleEndian.AppendUint32(dst, slots)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(decay))
+	return endFrame(dst, m)
+}
+
+// AppendDisableWindow appends an OpDisableWindow request frame: collapse the
+// named sketches' windows back into their cumulative state (no counts lost).
+func AppendDisableWindow(dst []byte, id uint32, name string) []byte {
+	dst, m := beginFrame(dst)
+	dst = appendHeader(dst, byte(OpDisableWindow), id)
+	return endFrame(appendName(dst, name), m)
+}
+
 // AppendSnapshotReq appends an OpSnapshot request frame: export the named
 // sketch's merged state as a portable snapshot record (the success response
 // body).
@@ -492,9 +537,20 @@ type Info struct {
 	// Relaxation. Zero when no view is enabled.
 	ViewEnabled bool
 	ViewLagNs   uint64
+	// WindowEnabled reports whether a sliding window is declared on the
+	// sketch; the remaining fields echo its shape and liveness. WindowSlots
+	// and WindowIntervalNs are the declared geometry, WindowRotations counts
+	// ring rotations since enable, and WindowLiveAgeNs is the live
+	// interval's age — when it exceeds WindowIntervalNs the difference is
+	// the rotation lag. All zero when no window is declared.
+	WindowEnabled    bool
+	WindowSlots      uint32
+	WindowIntervalNs uint64
+	WindowRotations  uint64
+	WindowLiveAgeNs  uint64
 }
 
-const infoLen = 4 + 4 + 8 + 8 + 1 + 1 + 8
+const infoLen = 4 + 4 + 8 + 8 + 1 + 1 + 8 + 1 + 4 + 8 + 8 + 8
 
 // AppendOKInfo appends the OpInfo success response.
 func AppendOKInfo(dst []byte, id uint32, inf Info) []byte {
@@ -515,6 +571,15 @@ func AppendOKInfo(dst []byte, id uint32, inf Info) []byte {
 	}
 	dst = append(dst, viewed)
 	dst = binary.LittleEndian.AppendUint64(dst, inf.ViewLagNs)
+	var windowed byte
+	if inf.WindowEnabled {
+		windowed = 1
+	}
+	dst = append(dst, windowed)
+	dst = binary.LittleEndian.AppendUint32(dst, inf.WindowSlots)
+	dst = binary.LittleEndian.AppendUint64(dst, inf.WindowIntervalNs)
+	dst = binary.LittleEndian.AppendUint64(dst, inf.WindowRotations)
+	dst = binary.LittleEndian.AppendUint64(dst, inf.WindowLiveAgeNs)
 	return endFrame(dst, m)
 }
 
@@ -575,12 +640,15 @@ type Request struct {
 	Query  Query
 	Name   []byte
 	// Arg is the op-specific scalar: the resize shard count, the query
-	// argument (float bits / key) for kinds with NeedsArg, or the
-	// EnableView refresh interval in nanoseconds.
+	// argument (float bits / key) for kinds with NeedsArg, the EnableView
+	// refresh interval in nanoseconds, or the EnableWindow rotation
+	// interval in nanoseconds.
 	Arg uint64
 	// Arg2 is the second op-specific scalar: the EnableView maximum view
-	// age in nanoseconds.
+	// age in nanoseconds, or the EnableWindow decay factor bits.
 	Arg2 uint64
+	// Slots is the OpEnableWindow closed-interval capacity (0 = default).
+	Slots uint32
 	// MinShards/MaxShards/High/Low are the OpAutoscale policy knobs.
 	MinShards, MaxShards uint32
 	High, Low            float64
@@ -750,8 +818,13 @@ func ParseRequest(p []byte) (Request, error) {
 		req.Name = c.name()
 		req.Arg = c.u64()
 		req.Arg2 = c.u64()
-	case OpDisableView:
+	case OpDisableView, OpDisableWindow:
 		req.Name = c.name()
+	case OpEnableWindow:
+		req.Name = c.name()
+		req.Arg = c.u64()
+		req.Slots = c.u32()
+		req.Arg2 = c.u64()
 	case OpBatch:
 		req.Family = c.family()
 		req.Name = c.name()
@@ -830,5 +903,10 @@ func ParseInfo(body []byte) (Info, error) {
 	}
 	inf.ViewEnabled = c.u8() == 1
 	inf.ViewLagNs = c.u64()
+	inf.WindowEnabled = c.u8() == 1
+	inf.WindowSlots = c.u32()
+	inf.WindowIntervalNs = c.u64()
+	inf.WindowRotations = c.u64()
+	inf.WindowLiveAgeNs = c.u64()
 	return inf, c.done()
 }

@@ -311,6 +311,114 @@ func TestViewOpsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWindowOpsRoundTrip(t *testing.T) {
+	// EnableWindow carries the rotation interval, the ring capacity and the
+	// decay factor; the float64 decay must survive its bits transit exactly.
+	b := AppendEnableWindow(nil, 41, "users", 30_000_000_000, 12, 0.875)
+	req, err := ParseRequest(frame(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpEnableWindow || req.ID != 41 || string(req.Name) != "users" ||
+		req.Arg != 30_000_000_000 || req.Slots != 12 ||
+		math.Float64frombits(req.Arg2) != 0.875 {
+		t.Fatalf("bad enable-window request: %+v", req)
+	}
+
+	b = AppendDisableWindow(nil, 42, "users")
+	req, err = ParseRequest(frame(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpDisableWindow || req.ID != 42 || string(req.Name) != "users" {
+		t.Fatalf("bad disable-window request: %+v", req)
+	}
+
+	// Truncated enable-window bodies are rejected at every cut, id preserved.
+	full := AppendEnableWindow(nil, 43, "u", 1, 2, 0.5)[4:]
+	for cut := len(full) - 1; cut >= headerLen; cut-- {
+		req, err := ParseRequest(full[:cut])
+		if err == nil {
+			t.Fatalf("truncated enable-window at %d bytes accepted", cut)
+		}
+		if req.ID != 43 {
+			t.Fatalf("truncated enable-window lost id: %d", req.ID)
+		}
+	}
+	// Trailing bytes are rejected too — the body must be consumed exactly.
+	if _, err := ParseRequest(append(append([]byte(nil), full...), 0xCC)); err == nil {
+		t.Fatal("enable-window with trailing byte accepted")
+	}
+}
+
+func TestWindowQueryKindsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		family Family
+		query  Query
+		arg    uint64
+	}{
+		{"theta-window-estimate", FamilyTheta, QueryWindowEstimate, 0},
+		{"hll-window-estimate", FamilyHLL, QueryWindowEstimate, 0},
+		{"window-quantile", FamilyQuantiles, QueryWindowQuantile, math.Float64bits(0.5)},
+		{"window-quantiles-n", FamilyQuantiles, QueryWindowN, 0},
+		{"window-count", FamilyCountMin, QueryWindowCount, 99},
+		{"window-countmin-n", FamilyCountMin, QueryWindowN, 0},
+		{"decayed-count", FamilyCountMin, QueryDecayedCount, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := AppendQuery(nil, 51, tc.family, tc.query, "w", tc.arg)
+			req, err := ParseRequest(frame(t, b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if req.Op != OpQuery || req.Family != tc.family || req.Query != tc.query ||
+				string(req.Name) != "w" || req.Arg != tc.arg {
+				t.Fatalf("got %+v", req)
+			}
+			// The keyed/ranked kinds carry an argument, the scalar kinds don't;
+			// the encoder and parser must agree through NeedsArg.
+			wantArg := tc.query == QueryWindowQuantile || tc.query == QueryWindowCount ||
+				tc.query == QueryDecayedCount
+			if NeedsArg(tc.query) != wantArg {
+				t.Fatalf("NeedsArg = %v, want %v", NeedsArg(tc.query), wantArg)
+			}
+		})
+	}
+}
+
+func TestInfoWindowFieldsRoundTrip(t *testing.T) {
+	inf := Info{Shards: 4, Writers: 2, Relaxation: 128, ShardRelaxation: 32,
+		WindowEnabled: true, WindowSlots: 6,
+		WindowIntervalNs: 60_000_000_000, WindowRotations: 42, WindowLiveAgeNs: 12_345_678}
+	_, _, body, err := ParseResponse(frame(t, AppendOKInfo(nil, 27, inf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseInfo(body)
+	if err != nil || got != inf {
+		t.Fatalf("info = %+v (err %v), want %+v", got, err, inf)
+	}
+	// Window absent: every window field must decode as zero.
+	inf = Info{Shards: 4, Writers: 2, Relaxation: 128, ShardRelaxation: 32}
+	_, _, body, _ = ParseResponse(frame(t, AppendOKInfo(nil, 28, inf)))
+	if got, err := ParseInfo(body); err != nil || got != inf {
+		t.Fatalf("window-less info = %+v (err %v), want %+v", got, err, inf)
+	}
+	// A truncated info body is a typed error at every cut.
+	full := AppendOKInfo(nil, 29, inf)[4:]
+	_, _, body, err = ParseResponse(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(body) - 1; cut >= 0; cut-- {
+		if _, err := ParseInfo(body[:cut]); err == nil {
+			t.Fatalf("truncated info body at %d bytes accepted", cut)
+		}
+	}
+}
+
 func TestInfoViewFieldsRoundTrip(t *testing.T) {
 	inf := Info{Shards: 4, Writers: 2, Relaxation: 128, ShardRelaxation: 32,
 		Eager: true, ViewEnabled: true, ViewLagNs: 1_500_000}

@@ -1,6 +1,5 @@
 //go:build !race
 
-//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 // TestMergedQueryZeroAlloc turns the PR's headline claim into an enforced
@@ -63,8 +62,8 @@ func TestMergedQueryZeroAllocThroughView(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	th, hl := reg.Theta("viewed"), reg.HLL("viewed")
-	qu, cm := reg.Quantiles("viewed"), reg.CountMin("viewed")
+	th, hl := openTheta(t, reg, "viewed").Sketch(), openHLL(t, reg, "viewed").Sketch()
+	qu, cm := openQuantiles(t, reg, "viewed").Sketch(), openCountMin(t, reg, "viewed").Sketch()
 	for i := 0; i < 1<<12; i++ {
 		th.Update(0, uint64(i))
 		hl.Update(0, uint64(i))
@@ -72,10 +71,10 @@ func TestMergedQueryZeroAllocThroughView(t *testing.T) {
 		cm.Update(0, uint64(i%512))
 	}
 	clk := autoscale.NewManualClock(time.Unix(1<<20, 0))
-	if n, err := reg.EnableView("viewed", fastsketches.ViewConfig{
+	if n, err := reg.ReplaceView("viewed", fastsketches.ViewConfig{
 		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
 	}); err != nil || n != 4 {
-		t.Fatalf("EnableView = %d, %v; want all 4 families covered", n, err)
+		t.Fatalf("ReplaceView = %d, %v; want all 4 families covered", n, err)
 	}
 
 	var sinkF float64

@@ -8,11 +8,7 @@ import (
 
 	"fastsketches/internal/autoscale"
 	"fastsketches/internal/core"
-	"fastsketches/internal/countmin"
-	"fastsketches/internal/hll"
-	"fastsketches/internal/quantiles"
 	"fastsketches/internal/shard"
-	"fastsketches/internal/theta"
 )
 
 // PressureSample is the wait-free cumulative ingest-pressure counter pair
@@ -44,6 +40,21 @@ type RegistryConfig struct {
 	Unoptimised bool
 	// Seed is the hash seed shared by all sketches; 0 means DefaultSeed.
 	Seed uint64
+
+	// WindowInterval, when positive, declares a registry-wide default
+	// sliding window: every sketch this registry creates starts with a
+	// window of WindowSlots closed intervals of this length (see
+	// Spec.Window for the per-sketch form and the staleness semantics).
+	// Zero means sketches start unwindowed.
+	WindowInterval time.Duration
+	// WindowSlots is the default window's closed-interval capacity;
+	// 0 = the window layer's default. Requires WindowInterval.
+	WindowSlots int
+	// WindowDecay is the default window's exponential decay factor,
+	// applied to Count-Min sketches only (the one family with a decayable
+	// counter plane); other families get the sliding window without a
+	// decay plane. 0 = no decay. Requires WindowInterval.
+	WindowDecay float64
 
 	// ThetaLgK is log2 of the per-shard Θ sample count. Default 12.
 	ThetaLgK int
@@ -78,6 +89,18 @@ func (c *RegistryConfig) normalise() error {
 	}
 	if c.BufferSize < 0 {
 		return fmt.Errorf("%w: negative BufferSize", ErrConfig)
+	}
+	if c.WindowInterval < 0 {
+		return fmt.Errorf("%w: negative WindowInterval", ErrConfig)
+	}
+	if c.WindowInterval == 0 && (c.WindowSlots != 0 || c.WindowDecay != 0) {
+		return fmt.Errorf("%w: WindowSlots/WindowDecay require WindowInterval", ErrConfig)
+	}
+	if c.WindowInterval > 0 {
+		wc := shard.WindowConfig{Interval: c.WindowInterval, Slots: c.WindowSlots, Decay: c.WindowDecay}
+		if _, err := wc.Normalise(); err != nil {
+			return fmt.Errorf("%w: %v", ErrConfig, err)
+		}
 	}
 	if c.ThetaLgK == 0 {
 		c.ThetaLgK = 12
@@ -124,6 +147,21 @@ func (c *RegistryConfig) shardConfig() shard.Config {
 		Unoptimised: c.Unoptimised,
 		Seed:        c.Seed,
 	}
+}
+
+// defaultWindow returns the registry-wide default WindowConfig new sketches
+// start with, and whether one is declared. decayable gates the decay factor:
+// only Count-Min has a scalable counter plane, so other families take the
+// sliding window without decay rather than failing to open.
+func (c *RegistryConfig) defaultWindow(decayable bool) (shard.WindowConfig, bool) {
+	if c.WindowInterval <= 0 {
+		return shard.WindowConfig{}, false
+	}
+	wc := shard.WindowConfig{Interval: c.WindowInterval, Slots: c.WindowSlots}
+	if decayable {
+		wc.Decay = c.WindowDecay
+	}
+	return wc, true
 }
 
 // Registry is a multi-tenant collection of named sharded sketches: the
@@ -244,6 +282,11 @@ func (r *Registry) getTheta(name string) *shard.Theta {
 		if err != nil {
 			panic(err) // unreachable: config pre-validated
 		}
+		if wc, ok := r.cfg.defaultWindow(false); ok {
+			if err := sk.EnableWindow(wc); err != nil {
+				panic(err) // unreachable: config pre-validated
+			}
+		}
 		return sk
 	})
 }
@@ -254,6 +297,11 @@ func (r *Registry) getHLL(name string) *shard.HLL {
 		sk, err := shard.NewHLL(r.cfg.HLLPrecision, r.cfg.shardConfig())
 		if err != nil {
 			panic(err)
+		}
+		if wc, ok := r.cfg.defaultWindow(false); ok {
+			if err := sk.EnableWindow(wc); err != nil {
+				panic(err)
+			}
 		}
 		return sk
 	})
@@ -267,6 +315,11 @@ func (r *Registry) getQuantiles(name string) *shard.Quantiles {
 		if err != nil {
 			panic(err)
 		}
+		if wc, ok := r.cfg.defaultWindow(false); ok {
+			if err := sk.EnableWindow(wc); err != nil {
+				panic(err)
+			}
+		}
 		return sk
 	})
 }
@@ -279,113 +332,13 @@ func (r *Registry) getCountMin(name string) *shard.CountMin {
 		if err != nil {
 			panic(err)
 		}
+		if wc, ok := r.cfg.defaultWindow(true); ok {
+			if err := sk.EnableWindow(wc); err != nil {
+				panic(err)
+			}
+		}
 		return sk
 	})
-}
-
-// Theta returns the named sharded distinct-count sketch, creating it on
-// first use.
-//
-// Deprecated: use OpenTheta, whose Handle carries the same ingest/query
-// methods plus the lifecycle knobs (view, autoscale, TTL, budget class) in
-// one declarative Spec.
-func (r *Registry) Theta(name string) *shard.Theta { return r.getTheta(name) }
-
-// HLL returns the named sharded HLL sketch, creating it on first use.
-//
-// Deprecated: use OpenHLL.
-func (r *Registry) HLL(name string) *shard.HLL { return r.getHLL(name) }
-
-// Quantiles returns the named sharded quantiles sketch, creating it on
-// first use.
-//
-// Deprecated: use OpenQuantiles.
-func (r *Registry) Quantiles(name string) *shard.Quantiles { return r.getQuantiles(name) }
-
-// CountMin returns the named sharded frequency sketch, creating it on first
-// use.
-//
-// Deprecated: use OpenCountMin.
-func (r *Registry) CountMin(name string) *shard.CountMin { return r.getCountMin(name) }
-
-// ResizeTheta live-reshards the named Θ sketch to the given shard count,
-// creating the sketch on first use. Writers and queriers stay active
-// throughout: updates atomically switch to the new shard group, the old
-// shards are drained and their final snapshots folded into the sketch's
-// retained legacy state, and merged queries never miss or double-count a
-// retired update. During the transition a merged query's staleness bound is
-// transiently S_old·r + S_new·r (both epochs' live snapshots are folded);
-// once ResizeTheta returns it is the new S·r.
-//
-// Deprecated: use OpenTheta and Handle.Resize (or Spec.Shards), or
-// ResizeSketch to resize by family string without creating on miss.
-func (r *Registry) ResizeTheta(name string, shards int) error {
-	return r.getTheta(name).Resize(shards)
-}
-
-// ResizeHLL is ResizeTheta for the named HLL sketch.
-//
-// Deprecated: use OpenHLL and Handle.Resize, or ResizeSketch.
-func (r *Registry) ResizeHLL(name string, shards int) error {
-	return r.getHLL(name).Resize(shards)
-}
-
-// ResizeQuantiles is ResizeTheta for the named quantiles sketch.
-//
-// Deprecated: use OpenQuantiles and Handle.Resize, or ResizeSketch.
-func (r *Registry) ResizeQuantiles(name string, shards int) error {
-	return r.getQuantiles(name).Resize(shards)
-}
-
-// ResizeCountMin is ResizeTheta for the named Count-Min sketch. Per-key
-// estimates keep their one-sided guarantee across the resize (they sum the
-// owning shards of both epochs plus the legacy counters and so never
-// underestimate), but the overestimation bound after a resize widens to
-// ε·N over the retired stream rather than ε·N_shard — see
-// shard.CountMin.Estimate.
-//
-// Deprecated: use OpenCountMin and Handle.Resize, or ResizeSketch.
-func (r *Registry) ResizeCountMin(name string, shards int) error {
-	return r.getCountMin(name).Resize(shards)
-}
-
-// ThetaQueryInto answers the named Θ sketch's merged distinct-count query
-// by resetting the caller-owned acc and folding every shard snapshot into
-// it — the zero-allocation query plane for callers that keep an accumulator
-// per reader goroutine.
-//
-// Deprecated: use OpenTheta and Handle.QueryInto; the estimate is read off
-// the accumulator, exactly as here.
-func (r *Registry) ThetaQueryInto(name string, acc *theta.Union) float64 {
-	r.getTheta(name).QueryInto(acc)
-	return acc.Estimate()
-}
-
-// HLLQueryInto is ThetaQueryInto for the named HLL sketch.
-//
-// Deprecated: use OpenHLL and Handle.QueryInto.
-func (r *Registry) HLLQueryInto(name string, acc *hll.Sketch) float64 {
-	r.getHLL(name).QueryInto(acc)
-	return acc.Estimate()
-}
-
-// QuantilesQueryInto resets the caller-owned acc and folds the named
-// quantiles sketch's shard summaries into it; query acc (Quantile, Rank, N)
-// until its next reuse.
-//
-// Deprecated: use OpenQuantiles and Handle.QueryInto.
-func (r *Registry) QuantilesQueryInto(name string, acc *quantiles.Accumulator) {
-	r.getQuantiles(name).QueryInto(acc)
-}
-
-// CountMinQueryInto resets the caller-owned acc and folds the named
-// Count-Min sketch's counters into it — the aggregate (S·r-bounded) view;
-// per-key estimates that only need the owning shard should use the handle's
-// Sketch().Estimate instead.
-//
-// Deprecated: use OpenCountMin and Handle.QueryInto.
-func (r *Registry) CountMinQueryInto(name string, acc *countmin.Sketch) {
-	r.getCountMin(name).QueryInto(acc)
 }
 
 // ResizeSketch live-reshards the named sketch of the given family (one of
@@ -414,6 +367,16 @@ func (r *Registry) ResizeSketch(family, name string, shards int) error {
 // deterministic pacing in tests.
 type ViewConfig = shard.ViewConfig
 
+// WindowConfig declares a sliding window (and, for Count-Min, exponential
+// time decay) — see shard.WindowConfig: rotation interval, closed-slot
+// capacity, decay factor, and an injectable clock for deterministic pacing
+// in tests.
+type WindowConfig = shard.WindowConfig
+
+// WindowInfo is a wait-free introspection sample of a sketch's window plane
+// — see shard.WindowInfo.
+type WindowInfo = shard.WindowInfo
+
 // Clock is the injectable time source shared by view refreshers (and,
 // structurally, autoscale controllers).
 type Clock = shard.Clock
@@ -436,15 +399,6 @@ func (r *Registry) viewTargetsLocked(name string) []viewSketch {
 		}
 	}
 	return targets
-}
-
-// EnableView materializes the merged view of every sketch currently
-// registered under name, across all four families.
-//
-// Deprecated: use ReplaceView (identical semantics — this facade forwards
-// to it), or Spec.View on Open* to declare the view per handle.
-func (r *Registry) EnableView(name string, cfg ViewConfig) (int, error) {
-	return r.ReplaceView(name, cfg)
 }
 
 // ReplaceView materializes the merged state of every sketch currently
@@ -486,15 +440,6 @@ func (r *Registry) ReplaceView(name string, cfg ViewConfig) (int, error) {
 	return len(targets), nil
 }
 
-// DisableView stops the view refresher of every sketch registered under
-// name, across all families.
-//
-// Deprecated: use StopView (identical semantics — this facade forwards to
-// it), or Handle.DisableView per sketch.
-func (r *Registry) DisableView(name string) int {
-	return r.StopView(name)
-}
-
 // StopView stops the view refresher of every sketch registered under
 // name, across all families, and reports how many views were disabled.
 // Subsequent merged queries fold live shard snapshots again (bound back to
@@ -518,34 +463,101 @@ func (r *Registry) StopView(name string) int {
 	return n
 }
 
-// Autoscale attaches an autoscaling controller to every sketch currently
-// registered under name, across all four families, and starts their
-// sampling loops: each controller polls its sketch's ingest pressure every
-// Policy.SampleEvery and walks the shard count through Resize under the
-// policy's hysteresis rules — the closed control loop over the relaxation
-// parameter (see the autoscale package). The returned controllers expose
-// live Stats; the registry owns their lifecycle and stops them on Close.
-//
-// Only sketches that already exist are covered (touch a family accessor
-// first to create one); sketches registered under the name later are not
-// picked up retroactively. Each call attaches fresh controllers — attach a
-// policy once per sketch unless two competing loops are genuinely wanted.
-//
-// Deprecated: use ReplaceAutoscale (idempotent per name) or Spec.Autoscale
-// on Open* (idempotent per handle); stacking controllers is almost never
-// what an admin plane wants.
-func (r *Registry) Autoscale(name string, p autoscale.Policy) ([]*autoscale.Controller, error) {
-	return r.autoscale(p, func(n string) bool { return n == name })
+// windowSketch is the slice of the Sharded layer the window facades drive;
+// all four family wrappers satisfy it.
+type windowSketch interface {
+	EnableWindow(shard.WindowConfig) error
+	DisableWindow() bool
+	WindowEnabled() bool
+	WindowSettings() (shard.WindowConfig, bool)
+	WindowDecaySupported() bool
 }
 
-// AutoscaleAll is Autoscale over every sketch currently registered, any
-// name, all families — one controller per sketch, all under the same
-// policy.
+// windowTargetsLocked collects every sketch registered under name across all
+// families. Caller holds r.mu.
+func (r *Registry) windowTargetsLocked(name string) []windowSketch {
+	var targets []windowSketch
+	for _, fam := range []string{"theta", "hll", "quantiles", "countmin"} {
+		if sk, ok := r.lookup(fam, name); ok {
+			targets = append(targets, sk.(windowSketch))
+		}
+	}
+	return targets
+}
+
+// ReplaceWindow declares a sliding window on every sketch currently
+// registered under name, across all four families: each sketch's queries
+// gain a windowed plane (WindowQueryInto and the per-family Window* scalars)
+// covering the live rotation interval plus the last cfg.Slots closed
+// intervals, while the cumulative plane keeps serving the whole stream. A
+// windowed query reflects all but at most S·r of the window's updates plus
+// whatever the live interval has accumulated past one rotation interval —
+// see shard.Sharded.EnableWindow for the bound's derivation.
 //
-// Deprecated: attach policies per handle with Spec.Autoscale on Open*, or
-// per name with ReplaceAutoscale, so controller lifecycle stays idempotent.
-func (r *Registry) AutoscaleAll(p autoscale.Policy) ([]*autoscale.Controller, error) {
-	return r.autoscale(p, func(string) bool { return true })
+// The call is idempotent per sketch with replace semantics, mirroring
+// ReplaceView: a sketch already windowed under an equal config keeps its
+// ring (no history loss); a different config collapses the old window into
+// the cumulative plane and re-arms a fresh one. Returns how many sketches
+// the window was applied to. Windows stop automatically when their sketch
+// is dropped or the registry closes.
+func (r *Registry) ReplaceWindow(name string, cfg WindowConfig) (int, error) {
+	want, err := cfg.Normalise()
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	targets := r.windowTargetsLocked(name)
+	r.mu.Unlock()
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("%w: no registered sketches to window", ErrConfig)
+	}
+	// Enabling outside r.mu: EnableWindow serialises on each sketch's resize
+	// lock, which an in-flight autoscale Resize may hold for a drain.
+	for _, sk := range targets {
+		// Decay needs linearly scalable counters; for families without them
+		// the same window is applied sans decay, mirroring
+		// RegistryConfig.WindowDecay. The Same comparison uses the stripped
+		// config too, so repeated calls stay idempotent per family.
+		cfgSk, wantSk := cfg, want
+		if want.Decay > 0 && !sk.WindowDecaySupported() {
+			cfgSk.Decay, wantSk.Decay = 0, 0
+		}
+		if cur, ok := sk.WindowSettings(); ok && cur.Same(wantSk) {
+			continue // equal config: keep the ring
+		}
+		sk.DisableWindow()
+		if err := sk.EnableWindow(cfgSk); err != nil {
+			return 0, err
+		}
+	}
+	return len(targets), nil
+}
+
+// StopWindow disables the sliding window of every sketch registered under
+// name, across all families, and reports how many windows were stopped.
+// Each window's closed slots are collapsed into the sketch's cumulative
+// plane first, so no counted update is lost; subsequent queries serve the
+// cumulative stream only. It mirrors StopView, completing the name-spanning
+// admin surface the wire protocol drives.
+func (r *Registry) StopWindow(name string) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("fastsketches: Registry used after Close")
+	}
+	targets := r.windowTargetsLocked(name)
+	r.mu.Unlock()
+	n := 0
+	for _, sk := range targets {
+		if sk.DisableWindow() {
+			n++
+		}
+	}
+	return n
 }
 
 // SetAutoscaleMemoryPressure installs f as the memory-budget signal on
@@ -748,6 +760,18 @@ type SketchInfo struct {
 	// bound. Zero when no view is enabled.
 	ViewEnabled bool
 	ViewLag     time.Duration
+	// WindowEnabled reports whether a sliding window is declared on this
+	// sketch; the remaining Window fields echo its shape and liveness (see
+	// shard.WindowInfo): rotation count since enable, the live interval's
+	// age, and how far the live interval has outlived the declared interval
+	// (0 while the rotator keeps up). Zero values when no window is enabled.
+	WindowEnabled     bool
+	WindowInterval    time.Duration
+	WindowSlots       int
+	WindowDecay       float64
+	WindowRotations   uint64
+	WindowLiveAge     time.Duration
+	WindowRotationLag time.Duration
 	// Ingested / Merged / Backlog are the sketch's wait-free cumulative
 	// pressure counters (see PressureSample), monotonic across resizes:
 	// items handed to the propagation plane, items folded into shard
@@ -779,6 +803,7 @@ type shardedIntrospect interface {
 	Eager() bool
 	ViewEnabled() bool
 	ViewLag() time.Duration
+	WindowStats() (shard.WindowInfo, bool)
 	Pressure() core.PressureSample
 	SizeBytes() int64
 }
@@ -796,7 +821,7 @@ type infoEntry struct {
 
 func (r *Registry) info(e infoEntry) SketchInfo {
 	pr := e.sk.Pressure()
-	return SketchInfo{
+	si := SketchInfo{
 		Family: e.family, Name: e.name,
 		Shards: e.sk.Shards(), Writers: r.cfg.Writers,
 		Relaxation:      e.sk.Relaxation(),
@@ -811,6 +836,19 @@ func (r *Registry) info(e infoEntry) SketchInfo {
 		IdleTTL:         e.lc.idleTTL,
 		Pinned:          e.lc.pinned,
 	}
+	// WindowStats is wait-free (one epoch load plus a clock read), keeping
+	// the rule that info() never takes a lock or folds sketch state — a
+	// metrics scrape walking thousands of sketches must not stall rotations.
+	if wi, ok := e.sk.WindowStats(); ok {
+		si.WindowEnabled = true
+		si.WindowInterval = wi.Interval
+		si.WindowSlots = wi.Slots
+		si.WindowDecay = wi.Decay
+		si.WindowRotations = wi.Rotations
+		si.WindowLiveAge = wi.LiveAge
+		si.WindowRotationLag = wi.RotationLag
+	}
+	return si
 }
 
 // lookup returns the named sketch of the given family without creating it.

@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 import (
@@ -21,6 +20,11 @@ func TestRegistryConfigValidation(t *testing.T) {
 		{QuantilesK: 1},
 		{CountMinEpsilon: 1.5},
 		{CountMinDelta: -0.2},
+		{WindowInterval: -time.Second},
+		{WindowSlots: 3},   // slots without an interval
+		{WindowDecay: 0.5}, // decay without an interval
+		{WindowInterval: time.Second, WindowDecay: 1.5},     // decay outside [0,1)
+		{WindowInterval: time.Second, WindowSlots: 1 << 20}, // slots beyond the ring bound
 	}
 	for _, cfg := range bad {
 		if _, err := fastsketches.NewRegistry(cfg); err == nil {
@@ -38,16 +42,16 @@ func TestRegistryGetOrCreateStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	if reg.Theta("a") != reg.Theta("a") {
+	if openTheta(t, reg, "a").Sketch() != openTheta(t, reg, "a").Sketch() {
 		t.Error("same name must return the same sketch")
 	}
-	if reg.Theta("a") == reg.Theta("b") {
+	if openTheta(t, reg, "a").Sketch() == openTheta(t, reg, "b").Sketch() {
 		t.Error("different names must be independent sketches")
 	}
 	// Same name across families are independent tenants.
-	reg.HLL("a")
-	reg.Quantiles("a")
-	reg.CountMin("a")
+	openHLL(t, reg, "a")
+	openQuantiles(t, reg, "a")
+	openCountMin(t, reg, "a")
 	names := reg.Names()
 	want := []string{"countmin/a", "hll/a", "quantiles/a", "theta/a", "theta/b"}
 	if len(names) != len(want) {
@@ -75,7 +79,12 @@ func TestRegistryConcurrentAccessors(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			sketches[g] = reg.Theta("contended")
+			h, err := reg.OpenTheta("contended", fastsketches.Spec{})
+			if err != nil {
+				t.Errorf("racing open: %v", err)
+				return
+			}
+			sketches[g] = h.Sketch()
 		}(g)
 	}
 	wg.Wait()
@@ -96,9 +105,9 @@ func TestRegistryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	users := reg.Theta("users")
-	latency := reg.Quantiles("latency")
-	calls := reg.CountMin("calls")
+	users := openTheta(t, reg, "users").Sketch()
+	latency := openQuantiles(t, reg, "latency").Sketch()
+	calls := openCountMin(t, reg, "calls").Sketch()
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -139,7 +148,7 @@ func TestRegistryConcurrentFirstUseAndQueryRace(t *testing.T) {
 	// the race detector): many goroutines simultaneously trigger creation of
 	// the same named sketch while others update it on their own lanes and
 	// query it through both the pooled path (Estimate) and the caller-owned
-	// accumulator path (ThetaQueryInto with one accumulator per goroutine).
+	// accumulator path (Handle.QueryInto with one accumulator per goroutine).
 	const goroutines, iters = 12, 200
 	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
 		Shards: 2, Writers: goroutines,
@@ -157,25 +166,30 @@ func TestRegistryConcurrentFirstUseAndQueryRace(t *testing.T) {
 			switch g % 3 {
 			case 0: // creator + writer: lane g is owned by this goroutine only
 				for i := 0; i < iters; i++ {
-					reg.Theta("hot").Update(g, uint64(g)<<32|uint64(i))
+					h, _ := reg.OpenTheta("hot", fastsketches.Spec{})
+					h.Update(g, uint64(g)<<32|uint64(i))
 				}
 			case 1: // pooled queriers, plus first-use races on other families
 				for i := 0; i < iters; i++ {
-					_ = reg.Theta("hot").Estimate()
-					_ = reg.CountMin("hot").N()
+					th, _ := reg.OpenTheta("hot", fastsketches.Spec{})
+					_ = th.Sketch().Estimate()
+					cm, _ := reg.OpenCountMin("hot", fastsketches.Spec{})
+					_ = cm.Sketch().N()
 					_ = reg.Names()
 				}
 			case 2: // owned-accumulator queriers
-				acc := reg.Theta("hot").NewAccumulator()
+				h, _ := reg.OpenTheta("hot", fastsketches.Spec{})
+				acc := h.NewAccumulator()
 				for i := 0; i < iters; i++ {
-					_ = reg.ThetaQueryInto("hot", acc)
+					h.QueryInto(acc)
+					_ = acc.Estimate()
 				}
 			}
 		}(g)
 	}
 	close(start)
 	wg.Wait()
-	sk := reg.Theta("hot")
+	sk := openTheta(t, reg, "hot").Sketch()
 	reg.Close()
 	// 4 writer goroutines (g = 0, 3, 6, 9) each ingested `iters` distinct
 	// keys; well under k per shard, so the merged estimate is exact.
@@ -185,11 +199,11 @@ func TestRegistryConcurrentFirstUseAndQueryRace(t *testing.T) {
 }
 
 func TestRegistryQueryIntoMatchesPooled(t *testing.T) {
-	// The four QueryInto facades must agree with the pooled query methods,
-	// and one accumulator must survive reuse across names.
+	// Handle.QueryInto must agree with the pooled query methods, and one
+	// accumulator must survive reuse across names.
 	// Default MaxError keeps every shard eager for this stream size, so the
-	// registry stays live (facades need an open registry) while published
-	// snapshots are exact and stable between the paired queries below.
+	// registry stays live while published snapshots are exact and stable
+	// between the paired queries below.
 	reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{
 		Shards: 4, CountMinEpsilon: 0.01,
 	})
@@ -197,40 +211,46 @@ func TestRegistryQueryIntoMatchesPooled(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
+	thA, thB := openTheta(t, reg, "a"), openTheta(t, reg, "b")
+	hl := openHLL(t, reg, "a")
+	qu := openQuantiles(t, reg, "a")
+	cm := openCountMin(t, reg, "a")
 	for i := 0; i < 2000; i++ {
-		reg.Theta("a").Update(0, uint64(i))
-		reg.Theta("b").Update(0, uint64(i%100))
-		reg.HLL("a").Update(0, uint64(i))
-		reg.Quantiles("a").Update(0, float64(i))
-		reg.CountMin("a").Update(0, uint64(i%32))
+		thA.Update(0, uint64(i))
+		thB.Update(0, uint64(i%100))
+		hl.Update(0, uint64(i))
+		qu.Update(0, float64(i))
+		cm.Update(0, uint64(i%32))
 	}
-	if !reg.Theta("a").Eager() {
+	if !thA.Eager() {
 		t.Fatal("test premise broken: sketch left the eager phase")
 	}
 
-	thAcc := reg.Theta("a").NewAccumulator()
-	for _, name := range []string{"a", "b", "a"} { // reuse across names and back
-		if got, want := reg.ThetaQueryInto(name, thAcc), reg.Theta(name).Estimate(); got != want {
-			t.Errorf("theta %q: QueryInto %v != pooled %v", name, got, want)
+	thAcc := thA.NewAccumulator()
+	for _, h := range []*fastsketches.ThetaHandle{thA, thB, thA} { // reuse across names and back
+		h.QueryInto(thAcc)
+		if got, want := thAcc.Estimate(), h.Sketch().Estimate(); got != want {
+			t.Errorf("theta %q: QueryInto %v != pooled %v", h.Name(), got, want)
 		}
 	}
-	hlAcc := reg.HLL("a").NewAccumulator()
-	if got, want := reg.HLLQueryInto("a", hlAcc), reg.HLL("a").Estimate(); got != want {
+	hlAcc := hl.NewAccumulator()
+	hl.QueryInto(hlAcc)
+	if got, want := hlAcc.Estimate(), hl.Sketch().Estimate(); got != want {
 		t.Errorf("hll: QueryInto %v != pooled %v", got, want)
 	}
-	quAcc := reg.Quantiles("a").NewAccumulator()
-	reg.QuantilesQueryInto("a", quAcc)
-	if got, want := quAcc.Quantile(0.5), reg.Quantiles("a").Quantile(0.5); got != want {
+	quAcc := qu.NewAccumulator()
+	qu.QueryInto(quAcc)
+	if got, want := quAcc.Quantile(0.5), qu.Sketch().Quantile(0.5); got != want {
 		t.Errorf("quantiles: QueryInto median %v != pooled %v", got, want)
 	}
-	cmAcc := reg.CountMin("a").NewAccumulator()
-	reg.CountMinQueryInto("a", cmAcc)
-	if got, want := cmAcc.N(), reg.CountMin("a").N(); got != want {
+	cmAcc := cm.NewAccumulator()
+	cm.QueryInto(cmAcc)
+	if got, want := cmAcc.N(), cm.Sketch().N(); got != want {
 		t.Errorf("countmin: QueryInto N %d != aggregate N %d", got, want)
 	}
 	// The merged grid sums all shards, so its one-sided estimate dominates
 	// the owning shard's (which itself never underestimates the truth).
-	if got, perKey := cmAcc.Estimate(7), reg.CountMin("a").Estimate(7); got < perKey {
+	if got, perKey := cmAcc.Estimate(7), cm.Sketch().Estimate(7); got < perKey {
 		t.Errorf("countmin: merged estimate %d below per-key estimate %d", got, perKey)
 	}
 }
@@ -240,7 +260,7 @@ func TestRegistryCloseIdempotentAndFinal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg.Theta("x").Update(0, 1)
+	openTheta(t, reg, "x").Update(0, 1)
 	reg.Close()
 	reg.Close() // idempotent
 	// Both the create path and the existing-name fast path must refuse:
@@ -250,16 +270,16 @@ func TestRegistryCloseIdempotentAndFinal(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("fetching %q after Close must panic", name)
+					t.Errorf("opening %q after Close must panic", name)
 				}
 			}()
-			reg.Theta(name)
+			reg.OpenTheta(name, fastsketches.Spec{})
 		}()
 	}
 }
 
-func TestRegistryResizeFacades(t *testing.T) {
-	// Each family facade live-reshards the named sketch: the shard count
+func TestRegistryResizeHandles(t *testing.T) {
+	// Each family handle live-reshards the named sketch: the shard count
 	// moves, merged answers stay lossless across the drain (the streams
 	// here are exact for every family), and resizing one name never
 	// touches another.
@@ -270,44 +290,46 @@ func TestRegistryResizeFacades(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
+	thA, thB := openTheta(t, reg, "a"), openTheta(t, reg, "b")
+	hl := openHLL(t, reg, "a")
+	qu := openQuantiles(t, reg, "a")
+	cm := openCountMin(t, reg, "a")
 	const n = 2000
 	for i := 0; i < n; i++ {
-		reg.Theta("a").Update(0, uint64(i))
-		reg.HLL("a").Update(0, uint64(i))
-		reg.Quantiles("a").Update(0, float64(i))
-		reg.CountMin("a").Update(0, uint64(i%32))
-		reg.Theta("b").Update(0, uint64(i))
+		thA.Update(0, uint64(i))
+		hl.Update(0, uint64(i))
+		qu.Update(0, float64(i))
+		cm.Update(0, uint64(i%32))
+		thB.Update(0, uint64(i))
 	}
-	for _, resize := range []func(string, int) error{
-		reg.ResizeTheta, reg.ResizeHLL, reg.ResizeQuantiles, reg.ResizeCountMin,
+	for _, resize := range []func(int) error{
+		thA.Resize, hl.Resize, qu.Resize, cm.Resize,
 	} {
-		if err := resize("a", 6); err != nil {
+		if err := resize(6); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := reg.Theta("a").Shards(); got != 6 {
-		t.Errorf("theta/a shards after ResizeTheta = %d, want 6", got)
+	if got := thA.Shards(); got != 6 {
+		t.Errorf("theta/a shards after Resize = %d, want 6", got)
 	}
-	if got := reg.Theta("b").Shards(); got != 2 {
+	if got := thB.Shards(); got != 2 {
 		t.Errorf("theta/b shards = %d, want untouched 2", got)
 	}
 	for i := n; i < 2*n; i++ {
-		reg.Theta("a").Update(0, uint64(i))
-		reg.Quantiles("a").Update(0, float64(i))
-		reg.CountMin("a").Update(0, uint64(i%32))
+		thA.Update(0, uint64(i))
+		qu.Update(0, float64(i))
+		cm.Update(0, uint64(i%32))
 	}
 	// Exact-mode Θ across the drain: the estimate counts every distinct
-	// key ingested before and after the resize (modulo staleness; the
-	// stream is single-writer and the final updates may still be buffered,
-	// so query after Close in TestRegistry-style runs would be exact —
-	// here allow the live S·r window).
-	if err := reg.ResizeTheta("a", 3); err != nil { // shrink again; both drains fold into legacy
+	// key ingested before and after the resize (modulo the live S·r
+	// staleness window).
+	if err := thA.Resize(3); err != nil { // shrink again; both drains fold into legacy
 		t.Fatal(err)
 	}
-	if est := reg.Theta("a").Estimate(); est < float64(2*n-reg.Theta("a").Relaxation()) || est > 2*n {
+	if est := thA.Sketch().Estimate(); est < float64(2*n-thA.Relaxation()) || est > 2*n {
 		t.Errorf("theta/a estimate %v outside [%d - S·r, %d]", est, 2*n, 2*n)
 	}
-	if got := reg.CountMin("a").N(); got < uint64(2*n-reg.CountMin("a").Relaxation()) || got > 2*n {
+	if got := cm.Sketch().N(); got < uint64(2*n-cm.Relaxation()) || got > 2*n {
 		t.Errorf("countmin/a N %d outside staleness window of %d", got, 2*n)
 	}
 }
@@ -332,10 +354,10 @@ func TestRegistryInfoAndInfos(t *testing.T) {
 		t.Fatalf("Infos on empty registry returned %d entries", got)
 	}
 
-	reg.Theta("users")
-	reg.CountMin("api")
-	reg.HLL("users")
-	if err := reg.ResizeTheta("users", 5); err != nil {
+	users := openTheta(t, reg, "users")
+	openCountMin(t, reg, "api")
+	openHLL(t, reg, "users")
+	if err := users.Resize(5); err != nil {
 		t.Fatal(err)
 	}
 
@@ -346,8 +368,8 @@ func TestRegistryInfoAndInfos(t *testing.T) {
 	if inf.Family != "theta" || inf.Name != "users" || inf.Shards != 5 || inf.Writers != 3 {
 		t.Fatalf("Info = %+v, want theta/users S=5 W=3", inf)
 	}
-	if inf.Relaxation != reg.Theta("users").Relaxation() ||
-		inf.ShardRelaxation != reg.Theta("users").ShardRelaxation() {
+	if inf.Relaxation != users.Relaxation() ||
+		inf.ShardRelaxation != users.ShardRelaxation() {
 		t.Fatalf("Info staleness bounds %+v disagree with the sketch", inf)
 	}
 	if !inf.Eager {
@@ -380,13 +402,13 @@ func TestRegistryDrop(t *testing.T) {
 		t.Fatal("Drop invented a sketch")
 	}
 
-	sk := reg.CountMin("api")
+	sk := openCountMin(t, reg, "api").Sketch()
 	for i := 0; i < 1000; i++ {
 		sk.Update(0, uint64(i%10))
 	}
-	ctls, err := reg.Autoscale("api", autoscale.Policy{HighWater: 1e6, SampleEvery: time.Millisecond})
+	ctls, err := reg.ReplaceAutoscale("api", autoscale.Policy{HighWater: 1e6, SampleEvery: time.Millisecond})
 	if err != nil || len(ctls) != 1 {
-		t.Fatalf("Autoscale: ctls=%d err=%v", len(ctls), err)
+		t.Fatalf("ReplaceAutoscale: ctls=%d err=%v", len(ctls), err)
 	}
 
 	if !reg.Drop("countmin", "api") {
@@ -401,7 +423,7 @@ func TestRegistryDrop(t *testing.T) {
 		t.Fatalf("drained dropped sketch N = %d, want 1000", got)
 	}
 	// The name is free: the next accessor gets a fresh, empty sketch.
-	if got := reg.CountMin("api").N(); got != 0 {
+	if got := openCountMin(t, reg, "api").Sketch().N(); got != 0 {
 		t.Fatalf("recreated sketch N = %d, want 0", got)
 	}
 	// Close (deferred) must not double-stop the dropped sketch's
@@ -433,14 +455,14 @@ func TestRegistryStopAutoscale(t *testing.T) {
 	}
 	defer reg.Close()
 
-	reg.Theta("a")
-	reg.CountMin("a")
-	reg.Theta("b")
+	openTheta(t, reg, "a")
+	openCountMin(t, reg, "a")
+	openTheta(t, reg, "b")
 	pol := autoscale.Policy{HighWater: 1e9, SampleEvery: time.Millisecond}
-	if _, err := reg.Autoscale("a", pol); err != nil {
+	if _, err := reg.ReplaceAutoscale("a", pol); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Autoscale("b", pol); err != nil {
+	if _, err := reg.ReplaceAutoscale("b", pol); err != nil {
 		t.Fatal(err)
 	}
 

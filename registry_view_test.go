@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 This file deliberately exercises the deprecated registry facades to keep their compatibility contract tested until removal.
 package fastsketches_test
 
 // Registry-level materialized-view tests, plus the Drop/Close-under-fire
@@ -27,24 +26,24 @@ func TestRegistryViewFacades(t *testing.T) {
 	defer reg.Close()
 
 	// No sketches under the name yet: error, nothing enabled.
-	if _, err := reg.EnableView("metrics", fastsketches.ViewConfig{}); err == nil {
-		t.Fatal("EnableView on absent name should error")
+	if _, err := reg.ReplaceView("metrics", fastsketches.ViewConfig{}); err == nil {
+		t.Fatal("ReplaceView on absent name should error")
 	}
 
-	th := reg.Theta("metrics")
-	cm := reg.CountMin("metrics")
-	reg.HLL("other")
+	th := openTheta(t, reg, "metrics").Sketch()
+	cm := openCountMin(t, reg, "metrics").Sketch()
+	openHLL(t, reg, "other")
 	for i := 0; i < 1000; i++ {
 		th.Update(0, uint64(i))
 		cm.Update(0, uint64(i%10))
 	}
 
 	clk := autoscale.NewManualClock(time.Unix(1<<20, 0))
-	n, err := reg.EnableView("metrics", fastsketches.ViewConfig{
+	n, err := reg.ReplaceView("metrics", fastsketches.ViewConfig{
 		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
 	})
 	if err != nil || n != 2 {
-		t.Fatalf("EnableView = %d, %v; want 2 sketches covered", n, err)
+		t.Fatalf("ReplaceView = %d, %v; want 2 sketches covered", n, err)
 	}
 	inf, ok := reg.Info("theta", "metrics")
 	if !ok || !inf.ViewEnabled {
@@ -63,16 +62,16 @@ func TestRegistryViewFacades(t *testing.T) {
 	}
 
 	// Re-enabling re-arms idempotently; disabling reports the pair.
-	if n, err := reg.EnableView("metrics", fastsketches.ViewConfig{
+	if n, err := reg.ReplaceView("metrics", fastsketches.ViewConfig{
 		RefreshEvery: time.Hour, MaxAge: -1, Clock: clk,
 	}); err != nil || n != 2 {
-		t.Fatalf("re-EnableView = %d, %v", n, err)
+		t.Fatalf("re-ReplaceView = %d, %v", n, err)
 	}
-	if n := reg.DisableView("metrics"); n != 2 {
-		t.Fatalf("DisableView = %d, want 2", n)
+	if n := reg.StopView("metrics"); n != 2 {
+		t.Fatalf("StopView = %d, want 2", n)
 	}
-	if n := reg.DisableView("metrics"); n != 0 {
-		t.Fatalf("second DisableView = %d, want 0", n)
+	if n := reg.StopView("metrics"); n != 0 {
+		t.Fatalf("second StopView = %d, want 0", n)
 	}
 	if inf, _ := reg.Info("theta", "metrics"); inf.ViewEnabled {
 		t.Fatal("ViewEnabled after disable")
@@ -84,11 +83,11 @@ func TestRegistryViewPanicsAfterClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg.Theta("x")
+	openTheta(t, reg, "x")
 	reg.Close()
 	for name, f := range map[string]func(){
-		"EnableView":  func() { reg.EnableView("x", fastsketches.ViewConfig{}) },
-		"DisableView": func() { reg.DisableView("x") },
+		"ReplaceView": func() { reg.ReplaceView("x", fastsketches.ViewConfig{}) },
+		"StopView":    func() { reg.StopView("x") },
 	} {
 		func() {
 			defer func() {
@@ -129,15 +128,15 @@ func TestRegistryDropUnderFireNoLeak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cm := reg.CountMin("fire")
-		if _, err := reg.Autoscale("fire", autoscale.Policy{
+		cm := openCountMin(t, reg, "fire").Sketch()
+		if _, err := reg.ReplaceAutoscale("fire", autoscale.Policy{
 			MinShards: 1, MaxShards: 4,
 			HighWater: 1, LowWater: 0.5, // trigger-happy: resizes constantly
 			SampleEvery: 200 * time.Microsecond,
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := reg.EnableView("fire", fastsketches.ViewConfig{
+		if _, err := reg.ReplaceView("fire", fastsketches.ViewConfig{
 			RefreshEvery: 200 * time.Microsecond,
 		}); err != nil {
 			t.Fatal(err)
@@ -181,25 +180,25 @@ func TestRegistryDropUnderFireNoLeak(t *testing.T) {
 	settleToBaseline(t, base)
 }
 
-// TestRegistryDropRacesEnableView races EnableView/DisableView against Drop
+// TestRegistryDropRacesReplaceView races ReplaceView/StopView against Drop
 // of the same name: every interleaving must end with zero view refreshers
 // alive, no panic, and the registry reusable for a fresh sketch under the
 // same name.
-func TestRegistryDropRacesEnableView(t *testing.T) {
+func TestRegistryDropRacesReplaceView(t *testing.T) {
 	base := runtime.NumGoroutine()
 	for round := 0; round < 20; round++ {
 		reg, err := fastsketches.NewRegistry(fastsketches.RegistryConfig{Shards: 2, Writers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		reg.Theta("raced")
+		openTheta(t, reg, "raced")
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
 			// May hit the sketch before or after Drop closed it; both must
 			// be clean (an error from a closed sketch is fine, a panic not).
-			reg.EnableView("raced", fastsketches.ViewConfig{RefreshEvery: 100 * time.Microsecond})
+			reg.ReplaceView("raced", fastsketches.ViewConfig{RefreshEvery: 100 * time.Microsecond})
 		}()
 		go func() {
 			defer wg.Done()
@@ -210,7 +209,7 @@ func TestRegistryDropRacesEnableView(t *testing.T) {
 		if inf, ok := reg.Info("theta", "raced"); ok && inf.ViewEnabled {
 			t.Fatal("recreated sketch inherited a view")
 		}
-		fresh := reg.Theta("raced")
+		fresh := openTheta(t, reg, "raced").Sketch()
 		fresh.Update(0, 1)
 		reg.Close()
 	}
